@@ -1,0 +1,109 @@
+// Microbenchmarks for the analysis pipeline: flow aggregation,
+// longest-prefix matching, observation extraction and the preference
+// framework — the per-trace costs of the paper's methodology.
+#include <benchmark/benchmark.h>
+
+#include "aware/observation.hpp"
+#include "aware/preference.hpp"
+#include "net/allocator.hpp"
+#include "trace/flow.hpp"
+#include "util/rng.hpp"
+
+using namespace peerscope;
+
+namespace {
+
+std::vector<trace::PacketRecord> synth_records(std::size_t n,
+                                               std::size_t peers) {
+  util::Rng rng{11};
+  std::vector<trace::PacketRecord> records;
+  records.reserve(n);
+  std::int64_t ts = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ts += static_cast<std::int64_t>(rng.below(300'000)) + 1;
+    trace::PacketRecord r;
+    r.ts = util::SimTime::nanos(ts);
+    r.remote = net::Ipv4Addr{static_cast<std::uint32_t>(
+        0x14000000u + rng.below(peers))};
+    r.bytes = rng.chance(0.8) ? 1250 : 120;
+    r.kind = r.bytes == 1250 ? sim::PacketKind::kVideo
+                             : sim::PacketKind::kSignaling;
+    r.dir = rng.chance(0.6) ? trace::Direction::kRx : trace::Direction::kTx;
+    r.ttl = static_cast<std::uint8_t>(100 + rng.below(25));
+    records.push_back(r);
+  }
+  return records;
+}
+
+void BM_FlowTableAdd(benchmark::State& state) {
+  const auto records =
+      synth_records(static_cast<std::size_t>(state.range(0)), 500);
+  for (auto _ : state) {
+    trace::FlowTable table{net::Ipv4Addr{10, 0, 0, 1}};
+    for (const auto& r : records) table.add(r);
+    benchmark::DoNotOptimize(table.flow_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FlowTableAdd)->Arg(10'000)->Arg(100'000);
+
+void BM_LongestPrefixMatch(benchmark::State& state) {
+  net::NetRegistry registry;
+  net::AddressAllocator alloc{registry};
+  for (std::uint32_t i = 1; i <= 40; ++i) {
+    alloc.register_as(net::AsId{i}, net::kChina);
+  }
+  util::Rng rng{5};
+  for (auto _ : state) {
+    const net::Ipv4Addr addr{
+        static_cast<std::uint32_t>((20u << 24) + rng.below(40u << 16))};
+    benchmark::DoNotOptimize(registry.as_of(addr));
+  }
+}
+BENCHMARK(BM_LongestPrefixMatch);
+
+void BM_ExtractObservations(benchmark::State& state) {
+  net::NetRegistry registry;
+  net::AddressAllocator alloc{registry};
+  alloc.register_as(net::AsId{1}, net::kItaly);
+  registry.announce(*net::Ipv4Prefix::parse("20.0.0.0/8"), net::AsId{210},
+                    net::kChina);
+  trace::FlowTable table{net::Ipv4Addr{10, 0, 0, 1}};
+  for (const auto& r : synth_records(100'000, 2'000)) table.add(r);
+  const std::unordered_set<net::Ipv4Addr> napa{net::Ipv4Addr{10, 0, 0, 1}};
+  for (auto _ : state) {
+    const auto obs = aware::extract_observations(table, registry, napa);
+    benchmark::DoNotOptimize(obs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(table.flow_count()));
+}
+BENCHMARK(BM_ExtractObservations);
+
+void BM_EvaluatePreference(benchmark::State& state) {
+  util::Rng rng{7};
+  std::vector<aware::PairObservation> observations;
+  for (int i = 0; i < 5'000; ++i) {
+    aware::PairObservation obs;
+    obs.probe_as = net::AsId{2};
+    obs.remote_as = rng.chance(0.05) ? net::AsId{2} : net::AsId{210};
+    obs.rx_video_pkts = rng.below(100);
+    obs.rx_video_bytes = obs.rx_video_pkts * 1250;
+    observations.push_back(obs);
+  }
+  const aware::Partition partition = aware::as_partition();
+  const aware::PreferenceOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        aware::evaluate_preference(observations, partition, options)
+            .peers_pref);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          5'000);
+}
+BENCHMARK(BM_EvaluatePreference);
+
+}  // namespace
+
+BENCHMARK_MAIN();

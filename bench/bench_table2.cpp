@@ -1,0 +1,70 @@
+// Table II: per-application summary — mean/max stream rates (RX/TX),
+// peers contacted, and contributing peers, paper vs measured.
+//
+// Absolute counts are scaled (300 s vs 1 h, ~1/12 swarm; DESIGN.md §6);
+// the orderings and rate magnitudes are the reproduction target.
+#include <iostream>
+
+#include "bench/harness.hpp"
+
+using namespace peerscope;
+using namespace peerscope::bench;
+
+int main() {
+  const BenchConfig cfg = BenchConfig::from_env();
+  const net::AsTopology topo = net::make_reference_topology();
+  std::cout << "=== Table II: experiment summary (paper vs measured, "
+            << cfg.seconds << " s runs) ===\n\n";
+
+  const auto results = run_three_apps(topo, cfg);
+
+  util::TextTable table{{"App", "src", "RX kbps mean", "RX max", "TX kbps mean",
+                         "TX max", "peers mean", "peers max", "cRX mean",
+                         "cRX max", "cTX mean", "cTX max", "observed"}};
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& paper = kPaperTable2[i];
+    const aware::ExperimentSummary s =
+        aware::summarize(results[i].observations);
+    if (cfg.outdir) {
+      aware::write_summary_csv(
+          *cfg.outdir / ("table2_" + results[i].observations.app + ".csv"),
+          results[i].observations.app, s);
+    }
+    table.add_row({paper.app, "paper", fmt(paper.rx_mean, 0),
+                   fmt(paper.rx_max, 0), fmt(paper.tx_mean, 0),
+                   fmt(paper.tx_max, 0), fmt(paper.peers_mean, 0),
+                   fmt(paper.peers_max, 0), fmt(paper.contrib_rx_mean, 0),
+                   fmt(paper.contrib_rx_max, 0), fmt(paper.contrib_tx_mean, 0),
+                   fmt(paper.contrib_tx_max, 0),
+                   fmt(paper.observed_total, 0)});
+    table.add_row({"", "ours", fmt(s.rx_kbps_mean, 0), fmt(s.rx_kbps_max, 0),
+                   fmt(s.tx_kbps_mean, 0), fmt(s.tx_kbps_max, 0),
+                   fmt(s.all_peers_mean, 0),
+                   fmt(static_cast<double>(s.all_peers_max), 0),
+                   fmt(s.contrib_rx_mean, 0),
+                   fmt(static_cast<double>(s.contrib_rx_max), 0),
+                   fmt(s.contrib_tx_mean, 0),
+                   fmt(static_cast<double>(s.contrib_tx_max), 0),
+                   fmt(static_cast<double>(s.observed_total), 0)});
+    table.add_rule();
+  }
+  std::cout << table.render();
+
+  std::cout << "\nshape checks (must hold):\n";
+  const auto peers = [&](std::size_t i) {
+    return aware::summarize(results[i].observations).all_peers_mean;
+  };
+  const auto tx = [&](std::size_t i) {
+    return aware::summarize(results[i].observations).tx_kbps_mean;
+  };
+  std::cout << "  peers(PPLive) > peers(SopCast) > peers(TVAnts): "
+            << (peers(0) > peers(1) && peers(1) > peers(2) ? "yes" : "NO")
+            << '\n';
+  std::cout << "  PPLive TX >> its RX (upload exploitation): "
+            << (tx(0) > 3 * aware::summarize(results[0].observations)
+                                .rx_kbps_mean
+                    ? "yes"
+                    : "NO")
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "aware/bandwidth.hpp"
+
+#include "aware/partition.hpp"
+#include "aware/preference.hpp"
+
+namespace peerscope::aware {
+
+std::optional<CapacityEstimate> estimate_capacity(const PairObservation& obs,
+                                                  std::int32_t packet_bytes) {
+  if (!obs.has_min_ipg() || obs.min_rx_video_ipg_ns <= 0) {
+    return std::nullopt;
+  }
+  CapacityEstimate estimate;
+  estimate.min_ipg_ns = obs.min_rx_video_ipg_ns;
+  estimate.mbps = static_cast<double>(packet_bytes) * 8.0 /
+                  static_cast<double>(obs.min_rx_video_ipg_ns) * 1e3;
+  return estimate;
+}
+
+std::vector<ThresholdPoint> bw_threshold_sweep(
+    const ExperimentObservations& data,
+    std::span<const std::int64_t> thresholds_ns,
+    const ContributorConfig& contributor) {
+  std::vector<ThresholdPoint> out;
+  out.reserve(thresholds_ns.size());
+  for (const std::int64_t threshold : thresholds_ns) {
+    PreferenceCounts counts;
+    PreferenceOptions options;
+    options.dir = Dir::kDownload;
+    options.exclude_napa = true;
+    options.contributor = contributor;
+    const Partition partition =
+        bw_partition(BwConfig{.ipg_threshold_ns = threshold});
+    for (const auto& per_probe : data.per_probe) {
+      counts.merge(evaluate_preference(per_probe, partition, options));
+    }
+    out.push_back({threshold, counts.peer_pct(), counts.byte_pct()});
+  }
+  return out;
+}
+
+util::Histogram capacity_distribution(const ExperimentObservations& data,
+                                      double max_mbps, std::size_t bins,
+                                      const ContributorConfig& contributor) {
+  util::Histogram histogram{0.0, max_mbps, bins};
+  for (const auto& per_probe : data.per_probe) {
+    for (const auto& obs : per_probe) {
+      if (obs.remote_is_napa || !is_rx_contributor(obs, contributor)) {
+        continue;
+      }
+      if (const auto estimate = estimate_capacity(obs)) {
+        histogram.add(estimate->mbps);
+      }
+    }
+  }
+  return histogram;
+}
+
+}  // namespace peerscope::aware

@@ -1,0 +1,57 @@
+// Packet-pair capacity estimation beyond the paper's binary classifier.
+//
+// The paper only needs high/low at a 1 ms threshold; this module keeps
+// the full signal: a capacity point-estimate per peer from the minimum
+// inter-packet gap, the population IPG distribution, and a threshold
+// sensitivity sweep that shows how (in)sensitive Table IV's BW row is
+// to the 1 ms choice — the natural ablation of §III-B.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "aware/contributor.hpp"
+#include "aware/experiment.hpp"
+#include "aware/observation.hpp"
+#include "util/stats.hpp"
+
+namespace peerscope::aware {
+
+/// Path-capacity point estimate for one peer pair.
+struct CapacityEstimate {
+  /// Bottleneck estimate in Mb/s: packet_bits / min_ipg.
+  double mbps = 0.0;
+  std::int64_t min_ipg_ns = 0;
+};
+
+/// Estimates the path bottleneck toward the probe from the minimum
+/// inter-packet gap, assuming `packet_bytes`-sized video packets (the
+/// paper's 1250 B reference). nullopt when no packet pair was observed.
+[[nodiscard]] std::optional<CapacityEstimate> estimate_capacity(
+    const PairObservation& obs, std::int32_t packet_bytes = 1250);
+
+/// One point of the threshold sensitivity sweep.
+struct ThresholdPoint {
+  std::int64_t threshold_ns = 0;
+  /// Peer-wise / byte-wise download preference at this threshold
+  /// (non-NAPA contributors), i.e. Table IV's B'D/P'D as a function of
+  /// the classification boundary.
+  double peer_pct = 0;
+  double byte_pct = 0;
+};
+
+/// Evaluates the BW preference at each candidate threshold.
+[[nodiscard]] std::vector<ThresholdPoint> bw_threshold_sweep(
+    const ExperimentObservations& data,
+    std::span<const std::int64_t> thresholds_ns,
+    const ContributorConfig& contributor = {});
+
+/// Distribution of estimated capacities over download contributors
+/// (non-NAPA), in Mb/s bins over [0, max_mbps).
+[[nodiscard]] util::Histogram capacity_distribution(
+    const ExperimentObservations& data, double max_mbps = 120.0,
+    std::size_t bins = 24, const ContributorConfig& contributor = {});
+
+}  // namespace peerscope::aware

@@ -1,0 +1,40 @@
+// Contributing-peer identification (heuristic of the paper's ref [14]).
+//
+// A remote peer is a *contributor* in a direction when at least one
+// video segment was exchanged that way. Operationally: at least
+// `min_video_packets` full-size packets of video payload — one chunk's
+// worth by default — which the paper verified to be "accurate and
+// conservative".
+#pragma once
+
+#include <cstdint>
+
+#include "aware/observation.hpp"
+
+namespace peerscope::aware {
+
+struct ContributorConfig {
+  /// Minimum video packets to count as a contributor (default: one
+  /// 16 kB chunk of 1250-byte packets).
+  std::uint64_t min_video_packets = 13;
+};
+
+/// e ∈ D(p): p downloads video from e.
+[[nodiscard]] inline bool is_rx_contributor(const PairObservation& obs,
+                                            const ContributorConfig& cfg) {
+  return obs.rx_video_pkts >= cfg.min_video_packets;
+}
+
+/// e ∈ U(p): p uploads video to e.
+[[nodiscard]] inline bool is_tx_contributor(const PairObservation& obs,
+                                            const ContributorConfig& cfg) {
+  return obs.tx_video_pkts >= cfg.min_video_packets;
+}
+
+/// e ∈ P(p) = U(p) ∪ D(p).
+[[nodiscard]] inline bool is_contributor(const PairObservation& obs,
+                                         const ContributorConfig& cfg) {
+  return is_rx_contributor(obs, cfg) || is_tx_contributor(obs, cfg);
+}
+
+}  // namespace peerscope::aware

@@ -1,0 +1,35 @@
+// Experiment-level observation bundle: all vantage points of one
+// (application, run), ready for the preference framework and report
+// generators. exp::Runner fills this from a simulation; the offline
+// tools fill it from trace files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aware/observation.hpp"
+#include "net/types.hpp"
+#include "util/sim_time.hpp"
+
+namespace peerscope::aware {
+
+/// What the experimenters know about their own vantage points
+/// (Table I): enough to label Fig. 2's axes and select its
+/// "high-bandwidth NAPA-WINE peer" pairs.
+struct ProbeMeta {
+  net::Ipv4Addr addr;
+  net::AsId as;
+  net::CountryCode cc;
+  bool high_bw = true;
+  std::string label;
+};
+
+struct ExperimentObservations {
+  std::string app;
+  util::SimTime duration{0};
+  std::vector<ProbeMeta> probes;
+  /// observations[i] belongs to probes[i].
+  std::vector<std::vector<PairObservation>> per_probe;
+};
+
+}  // namespace peerscope::aware

@@ -1,0 +1,102 @@
+#include "aware/export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace peerscope::aware {
+
+namespace {
+
+std::ofstream open_csv(const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("export: cannot open " + path.string());
+  }
+  return out;
+}
+
+void finish(std::ofstream& out, const std::filesystem::path& path) {
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("export: short write to " + path.string());
+  }
+}
+
+std::string cell(const std::optional<double>& v) {
+  return v ? std::to_string(*v) : std::string{};
+}
+
+}  // namespace
+
+void write_awareness_csv(const std::filesystem::path& path,
+                         const std::string& app,
+                         const std::vector<AwarenessRow>& rows) {
+  auto out = open_csv(path);
+  out << "app,metric,direction,b_prime_pct,p_prime_pct,b_pct,p_pct\n";
+  for (const auto& row : rows) {
+    out << app << ',' << to_string(row.metric) << ",download,"
+        << cell(row.download.b_prime_pct) << ','
+        << cell(row.download.p_prime_pct) << ',' << cell(row.download.b_pct)
+        << ',' << cell(row.download.p_pct) << '\n';
+    out << app << ',' << to_string(row.metric) << ",upload,"
+        << cell(row.upload.b_prime_pct) << ','
+        << cell(row.upload.p_prime_pct) << ',' << cell(row.upload.b_pct)
+        << ',' << cell(row.upload.p_pct) << '\n';
+  }
+  finish(out, path);
+}
+
+void write_summary_csv(const std::filesystem::path& path,
+                       const std::string& app, const ExperimentSummary& s) {
+  auto out = open_csv(path);
+  out << "app,rx_kbps_mean,rx_kbps_max,tx_kbps_mean,tx_kbps_max,"
+         "all_peers_mean,all_peers_max,contrib_rx_mean,contrib_rx_max,"
+         "contrib_tx_mean,contrib_tx_max,observed_total\n";
+  out << app << ',' << s.rx_kbps_mean << ',' << s.rx_kbps_max << ','
+      << s.tx_kbps_mean << ',' << s.tx_kbps_max << ',' << s.all_peers_mean
+      << ',' << s.all_peers_max << ',' << s.contrib_rx_mean << ','
+      << s.contrib_rx_max << ',' << s.contrib_tx_mean << ','
+      << s.contrib_tx_max << ',' << s.observed_total << '\n';
+  finish(out, path);
+}
+
+void write_geo_csv(const std::filesystem::path& path, const std::string& app,
+                   const std::vector<GeoShare>& shares) {
+  auto out = open_csv(path);
+  out << "app,country,peer_pct,rx_bytes_pct,tx_bytes_pct\n";
+  for (const auto& share : shares) {
+    out << app << ','
+        << (share.cc.known() ? share.cc.to_string() : std::string{"*"})
+        << ',' << share.peer_pct << ',' << share.rx_bytes_pct << ','
+        << share.tx_bytes_pct << '\n';
+  }
+  finish(out, path);
+}
+
+void write_matrix_csv(const std::filesystem::path& path,
+                      const std::string& app, const AsMatrix& matrix) {
+  auto out = open_csv(path);
+  out << "app,from_as,to_as,mean_bytes,intra\n";
+  for (std::size_t i = 0; i < matrix.ases.size(); ++i) {
+    for (std::size_t j = 0; j < matrix.ases.size(); ++j) {
+      out << app << ',' << matrix.ases[i].value() << ','
+          << matrix.ases[j].value() << ',' << matrix.at(i, j) << ','
+          << (i == j ? 1 : 0) << '\n';
+    }
+  }
+  finish(out, path);
+}
+
+void write_timeseries_csv(const std::filesystem::path& path,
+                          const std::vector<IntervalStats>& series) {
+  auto out = open_csv(path);
+  out << "t_s,rx_kbps,tx_kbps,active_peers,new_peers,new_rx_contributors\n";
+  for (const auto& point : series) {
+    out << point.start.seconds() << ',' << point.rx_kbps << ','
+        << point.tx_kbps << ',' << point.active_peers << ','
+        << point.new_peers << ',' << point.new_rx_contributors << '\n';
+  }
+  finish(out, path);
+}
+
+}  // namespace peerscope::aware

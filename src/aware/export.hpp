@@ -1,0 +1,36 @@
+// Machine-readable result export: every report structure as CSV, so
+// the figures can be regenerated with external plotting tools and the
+// benches can archive their numbers (PEERSCOPE_BENCH_OUTDIR).
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "aware/report.hpp"
+#include "aware/temporal.hpp"
+
+namespace peerscope::aware {
+
+/// Table IV block: one row per (metric, direction) with the four
+/// preference percentages (empty cells for unmeasurable entries).
+void write_awareness_csv(const std::filesystem::path& path,
+                         const std::string& app,
+                         const std::vector<AwarenessRow>& rows);
+
+/// Table II row for one application.
+void write_summary_csv(const std::filesystem::path& path,
+                       const std::string& app, const ExperimentSummary& s);
+
+/// Figure 1 series: country, peer%, rx%, tx%.
+void write_geo_csv(const std::filesystem::path& path, const std::string& app,
+                   const std::vector<GeoShare>& shares);
+
+/// Figure 2 matrix in long form: from_as, to_as, mean_bytes, intra.
+void write_matrix_csv(const std::filesystem::path& path,
+                      const std::string& app, const AsMatrix& matrix);
+
+/// Temporal series: t_s, rx_kbps, tx_kbps, active, new, new_contrib.
+void write_timeseries_csv(const std::filesystem::path& path,
+                          const std::vector<IntervalStats>& series);
+
+}  // namespace peerscope::aware

@@ -1,0 +1,63 @@
+// Per-(probe, remote-peer) observation: everything the paper's
+// methodology extracts from one vantage point's trace about one remote
+// peer, after the IP -> AS/CC database joins.
+//
+// This is the boundary between trace processing and the preference
+// framework: observations can come from a live simulation's flow
+// tables or from trace files re-read from disk — the analysis code
+// cannot tell the difference (black-box property).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/registry.hpp"
+#include "net/types.hpp"
+#include "trace/flow.hpp"
+
+#include <unordered_set>
+
+namespace peerscope::aware {
+
+struct PairObservation {
+  net::Ipv4Addr probe;
+  net::Ipv4Addr remote;
+
+  // Database joins (the whois/geo lookup of the paper).
+  net::AsId probe_as;
+  net::AsId remote_as;
+  net::CountryCode probe_cc;
+  net::CountryCode remote_cc;
+  bool same_subnet = false;
+  /// Whether the remote endpoint is itself a NAPA-WINE probe (member
+  /// of the set W) — needed for the self-bias filtering P', B'.
+  bool remote_is_napa = false;
+
+  // Volume, split by direction and payload type.
+  std::uint64_t rx_pkts = 0, rx_bytes = 0;
+  std::uint64_t tx_pkts = 0, tx_bytes = 0;
+  std::uint64_t rx_video_pkts = 0, rx_video_bytes = 0;
+  std::uint64_t tx_video_pkts = 0, tx_video_bytes = 0;
+
+  /// Packet-pair signal: minimum inter-packet gap over received video
+  /// packets (int64 max when fewer than two such packets were seen).
+  std::int64_t min_rx_video_ipg_ns =
+      std::numeric_limits<std::int64_t>::max();
+  [[nodiscard]] bool has_min_ipg() const {
+    return min_rx_video_ipg_ns != std::numeric_limits<std::int64_t>::max();
+  }
+
+  /// Hop count inferred from received TTL (128 - TTL); -1 when the
+  /// probe never received a packet from this peer.
+  int rx_hops = -1;
+};
+
+/// Joins one probe's flow table against the registry and the probe set
+/// W, yielding one observation per remote peer.
+[[nodiscard]] std::vector<PairObservation> extract_observations(
+    const trace::FlowTable& flows, const net::NetRegistry& registry,
+    const std::unordered_set<net::Ipv4Addr>& napa_set);
+
+}  // namespace peerscope::aware

@@ -1,0 +1,85 @@
+#include "aware/partition.hpp"
+
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace peerscope::aware {
+
+std::string to_string(Metric metric) {
+  switch (metric) {
+    case Metric::kBw:
+      return "BW";
+    case Metric::kAs:
+      return "AS";
+    case Metric::kCc:
+      return "CC";
+    case Metric::kNet:
+      return "NET";
+    case Metric::kHop:
+      return "HOP";
+  }
+  return "?";
+}
+
+Partition bw_partition(BwConfig cfg) {
+  return [cfg](const PairObservation& obs) -> std::optional<bool> {
+    if (!obs.has_min_ipg()) return std::nullopt;
+    return obs.min_rx_video_ipg_ns < cfg.ipg_threshold_ns;
+  };
+}
+
+Partition as_partition() {
+  return [](const PairObservation& obs) -> std::optional<bool> {
+    if (!obs.remote_as.known() || !obs.probe_as.known()) return std::nullopt;
+    return obs.remote_as == obs.probe_as;
+  };
+}
+
+Partition cc_partition() {
+  return [](const PairObservation& obs) -> std::optional<bool> {
+    if (!obs.remote_cc.known() || !obs.probe_cc.known()) return std::nullopt;
+    return obs.remote_cc == obs.probe_cc;
+  };
+}
+
+Partition net_partition() {
+  return [](const PairObservation& obs) -> std::optional<bool> {
+    return obs.same_subnet;
+  };
+}
+
+Partition hop_partition(HopConfig cfg) {
+  return [cfg](const PairObservation& obs) -> std::optional<bool> {
+    if (obs.rx_hops < 0) return std::nullopt;
+    return obs.rx_hops < cfg.threshold_hops;
+  };
+}
+
+Partition make_partition(Metric metric) {
+  switch (metric) {
+    case Metric::kBw:
+      return bw_partition();
+    case Metric::kAs:
+      return as_partition();
+    case Metric::kCc:
+      return cc_partition();
+    case Metric::kNet:
+      return net_partition();
+    case Metric::kHop:
+      return hop_partition();
+  }
+  return net_partition();  // unreachable
+}
+
+double median_hops(std::span<const PairObservation> observations) {
+  std::vector<double> hops;
+  hops.reserve(observations.size());
+  for (const auto& obs : observations) {
+    if (obs.rx_hops >= 0) hops.push_back(static_cast<double>(obs.rx_hops));
+  }
+  if (hops.empty()) return 0.0;
+  return util::percentile_inplace(hops, 0.5);
+}
+
+}  // namespace peerscope::aware

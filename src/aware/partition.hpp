@@ -1,0 +1,57 @@
+// Preferential partitions X_P (paper §III-B).
+//
+// Each partition maps an observation to: preferred (true),
+// non-preferred (false), or not-evaluable (nullopt — the peer drops out
+// of this metric's statistic, e.g. BW needs received video packets).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "aware/observation.hpp"
+
+namespace peerscope::aware {
+
+enum class Metric { kBw, kAs, kCc, kNet, kHop };
+
+[[nodiscard]] std::string to_string(Metric metric);
+
+using Partition =
+    std::function<std::optional<bool>(const PairObservation&)>;
+
+/// BW: high-bandwidth peer <=> min inter-packet gap < 1 ms (the
+/// serialisation time of a 1250-byte packet at 10 Mb/s). Evaluable
+/// only when the probe received a video train from the peer, hence the
+/// paper restricts BW analysis to the download direction.
+struct BwConfig {
+  std::int64_t ipg_threshold_ns = 1'000'000;
+};
+[[nodiscard]] Partition bw_partition(BwConfig cfg = {});
+
+/// AS: both endpoints in the same Autonomous System.
+[[nodiscard]] Partition as_partition();
+
+/// CC: both endpoints in the same country.
+[[nodiscard]] Partition cc_partition();
+
+/// NET: same subnet, operationally HOP(e,p) == 0.
+[[nodiscard]] Partition net_partition();
+
+/// HOP: path shorter than the population median. The paper measures a
+/// median of 18-20 depending on application and fixes 19 for all.
+struct HopConfig {
+  int threshold_hops = 19;
+};
+[[nodiscard]] Partition hop_partition(HopConfig cfg = {});
+
+/// Convenience: the partition for a metric with default configs.
+[[nodiscard]] Partition make_partition(Metric metric);
+
+/// Median observed hop count over peers with RX traffic — used to
+/// sanity-check the fixed 19-hop threshold against a given experiment.
+[[nodiscard]] double median_hops(
+    std::span<const PairObservation> observations);
+
+}  // namespace peerscope::aware

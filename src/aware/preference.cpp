@@ -1,0 +1,37 @@
+#include "aware/preference.hpp"
+
+namespace peerscope::aware {
+
+PreferenceCounts evaluate_preference(
+    std::span<const PairObservation> observations, const Partition& partition,
+    const PreferenceOptions& options) {
+  PreferenceCounts counts;
+  for (const PairObservation& obs : observations) {
+    if (options.exclude_napa && obs.remote_is_napa) continue;
+
+    const bool member = options.dir == Dir::kDownload
+                            ? is_rx_contributor(obs, options.contributor)
+                            : is_tx_contributor(obs, options.contributor);
+    if (!member) continue;
+
+    const std::uint64_t bytes = options.dir == Dir::kDownload
+                                    ? obs.rx_video_bytes
+                                    : obs.tx_video_bytes;
+
+    const std::optional<bool> preferred = partition(obs);
+    if (!preferred.has_value()) {
+      ++counts.peers_unevaluable;
+      continue;
+    }
+    if (*preferred) {
+      ++counts.peers_pref;
+      counts.bytes_pref += bytes;
+    } else {
+      ++counts.peers_nonpref;
+      counts.bytes_nonpref += bytes;
+    }
+  }
+  return counts;
+}
+
+}  // namespace peerscope::aware

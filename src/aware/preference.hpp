@@ -1,0 +1,75 @@
+// The preference framework — Eqs. (1)-(8) of the paper.
+//
+// For a network property X with preferred partition X_P, over the
+// contributor set of each probe p (optionally deprived of the probe
+// set W to remove self-induced bias):
+//
+//   Peer_{U|P}(p) = sum over e in U(p) of 1_P(p,e)                (1)
+//   Byte_{U|P}(p) = sum over e in U(p) of 1_P(p,e) * B(p,e)       (2)
+//   (and the complements, Eqs. 3-4), aggregated over probes (5-6):
+//
+//   P_U = 100 * Peer_{U|P} / (Peer_{U|P} + Peer_{U|!P})           (7)
+//   B_U = 100 * Byte_{U|P} / (Byte_{U|P} + Byte_{U|!P})           (8)
+//
+// and identically for the download direction D.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "aware/contributor.hpp"
+#include "aware/observation.hpp"
+#include "aware/partition.hpp"
+#include "util/stats.hpp"
+
+namespace peerscope::aware {
+
+enum class Dir { kDownload, kUpload };
+
+struct PreferenceCounts {
+  std::uint64_t peers_pref = 0;
+  std::uint64_t peers_nonpref = 0;
+  std::uint64_t bytes_pref = 0;
+  std::uint64_t bytes_nonpref = 0;
+  /// Peers skipped because the partition could not evaluate them
+  /// (e.g. no packet-pair signal for BW).
+  std::uint64_t peers_unevaluable = 0;
+
+  void merge(const PreferenceCounts& other) {
+    peers_pref += other.peers_pref;
+    peers_nonpref += other.peers_nonpref;
+    bytes_pref += other.bytes_pref;
+    bytes_nonpref += other.bytes_nonpref;
+    peers_unevaluable += other.peers_unevaluable;
+  }
+
+  /// Eq. 7 (peer-wise preference, percent).
+  [[nodiscard]] double peer_pct() const {
+    return util::percentage(static_cast<double>(peers_pref),
+                            static_cast<double>(peers_nonpref));
+  }
+  /// Eq. 8 (byte-wise preference, percent).
+  [[nodiscard]] double byte_pct() const {
+    return util::percentage(static_cast<double>(bytes_pref),
+                            static_cast<double>(bytes_nonpref));
+  }
+  [[nodiscard]] std::uint64_t peers_total() const {
+    return peers_pref + peers_nonpref;
+  }
+};
+
+struct PreferenceOptions {
+  Dir dir = Dir::kDownload;
+  /// Evaluate on P'(p) = P(p) \ W (drop peers that are themselves
+  /// probes) — the paper's control for self-induced bias.
+  bool exclude_napa = false;
+  ContributorConfig contributor;
+};
+
+/// Per-probe evaluation (Eqs. 1-4) over one vantage point's
+/// observations.
+[[nodiscard]] PreferenceCounts evaluate_preference(
+    std::span<const PairObservation> observations, const Partition& partition,
+    const PreferenceOptions& options);
+
+}  // namespace peerscope::aware

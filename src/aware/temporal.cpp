@@ -1,0 +1,92 @@
+#include "aware/temporal.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/stats.hpp"
+
+namespace peerscope::aware {
+
+std::vector<IntervalStats> time_series(
+    std::span<const trace::PacketRecord> records, util::SimTime duration,
+    util::SimTime interval, std::uint64_t contributor_video_packets) {
+  if (interval <= util::SimTime::zero() || duration <= util::SimTime::zero()) {
+    throw std::invalid_argument("time_series: non-positive interval");
+  }
+  const auto slots = static_cast<std::size_t>(
+      (duration.ns() + interval.ns() - 1) / interval.ns());
+  std::vector<IntervalStats> out(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    out[i].start = interval * static_cast<std::int64_t>(i);
+  }
+
+  std::vector<trace::PacketRecord> sorted(records.begin(), records.end());
+  std::sort(sorted.begin(), sorted.end(), trace::record_before);
+
+  std::vector<std::uint64_t> rx_bytes(slots, 0), tx_bytes(slots, 0);
+  std::vector<std::unordered_set<net::Ipv4Addr>> active(slots);
+  std::unordered_set<net::Ipv4Addr> ever_seen;
+  std::unordered_map<net::Ipv4Addr, std::uint64_t> video_pkts;
+  std::unordered_set<net::Ipv4Addr> contributors;
+
+  for (const auto& r : sorted) {
+    const auto slot = static_cast<std::size_t>(r.ts.ns() / interval.ns());
+    if (slot >= slots) continue;  // completion tail past the horizon
+    if (r.dir == trace::Direction::kRx) {
+      rx_bytes[slot] += static_cast<std::uint64_t>(r.bytes);
+    } else {
+      tx_bytes[slot] += static_cast<std::uint64_t>(r.bytes);
+    }
+    active[slot].insert(r.remote);
+    if (ever_seen.insert(r.remote).second) {
+      ++out[slot].new_peers;
+    }
+    if (r.dir == trace::Direction::kRx &&
+        r.kind == sim::PacketKind::kVideo) {
+      if (++video_pkts[r.remote] == contributor_video_packets &&
+          contributors.insert(r.remote).second) {
+        ++out[slot].new_rx_contributors;
+      }
+    }
+  }
+
+  const double interval_s = interval.seconds();
+  for (std::size_t i = 0; i < slots; ++i) {
+    out[i].rx_kbps = static_cast<double>(rx_bytes[i]) * 8.0 / interval_s / 1e3;
+    out[i].tx_kbps = static_cast<double>(tx_bytes[i]) * 8.0 / interval_s / 1e3;
+    out[i].active_peers = static_cast<std::uint32_t>(active[i].size());
+  }
+  return out;
+}
+
+StabilityStats session_stability(
+    std::span<const trace::PacketRecord> records) {
+  std::unordered_map<net::Ipv4Addr,
+                     std::pair<util::SimTime, util::SimTime>>
+      spans;
+  for (const auto& r : records) {
+    auto [it, inserted] = spans.try_emplace(r.remote, r.ts, r.ts);
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, r.ts);
+      it->second.second = std::max(it->second.second, r.ts);
+    }
+  }
+  StabilityStats stats;
+  stats.peers = spans.size();
+  if (spans.empty()) return stats;
+  std::vector<double> sessions;
+  sessions.reserve(spans.size());
+  for (const auto& [addr, span] : spans) {
+    sessions.push_back((span.second - span.first).seconds());
+  }
+  util::OnlineStats online;
+  for (const double s : sessions) online.add(s);
+  stats.mean_session_s = online.mean();
+  stats.median_session_s = util::percentile(sessions, 0.5);
+  stats.p90_session_s = util::percentile_inplace(sessions, 0.9);
+  return stats;
+}
+
+}  // namespace peerscope::aware

@@ -1,0 +1,49 @@
+// Temporal evolution of per-probe metrics — the per-interval view of
+// an experiment (the analysis style of the paper's ref [11], which
+// tracked transmitted/received bytes and parent/children counts over
+// time). Operates on raw packet records, so it needs a capture with
+// keep_records enabled (or a loaded trace file).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "util/sim_time.hpp"
+
+namespace peerscope::aware {
+
+/// One analysis interval of one probe's capture.
+struct IntervalStats {
+  util::SimTime start{0};
+  double rx_kbps = 0;
+  double tx_kbps = 0;
+  /// Distinct peers with any traffic in the interval.
+  std::uint32_t active_peers = 0;
+  /// Peers seen for the first time in this interval.
+  std::uint32_t new_peers = 0;
+  /// Peers that crossed the video-contributor threshold (RX) within
+  /// this interval (cumulative count of "new contributors").
+  std::uint32_t new_rx_contributors = 0;
+};
+
+/// Slices a record stream into fixed intervals. Records must cover a
+/// single probe; they need not be sorted.
+[[nodiscard]] std::vector<IntervalStats> time_series(
+    std::span<const trace::PacketRecord> records, util::SimTime duration,
+    util::SimTime interval, std::uint64_t contributor_video_packets = 13);
+
+/// Session-level peer stability: how long peers stay active with the
+/// probe (first-to-last packet span), aggregated.
+struct StabilityStats {
+  double mean_session_s = 0;
+  double median_session_s = 0;
+  double p90_session_s = 0;
+  std::size_t peers = 0;
+};
+
+[[nodiscard]] StabilityStats session_stability(
+    std::span<const trace::PacketRecord> records);
+
+}  // namespace peerscope::aware

@@ -1,0 +1,104 @@
+#include "exp/metadata.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace peerscope::exp {
+
+namespace {
+constexpr const char* kHeader = "peerscope-meta 1";
+
+[[noreturn]] void fail(const std::filesystem::path& path,
+                       const std::string& what) {
+  throw std::runtime_error("metadata " + path.string() + ": " + what);
+}
+}  // namespace
+
+net::NetRegistry ExperimentMetadata::build_registry() const {
+  net::NetRegistry registry;
+  for (const auto& a : announcements) {
+    registry.announce(a.prefix, a.as, a.country);
+  }
+  return registry;
+}
+
+std::unordered_set<net::Ipv4Addr> ExperimentMetadata::napa_set() const {
+  std::unordered_set<net::Ipv4Addr> set;
+  for (const auto& probe : probes) set.insert(probe.addr);
+  return set;
+}
+
+void write_metadata(const std::filesystem::path& path,
+                    const ExperimentMetadata& meta) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) fail(path, "cannot open for writing");
+  out << kHeader << '\n';
+  out << "app " << meta.app << '\n';
+  out << "duration_ns " << meta.duration.ns() << '\n';
+  for (const auto& probe : meta.probes) {
+    out << "probe " << probe.addr.to_string() << ' ' << probe.as.value()
+        << ' ' << probe.cc.to_string() << ' ' << (probe.high_bw ? 1 : 0)
+        << ' ' << probe.label << '\n';
+  }
+  for (const auto& a : meta.announcements) {
+    out << "prefix " << a.prefix.to_string() << ' ' << a.as.value() << ' '
+        << a.country.to_string() << '\n';
+  }
+  if (!out) fail(path, "short write");
+}
+
+ExperimentMetadata read_metadata(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open");
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    fail(path, "bad header");
+  }
+
+  ExperimentMetadata meta;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream tokens(line);
+    std::string key;
+    tokens >> key;
+    if (key == "app") {
+      tokens >> meta.app;
+    } else if (key == "duration_ns") {
+      std::int64_t ns = -1;
+      tokens >> ns;
+      if (!tokens || ns < 0) fail(path, "bad duration: " + line);
+      meta.duration = util::SimTime::nanos(ns);
+    } else if (key == "probe") {
+      std::string addr_text, cc_text, label;
+      std::uint32_t as_value = 0;
+      int high_bw = 0;
+      tokens >> addr_text >> as_value >> cc_text >> high_bw >> label;
+      const auto addr = net::Ipv4Addr::parse(addr_text);
+      if (!tokens || !addr || cc_text.size() != 2) {
+        fail(path, "bad probe line: " + line);
+      }
+      meta.probes.push_back({*addr, net::AsId{as_value},
+                             net::CountryCode{cc_text}, high_bw != 0,
+                             label});
+    } else if (key == "prefix") {
+      std::string prefix_text, cc_text;
+      std::uint32_t as_value = 0;
+      tokens >> prefix_text >> as_value >> cc_text;
+      const auto prefix = net::Ipv4Prefix::parse(prefix_text);
+      if (!tokens || !prefix || cc_text.size() != 2) {
+        fail(path, "bad prefix line: " + line);
+      }
+      meta.announcements.push_back(
+          {*prefix, net::AsId{as_value}, net::CountryCode{cc_text}});
+    } else {
+      fail(path, "unknown key: " + key);
+    }
+  }
+  if (meta.app.empty() || meta.probes.empty()) {
+    fail(path, "incomplete metadata");
+  }
+  return meta;
+}
+
+}  // namespace peerscope::exp

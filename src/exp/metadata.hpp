@@ -1,0 +1,43 @@
+// Experiment metadata persistence.
+//
+// Trace files alone are not enough to reproduce the analysis: the
+// paper's pipeline also needs the probe set W and the IP -> AS/CC
+// database that were in effect. This sidecar file (plain text, one
+// token-separated record per line) captures both, so `peerscope analyze`
+// can rerun the complete methodology on stored traces.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "aware/experiment.hpp"
+#include "net/registry.hpp"
+#include "util/sim_time.hpp"
+
+namespace peerscope::exp {
+
+struct ExperimentMetadata {
+  std::string app;
+  util::SimTime duration{0};
+  std::vector<aware::ProbeMeta> probes;
+  std::vector<net::NetRegistry::Announcement> announcements;
+
+  /// Rebuilds the registry for offline IP joins.
+  [[nodiscard]] net::NetRegistry build_registry() const;
+  /// The probe address set W.
+  [[nodiscard]] std::unordered_set<net::Ipv4Addr> napa_set() const;
+  /// Conventional trace-file name for a probe label.
+  [[nodiscard]] static std::string trace_filename(const std::string& label) {
+    return label + ".psct";
+  }
+};
+
+void write_metadata(const std::filesystem::path& path,
+                    const ExperimentMetadata& meta);
+
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] ExperimentMetadata read_metadata(
+    const std::filesystem::path& path);
+
+}  // namespace peerscope::exp

@@ -1,0 +1,58 @@
+#include "exp/runner.hpp"
+
+#include <future>
+
+#include "aware/observation.hpp"
+#include "exp/testbed.hpp"
+
+namespace peerscope::exp {
+
+aware::ExperimentObservations extract_observations(const p2p::Swarm& swarm) {
+  aware::ExperimentObservations data;
+  data.app = swarm.profile().name;
+  data.duration = swarm.duration();
+
+  const auto& pop = swarm.population();
+  const auto probe_ids = pop.probe_ids();
+  data.probes.reserve(probe_ids.size());
+  data.per_probe.reserve(probe_ids.size());
+  for (std::size_t i = 0; i < probe_ids.size(); ++i) {
+    const auto& info = pop.peer(probe_ids[i]);
+    const auto& spec = pop.probe_specs()[i];
+    data.probes.push_back({info.ep.addr, info.ep.as, info.ep.country,
+                           info.access.is_high_bandwidth(), spec.label()});
+    data.per_probe.push_back(aware::extract_observations(
+        swarm.sink(i).flows(), pop.registry(), pop.probe_addrs()));
+  }
+  return data;
+}
+
+RunResult run_experiment(const net::AsTopology& topo, const RunSpec& spec) {
+  const Testbed testbed = Testbed::table1();
+  p2p::SwarmConfig config;
+  config.profile = spec.profile;
+  config.seed = spec.seed;
+  config.duration = spec.duration;
+  config.keep_records = spec.keep_records;
+
+  p2p::Swarm swarm{topo, testbed.probes(), std::move(config)};
+  swarm.run();
+  return {extract_observations(swarm), swarm.counters()};
+}
+
+std::vector<RunResult> run_experiments(const net::AsTopology& topo,
+                                       std::span<const RunSpec> specs,
+                                       util::ThreadPool& pool) {
+  std::vector<std::future<RunResult>> futures;
+  futures.reserve(specs.size());
+  for (const RunSpec& spec : specs) {
+    futures.push_back(
+        pool.submit([&topo, spec] { return run_experiment(topo, spec); }));
+  }
+  std::vector<RunResult> results;
+  results.reserve(specs.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+}  // namespace peerscope::exp

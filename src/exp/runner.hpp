@@ -1,0 +1,46 @@
+// Experiment runner: simulate -> capture -> extract observations.
+//
+// One RunSpec per (application, seed); run_experiments executes several
+// concurrently on a thread pool (each Swarm is fully self-contained),
+// which is how the bench binaries produce all three applications' data
+// in one pass.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "aware/experiment.hpp"
+#include "net/topology.hpp"
+#include "p2p/swarm.hpp"
+#include "util/thread_pool.hpp"
+
+namespace peerscope::exp {
+
+struct RunSpec {
+  p2p::SystemProfile profile;
+  std::uint64_t seed = 42;
+  util::SimTime duration = util::SimTime::seconds(300);
+  bool keep_records = false;
+};
+
+struct RunResult {
+  aware::ExperimentObservations observations;
+  p2p::Swarm::Counters counters;
+};
+
+/// Runs one experiment on the given (finalized) topology with the
+/// Table I testbed and returns the extracted observations.
+[[nodiscard]] RunResult run_experiment(const net::AsTopology& topo,
+                                       const RunSpec& spec);
+
+/// Extraction only (for callers that keep the Swarm alive, e.g. to
+/// export trace files afterwards).
+[[nodiscard]] aware::ExperimentObservations extract_observations(
+    const p2p::Swarm& swarm);
+
+/// Runs several experiments concurrently; results align with `specs`.
+[[nodiscard]] std::vector<RunResult> run_experiments(
+    const net::AsTopology& topo, std::span<const RunSpec> specs,
+    util::ThreadPool& pool);
+
+}  // namespace peerscope::exp

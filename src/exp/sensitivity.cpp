@@ -1,0 +1,53 @@
+#include "exp/sensitivity.hpp"
+
+namespace peerscope::exp {
+
+namespace {
+
+void fold_cell(CellDistribution& dist, const aware::AwarenessCell& cell) {
+  if (cell.b_prime_pct) dist.b_prime.add(*cell.b_prime_pct);
+  if (cell.p_prime_pct) dist.p_prime.add(*cell.p_prime_pct);
+  if (cell.b_pct) dist.b.add(*cell.b_pct);
+  if (cell.p_pct) dist.p.add(*cell.p_pct);
+}
+
+}  // namespace
+
+SensitivityResult run_sensitivity(const net::AsTopology& topo,
+                                  const p2p::SystemProfile& profile,
+                                  util::SimTime duration,
+                                  std::span<const std::uint64_t> seeds,
+                                  util::ThreadPool& pool) {
+  std::vector<RunSpec> specs;
+  specs.reserve(seeds.size());
+  for (const std::uint64_t seed : seeds) {
+    RunSpec spec;
+    spec.profile = profile;
+    spec.seed = seed;
+    spec.duration = duration;
+    specs.push_back(std::move(spec));
+  }
+  const auto results = run_experiments(topo, specs, pool);
+
+  SensitivityResult out;
+  out.app = profile.name;
+  out.replications = results.size();
+  out.metrics.resize(5);
+
+  for (const auto& result : results) {
+    const auto rows = aware::awareness_table(result.observations);
+    for (std::size_t m = 0; m < rows.size(); ++m) {
+      out.metrics[m].metric = rows[m].metric;
+      fold_cell(out.metrics[m].download, rows[m].download);
+      fold_cell(out.metrics[m].upload, rows[m].upload);
+    }
+    out.self_bias_bytes_pct.add(
+        aware::self_bias(result.observations).contributors_bytes_pct);
+    const auto summary = aware::summarize(result.observations);
+    out.rx_kbps_mean.add(summary.rx_kbps_mean);
+    out.tx_kbps_mean.add(summary.tx_kbps_mean);
+  }
+  return out;
+}
+
+}  // namespace peerscope::exp

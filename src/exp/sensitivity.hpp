@@ -1,0 +1,45 @@
+// Multi-seed sensitivity analysis: every Table IV statistic as a
+// mean ± stddev over independent experiment replications. The paper
+// reports single numbers from multiple 1-hour captures; this module
+// quantifies how much of each statistic is signal vs run-to-run noise
+// at the reproduction scale.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "aware/report.hpp"
+#include "exp/runner.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace peerscope::exp {
+
+struct CellDistribution {
+  util::OnlineStats b_prime, p_prime, b, p;
+};
+
+struct MetricDistribution {
+  aware::Metric metric{};
+  CellDistribution download;
+  CellDistribution upload;
+};
+
+struct SensitivityResult {
+  std::string app;
+  std::size_t replications = 0;
+  std::vector<MetricDistribution> metrics;  // BW, AS, CC, NET, HOP
+  util::OnlineStats self_bias_bytes_pct;
+  util::OnlineStats rx_kbps_mean;
+  util::OnlineStats tx_kbps_mean;
+};
+
+/// Runs the profile once per seed (concurrently on `pool`) and folds
+/// the awareness tables into per-cell distributions.
+[[nodiscard]] SensitivityResult run_sensitivity(
+    const net::AsTopology& topo, const p2p::SystemProfile& profile,
+    util::SimTime duration, std::span<const std::uint64_t> seeds,
+    util::ThreadPool& pool);
+
+}  // namespace peerscope::exp

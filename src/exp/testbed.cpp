@@ -1,0 +1,99 @@
+#include "exp/testbed.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace peerscope::exp {
+
+Testbed Testbed::table1() {
+  Testbed tb;
+  tb.probes_ = p2p::table1_probes();
+  return tb;
+}
+
+std::size_t Testbed::site_count() const {
+  std::set<std::string> sites;
+  for (const auto& p : probes_) sites.insert(p.site);
+  return sites.size();
+}
+
+std::size_t Testbed::institution_as_count() const {
+  std::set<std::uint32_t> ases;
+  for (const auto& p : probes_) {
+    if (p.as.value() < net::refas::kHomeIspFirst.value()) {
+      ases.insert(p.as.value());
+    }
+  }
+  return ases.size();
+}
+
+std::size_t Testbed::home_as_count() const {
+  std::set<std::uint32_t> ases;
+  for (const auto& p : probes_) {
+    if (p.as.value() >= net::refas::kHomeIspFirst.value()) {
+      ases.insert(p.as.value());
+    }
+  }
+  return ases.size();
+}
+
+std::size_t Testbed::home_host_count() const {
+  std::size_t n = 0;
+  for (const auto& p : probes_) {
+    if (p.access.kind != net::AccessKind::kLan) ++n;
+  }
+  return n;
+}
+
+std::vector<TestbedRow> Testbed::rows(const net::AsTopology& topo) const {
+  // Group consecutive probes with identical (site, as, access, flags)
+  // into one printed row, like the published table.
+  std::vector<TestbedRow> out;
+  std::size_t i = 0;
+  while (i < probes_.size()) {
+    std::size_t j = i;
+    const auto& a = probes_[i];
+    while (j + 1 < probes_.size()) {
+      const auto& b = probes_[j + 1];
+      if (b.site != a.site || b.as != a.as ||
+          b.access.kind != a.access.kind ||
+          b.access.up_bps != a.access.up_bps ||
+          b.access.down_bps != a.access.down_bps ||
+          b.access.nat != a.access.nat ||
+          b.access.firewall != a.access.firewall) {
+        break;
+      }
+      ++j;
+    }
+    TestbedRow row;
+    std::ostringstream hosts;
+    if (i == j) {
+      hosts << a.host_number;
+    } else {
+      hosts << a.host_number << '-' << probes_[j].host_number;
+    }
+    row.hosts = hosts.str();
+    row.site = a.site;
+    row.country = topo.country_of_as(a.as).to_string();
+    row.as_label = a.as.value() >= net::refas::kHomeIspFirst.value()
+                       ? "ASx"
+                       : a.as.to_string();
+    if (a.access.kind == net::AccessKind::kLan) {
+      row.access = "high-bw";
+    } else {
+      std::ostringstream acc;
+      acc << net::to_string(a.access.kind) << ' '
+          << static_cast<double>(a.access.down_bps) / 1e6 << '/'
+          << static_cast<double>(a.access.up_bps) / 1e6;
+      row.access = acc.str();
+    }
+    row.nat = a.access.nat;
+    row.firewall = a.access.firewall;
+    out.push_back(std::move(row));
+    i = j + 1;
+  }
+  return out;
+}
+
+}  // namespace peerscope::exp

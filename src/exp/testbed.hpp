@@ -1,0 +1,44 @@
+// The NAPA-WINE testbed of Table I, with site-level reporting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "p2p/population.hpp"
+
+namespace peerscope::exp {
+
+/// A printable row of Table I (one or more hosts sharing site/AS/access).
+struct TestbedRow {
+  std::string hosts;   // "1-4", "5", ...
+  std::string site;
+  std::string country;
+  std::string as_label;  // "AS1" or "ASx" for home ISPs
+  std::string access;    // "high-bw", "DSL 6/0.512", ...
+  bool nat = false;
+  bool firewall = false;
+};
+
+class Testbed {
+ public:
+  /// Builds the published Table I testbed.
+  [[nodiscard]] static Testbed table1();
+
+  [[nodiscard]] const std::vector<p2p::ProbeSpec>& probes() const {
+    return probes_;
+  }
+  [[nodiscard]] std::size_t host_count() const { return probes_.size(); }
+  [[nodiscard]] std::size_t site_count() const;
+  [[nodiscard]] std::size_t institution_as_count() const;
+  [[nodiscard]] std::size_t home_as_count() const;
+  [[nodiscard]] std::size_t home_host_count() const;
+
+  /// Rows grouped like the published table.
+  [[nodiscard]] std::vector<TestbedRow> rows(
+      const net::AsTopology& topo) const;
+
+ private:
+  std::vector<p2p::ProbeSpec> probes_;
+};
+
+}  // namespace peerscope::exp

@@ -1,0 +1,31 @@
+#include "net/access.hpp"
+
+#include <sstream>
+
+namespace peerscope::net {
+
+std::string to_string(AccessKind kind) {
+  switch (kind) {
+    case AccessKind::kLan:
+      return "high-bw";
+    case AccessKind::kDsl:
+      return "DSL";
+    case AccessKind::kCatv:
+      return "CATV";
+  }
+  return "?";
+}
+
+std::string AccessLink::describe() const {
+  std::ostringstream out;
+  out << to_string(kind);
+  if (kind != AccessKind::kLan) {
+    out << ' ' << static_cast<double>(down_bps) / 1e6 << '/'
+        << static_cast<double>(up_bps) / 1e6;
+  }
+  if (nat) out << " NAT";
+  if (firewall) out << " FW";
+  return out.str();
+}
+
+}  // namespace peerscope::net

@@ -1,0 +1,84 @@
+// Access-link model: the peer-side bottleneck that the paper's
+// packet-pair bandwidth classifier measures.
+//
+// Table I access types map onto these classes: institution hosts sit on
+// high-bandwidth LANs, home hosts on asymmetric DSL or CATV links, some
+// behind NAT and/or firewalls.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "util/sim_time.hpp"
+
+namespace peerscope::net {
+
+enum class AccessKind : std::uint8_t {
+  kLan,   // institution LAN, >= 100 Mb/s symmetric
+  kDsl,   // asymmetric digital subscriber line
+  kCatv,  // cable access
+};
+
+[[nodiscard]] std::string to_string(AccessKind kind);
+
+/// A peer's access link. Rates are layer-3 bits per second.
+///
+/// Residential plans are *shaped*, not slow: the advertised downstream
+/// rate (down_bps) is a token-bucket cap on sustained throughput, but
+/// short bursts traverse the last mile at the technology's line rate
+/// (ADSL2+ sync ~24 Mb/s, DOCSIS channel ~38 Mb/s). Packet-pair
+/// dispersion therefore measures `down_line_bps`, while sustained
+/// transfers are bounded by `down_bps`. Uplinks have no such headroom:
+/// the upstream sync rate is the true serialisation rate.
+struct AccessLink {
+  AccessKind kind = AccessKind::kLan;
+  std::int64_t down_bps = 100'000'000;
+  std::int64_t up_bps = 100'000'000;
+  std::int64_t down_line_bps = 100'000'000;
+  bool nat = false;
+  bool firewall = false;
+
+  /// Serialisation delay of `bytes` on the uplink.
+  [[nodiscard]] util::SimTime up_tx_time(std::int64_t bytes) const {
+    return util::transmission_time(bytes, up_bps);
+  }
+  /// Per-packet delivery spacing on the downlink (line rate — what a
+  /// sniffer behind the modem observes inside a burst).
+  [[nodiscard]] util::SimTime down_tx_time(std::int64_t bytes) const {
+    return util::transmission_time(bytes, down_line_bps);
+  }
+
+  /// The paper's operational definition of a high-bandwidth peer:
+  /// uplink able to serialise a 1250-byte packet in under 1 ms,
+  /// i.e. > 10 Mb/s. (Ground truth; the pipeline must *infer* this.)
+  [[nodiscard]] bool is_high_bandwidth() const { return up_bps > 10'000'000; }
+
+  // Table I entries, expressed as factories. DSL/CATV rates in the
+  // table read "down/up" in Mb/s (e.g. "6/0.512").
+  [[nodiscard]] static AccessLink lan100() {
+    return {AccessKind::kLan, 100'000'000, 100'000'000, 100'000'000, false,
+            false};
+  }
+  [[nodiscard]] static AccessLink lan1000() {
+    return {AccessKind::kLan, 1'000'000'000, 1'000'000'000, 1'000'000'000,
+            false, false};
+  }
+  [[nodiscard]] static AccessLink dsl(double down_mbps, double up_mbps,
+                                      bool nat = false, bool firewall = false) {
+    const auto down = static_cast<std::int64_t>(down_mbps * 1e6);
+    return {AccessKind::kDsl, down, static_cast<std::int64_t>(up_mbps * 1e6),
+            std::max<std::int64_t>(down, 24'000'000), nat, firewall};
+  }
+  [[nodiscard]] static AccessLink catv(double down_mbps, double up_mbps,
+                                       bool nat = false,
+                                       bool firewall = false) {
+    const auto down = static_cast<std::int64_t>(down_mbps * 1e6);
+    return {AccessKind::kCatv, down, static_cast<std::int64_t>(up_mbps * 1e6),
+            std::max<std::int64_t>(down, 38'000'000), nat, firewall};
+  }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace peerscope::net

@@ -1,0 +1,78 @@
+#include "net/allocator.hpp"
+
+#include <stdexcept>
+
+namespace peerscope::net {
+
+namespace {
+// AS blocks are carved sequentially from 20.0.0.0 upward: block i is
+// (20 + i/256).(i%256).0.0/16. Far more blocks than ASes we ever model.
+constexpr std::uint32_t kBlockBase = 20u << 24;
+constexpr std::uint32_t kMaxBlocks = 4096;
+}  // namespace
+
+Ipv4Prefix AddressAllocator::register_as(AsId as, CountryCode country) {
+  if (const auto it = blocks_.find(as); it != blocks_.end()) {
+    return it->second.block;
+  }
+  if (next_block_index_ >= kMaxBlocks) {
+    throw std::runtime_error("AddressAllocator: out of /16 blocks");
+  }
+  const Ipv4Prefix block{Ipv4Addr{kBlockBase + (next_block_index_ << 16)}, 16};
+  ++next_block_index_;
+  registry_->announce(block, as, country);
+  blocks_.emplace(as, AsBlock{block, 0, 0});
+  return block;
+}
+
+AddressAllocator::AsBlock& AddressAllocator::block_of(AsId as) {
+  const auto it = blocks_.find(as);
+  if (it == blocks_.end()) {
+    throw std::out_of_range("AddressAllocator: AS not registered: " +
+                            as.to_string());
+  }
+  return it->second;
+}
+
+Ipv4Prefix AddressAllocator::new_subnet(AsId as) {
+  auto& blk = block_of(as);
+  if (blk.next_lan >= 64) {
+    throw std::runtime_error("AddressAllocator: LAN range exhausted in " +
+                             as.to_string());
+  }
+  const Ipv4Prefix subnet{
+      Ipv4Addr{blk.block.base().bits() + (blk.next_lan << 8)}, 24};
+  ++blk.next_lan;
+  subnet_cursors_.emplace(subnet.base().bits(), SubnetCursor{});
+  return subnet;
+}
+
+Ipv4Addr AddressAllocator::new_host_in_subnet(const Ipv4Prefix& subnet) {
+  const auto it = subnet_cursors_.find(subnet.base().bits());
+  if (it == subnet_cursors_.end()) {
+    throw std::out_of_range("AddressAllocator: unknown subnet " +
+                            subnet.to_string());
+  }
+  auto& cursor = it->second;
+  if (cursor.next_host >= 255) {
+    throw std::runtime_error("AddressAllocator: subnet full: " +
+                             subnet.to_string());
+  }
+  return Ipv4Addr{subnet.base().bits() + cursor.next_host++};
+}
+
+Ipv4Addr AddressAllocator::new_host(AsId as) {
+  auto& blk = block_of(as);
+  // Scatter range: /24s from index 255 downward, hosts .1-.254 in each.
+  const std::uint32_t per_net = 254;
+  const std::uint32_t net = 255 - blk.next_scatter / per_net;
+  const std::uint32_t host = 1 + blk.next_scatter % per_net;
+  if (net < 64) {  // would collide with the LAN carving range
+    throw std::runtime_error("AddressAllocator: scatter range exhausted in " +
+                             as.to_string());
+  }
+  ++blk.next_scatter;
+  return Ipv4Addr{blk.block.base().bits() + (net << 8) + host};
+}
+
+}  // namespace peerscope::net

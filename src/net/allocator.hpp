@@ -1,0 +1,60 @@
+// Deterministic address allocation.
+//
+// Each Autonomous System owns a /16 block announced in the NetRegistry.
+// Institution LANs get /24 subnets carved from the bottom of the block
+// (so Table I probe "clouds" share a subnet, which the NET metric must
+// detect); scattered background hosts are allocated from the top of the
+// block, one per address, never colliding with the LAN range.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+#include "net/registry.hpp"
+#include "net/types.hpp"
+
+namespace peerscope::net {
+
+class AddressAllocator {
+ public:
+  /// The allocator announces every AS block into `registry`, which must
+  /// outlive the allocator.
+  explicit AddressAllocator(NetRegistry& registry) : registry_(&registry) {}
+
+  /// Assigns (idempotently) a /16 to the AS and announces it.
+  Ipv4Prefix register_as(AsId as, CountryCode country);
+
+  /// Carves the next /24 LAN subnet out of the AS block.
+  [[nodiscard]] Ipv4Prefix new_subnet(AsId as);
+
+  /// Next free host address inside a previously carved subnet
+  /// (.1 upward; .0 and .255 are never handed out).
+  [[nodiscard]] Ipv4Addr new_host_in_subnet(const Ipv4Prefix& subnet);
+
+  /// A scattered host somewhere in the AS block, outside any carved
+  /// LAN subnet. Sequential from the top of the block.
+  [[nodiscard]] Ipv4Addr new_host(AsId as);
+
+  [[nodiscard]] const NetRegistry& registry() const { return *registry_; }
+
+ private:
+  struct AsBlock {
+    Ipv4Prefix block;          // the /16
+    std::uint32_t next_lan = 0;     // next /24 index from the bottom
+    std::uint32_t next_scatter = 0; // scattered host counter from the top
+  };
+  struct SubnetCursor {
+    std::uint32_t next_host = 1;
+  };
+
+  AsBlock& block_of(AsId as);
+
+  NetRegistry* registry_;
+  std::unordered_map<AsId, AsBlock> blocks_;
+  std::unordered_map<std::uint32_t, SubnetCursor> subnet_cursors_;
+  std::uint32_t next_block_index_ = 0;
+};
+
+}  // namespace peerscope::net

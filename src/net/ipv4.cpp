@@ -1,0 +1,41 @@
+#include "net/ipv4.hpp"
+
+#include <array>
+#include <charconv>
+
+namespace peerscope::net {
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::array<std::uint32_t, 4> octets{};
+  const char* ptr = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    if (i) {
+      if (ptr == end || *ptr != '.') return std::nullopt;
+      ++ptr;
+    }
+    auto [next, ec] = std::from_chars(ptr, end, octets[static_cast<std::size_t>(i)]);
+    if (ec != std::errc{} || next == ptr) return std::nullopt;
+    if (octets[static_cast<std::size_t>(i)] > 255) return std::nullopt;
+    // Reject leading zeros like "01" to keep round-tripping exact.
+    if (next - ptr > 1 && *ptr == '0') return std::nullopt;
+    ptr = next;
+  }
+  if (ptr != end) return std::nullopt;
+  return Ipv4Addr(static_cast<std::uint8_t>(octets[0]),
+                  static_cast<std::uint8_t>(octets[1]),
+                  static_cast<std::uint8_t>(octets[2]),
+                  static_cast<std::uint8_t>(octets[3]));
+}
+
+}  // namespace peerscope::net

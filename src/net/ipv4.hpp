@@ -1,0 +1,54 @@
+// IPv4 address value type.
+//
+// The measurement pipeline identifies peers by IP address exactly like
+// the paper's passive traces do, so addresses are first-class values:
+// trivially copyable, ordered, hashable, parse/format round-trip exact.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace peerscope::net {
+
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : bits_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t bits() const { return bits_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(bits_ >> (8 * (3 - i)));
+  }
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+  /// Dotted-quad rendering ("10.1.2.3").
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses dotted-quad; rejects anything malformed (empty octets,
+  /// values > 255, trailing junk). Strict on purpose: trace files must
+  /// not silently accept corrupt addresses.
+  [[nodiscard]] static std::optional<Ipv4Addr> parse(std::string_view text);
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+}  // namespace peerscope::net
+
+template <>
+struct std::hash<peerscope::net::Ipv4Addr> {
+  std::size_t operator()(const peerscope::net::Ipv4Addr& a) const noexcept {
+    // Fibonacci scrambling: addresses allocated sequentially within a
+    // subnet must not collide into the same hash bucket chains.
+    return static_cast<std::size_t>(a.bits() * 0x9e3779b97f4a7c15ULL >> 16);
+  }
+};

@@ -1,0 +1,27 @@
+#include "net/prefix.hpp"
+
+#include <charconv>
+
+namespace peerscope::net {
+
+std::string Ipv4Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const auto len_text = text.substr(slash + 1);
+  unsigned length = 0;
+  auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size()) {
+    return std::nullopt;
+  }
+  if (length > 32) return std::nullopt;
+  return Ipv4Prefix{*addr, static_cast<std::uint8_t>(length)};
+}
+
+}  // namespace peerscope::net

@@ -1,0 +1,70 @@
+// CIDR prefixes and the subnet test.
+//
+// The paper's NET metric asks whether two peers share a subnet; its AS
+// and CC metrics need IP -> attribute lookup, which `PrefixMap` in
+// registry.hpp implements by longest-prefix match over these values.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.hpp"
+
+namespace peerscope::net {
+
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+
+  /// Canonicalises: host bits below the prefix length are zeroed.
+  constexpr Ipv4Prefix(Ipv4Addr base, std::uint8_t length)
+      : base_(Ipv4Addr{base.bits() & mask_bits(length)}), length_(length) {}
+
+  [[nodiscard]] constexpr Ipv4Addr base() const { return base_; }
+  [[nodiscard]] constexpr std::uint8_t length() const { return length_; }
+  [[nodiscard]] constexpr std::uint32_t mask() const {
+    return mask_bits(length_);
+  }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Addr addr) const {
+    return (addr.bits() & mask()) == base_.bits();
+  }
+  [[nodiscard]] constexpr bool contains(const Ipv4Prefix& other) const {
+    return other.length_ >= length_ && contains(other.base_);
+  }
+
+  /// Number of addresses covered (2^(32-length)).
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// The i-th address inside the prefix.
+  [[nodiscard]] constexpr Ipv4Addr at(std::uint64_t i) const {
+    return Ipv4Addr{base_.bits() + static_cast<std::uint32_t>(i)};
+  }
+
+  constexpr auto operator<=>(const Ipv4Prefix&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] static std::optional<Ipv4Prefix> parse(std::string_view text);
+
+ private:
+  static constexpr std::uint32_t mask_bits(std::uint8_t length) {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  }
+
+  Ipv4Addr base_{};
+  std::uint8_t length_ = 0;
+};
+
+/// Subnet test as used by the NET partition: both addresses inside the
+/// same /24 LAN prefix. Real deployments know the interface netmask; a
+/// /24 matches the institution LANs of Table I (DESIGN.md §3).
+[[nodiscard]] constexpr bool same_subnet24(Ipv4Addr a, Ipv4Addr b) {
+  return (a.bits() >> 8) == (b.bits() >> 8);
+}
+
+}  // namespace peerscope::net

@@ -1,0 +1,97 @@
+// Longest-prefix-match registry: the simulator's equivalent of the
+// whois/GeoIP databases the paper uses to map peer IPs to Autonomous
+// Systems and Countries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+#include "net/types.hpp"
+
+namespace peerscope::net {
+
+/// Generic longest-prefix-match table. Insertion is O(1); lookup walks
+/// prefix lengths from /32 downward over per-length hash maps — at most
+/// 33 probes, cache-friendly for the handful of lengths actually used.
+template <typename Value>
+class PrefixMap {
+ public:
+  /// Inserts or replaces the value for an exact prefix.
+  void insert(const Ipv4Prefix& prefix, Value value) {
+    auto& level = levels_[prefix.length()];
+    const bool inserted =
+        level.insert_or_assign(prefix.base().bits(), std::move(value)).second;
+    if (inserted) ++size_;
+  }
+
+  /// Longest-prefix match; nullopt when no prefix covers the address.
+  [[nodiscard]] std::optional<Value> lookup(Ipv4Addr addr) const {
+    for (int len = 32; len >= 0; --len) {
+      const auto& level = levels_[static_cast<std::size_t>(len)];
+      if (level.empty()) continue;
+      const Ipv4Prefix probe{addr, static_cast<std::uint8_t>(len)};
+      if (auto it = level.find(probe.base().bits()); it != level.end()) {
+        return it->second;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Exact-prefix fetch (no LPM), mostly for tests and introspection.
+  [[nodiscard]] std::optional<Value> exact(const Ipv4Prefix& prefix) const {
+    const auto& level = levels_[prefix.length()];
+    if (auto it = level.find(prefix.base().bits()); it != level.end()) {
+      return it->second;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  std::array<std::unordered_map<std::uint32_t, Value>, 33> levels_{};
+  std::size_t size_ = 0;
+};
+
+/// IP -> (AS, Country) database. Every prefix announcement carries both
+/// attributes, mirroring a route registry joined with a geo database.
+class NetRegistry {
+ public:
+  struct Entry {
+    AsId as;
+    CountryCode country;
+  };
+
+  void announce(const Ipv4Prefix& prefix, AsId as, CountryCode country);
+
+  [[nodiscard]] AsId as_of(Ipv4Addr addr) const;
+  [[nodiscard]] CountryCode country_of(Ipv4Addr addr) const;
+  [[nodiscard]] std::optional<Entry> lookup(Ipv4Addr addr) const;
+
+  [[nodiscard]] std::size_t prefix_count() const { return map_.size(); }
+
+  /// All announced prefixes of an AS, in announcement order.
+  [[nodiscard]] const std::vector<Ipv4Prefix>& prefixes_of(AsId as) const;
+
+  struct Announcement {
+    Ipv4Prefix prefix;
+    AsId as;
+    CountryCode country;
+  };
+  /// Every announcement, sorted by prefix — for persistence (the CLI
+  /// stores this beside trace files so offline analysis can redo the
+  /// IP -> AS/CC joins).
+  [[nodiscard]] std::vector<Announcement> dump() const;
+
+ private:
+  PrefixMap<Entry> map_;
+  std::unordered_map<AsId, std::vector<Ipv4Prefix>> by_as_;
+  std::vector<Ipv4Prefix> empty_;
+};
+
+}  // namespace peerscope::net

@@ -1,0 +1,81 @@
+// Strong identifier types shared by the network model and the analysis
+// pipeline: Autonomous System numbers and ISO-3166 country codes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace peerscope::net {
+
+/// Autonomous System number. 0 is reserved as "unknown".
+class AsId {
+ public:
+  constexpr AsId() = default;
+  constexpr explicit AsId(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool known() const { return value_ != 0; }
+  constexpr auto operator<=>(const AsId&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return "AS" + std::to_string(value_);
+  }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// Two-letter country code packed into 16 bits. Default-constructed is
+/// the unknown country, rendered "??".
+class CountryCode {
+ public:
+  constexpr CountryCode() = default;
+  constexpr CountryCode(char a, char b)
+      : packed_(static_cast<std::uint16_t>((a << 8) | b)) {}
+
+  /// From a 2-character string view; anything else yields unknown.
+  constexpr explicit CountryCode(std::string_view text)
+      : packed_(text.size() == 2 ? static_cast<std::uint16_t>(
+                                       (text[0] << 8) | text[1])
+                                 : 0) {}
+
+  [[nodiscard]] constexpr bool known() const { return packed_ != 0; }
+  constexpr auto operator<=>(const CountryCode&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    if (!known()) return "??";
+    return {static_cast<char>(packed_ >> 8),
+            static_cast<char>(packed_ & 0xff)};
+  }
+
+  [[nodiscard]] constexpr std::uint16_t packed() const { return packed_; }
+
+ private:
+  std::uint16_t packed_ = 0;
+};
+
+// The countries appearing in the paper's testbed and swarm.
+inline constexpr CountryCode kChina{'C', 'N'};
+inline constexpr CountryCode kHungary{'H', 'U'};
+inline constexpr CountryCode kItaly{'I', 'T'};
+inline constexpr CountryCode kFrance{'F', 'R'};
+inline constexpr CountryCode kPoland{'P', 'L'};
+
+}  // namespace peerscope::net
+
+template <>
+struct std::hash<peerscope::net::AsId> {
+  std::size_t operator()(const peerscope::net::AsId& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<peerscope::net::CountryCode> {
+  std::size_t operator()(const peerscope::net::CountryCode& c) const noexcept {
+    return std::hash<std::uint16_t>{}(c.packed());
+  }
+};

@@ -1,0 +1,68 @@
+// Sliding chunk buffer of a fully-simulated (probe) peer.
+//
+// Live streaming: the window trails the source edge; chunks older than
+// the retention window are evicted and can no longer be served. A
+// missed chunk is lost playback quality, not a permanent re-request —
+// exactly how mesh-pull P2P-TV clients behave.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+
+namespace peerscope::p2p {
+
+using ChunkIndex = std::int64_t;
+
+class ChunkBuffer {
+ public:
+  /// `retention` = number of trailing chunks kept servable.
+  explicit ChunkBuffer(ChunkIndex retention) : retention_(retention) {
+    if (retention <= 0) {
+      throw std::invalid_argument("ChunkBuffer: retention must be positive");
+    }
+  }
+
+  /// True if the chunk was received and is still retained.
+  [[nodiscard]] bool has(ChunkIndex c) const {
+    if (c < base_ || c >= base_ + static_cast<ChunkIndex>(have_.size())) {
+      return false;
+    }
+    return have_[static_cast<std::size_t>(c - base_)];
+  }
+
+  /// Records receipt of chunk `c`; returns false if it was a duplicate
+  /// or already evicted (too old to matter).
+  bool mark(ChunkIndex c) {
+    if (c < base_) return false;
+    while (c >= base_ + static_cast<ChunkIndex>(have_.size())) {
+      have_.push_back(false);
+    }
+    // Evict beyond the retention window.
+    while (static_cast<ChunkIndex>(have_.size()) > retention_) {
+      have_.pop_front();
+      ++base_;
+    }
+    if (c < base_) return false;
+    auto slot = static_cast<std::size_t>(c - base_);
+    if (have_[slot]) return false;
+    have_[slot] = true;
+    if (c > newest_) newest_ = c;
+    ++count_;
+    return true;
+  }
+
+  /// Highest chunk ever marked; -1 when empty.
+  [[nodiscard]] ChunkIndex newest() const { return newest_; }
+  [[nodiscard]] std::uint64_t received_count() const { return count_; }
+  [[nodiscard]] ChunkIndex window_base() const { return base_; }
+
+ private:
+  ChunkIndex retention_;
+  ChunkIndex base_ = 0;
+  ChunkIndex newest_ = -1;
+  std::uint64_t count_ = 0;
+  std::deque<bool> have_;
+};
+
+}  // namespace peerscope::p2p

@@ -1,0 +1,163 @@
+#include "p2p/profile.hpp"
+
+namespace peerscope::p2p {
+
+// Calibration note. The numbers below were tuned so the *shape* of the
+// paper's Tables II-IV and Figures 1-2 is reproduced at 1/12 duration
+// and ~1/12 swarm scale (DESIGN.md §6); EXPERIMENTS.md records the
+// paper-vs-measured comparison for every statistic.
+
+SystemProfile SystemProfile::pplive() {
+  SystemProfile p;
+  p.name = "PPLive";
+
+  // PPLive contacted 23k peers/hour per probe: by far the chattiest
+  // system, which inflates its RX rate with signaling overhead.
+  p.signaling.contact_rate_per_s = 6.5;
+  p.signaling.keepalive_per_s = 1.3;
+  p.signaling.keepalive_bytes = 260;
+
+  p.sched.partner_target = 45;
+  p.sched.max_inflight = 10;
+  p.sched.window_chunks = 14;
+
+  // No explicit locality rule: PPLive follows bandwidth alone. Its
+  // measured AS byte-bias (B'/P' ~ 10, Table IV) emerges because the
+  // same-AS (NREN campus) peers are the best-provisioned, lowest-lag
+  // suppliers in the swarm -- locality by infrastructure correlation,
+  // not by policy. This is also what keeps its probe-pair exchange
+  // AS-neutral (Fig. 2's R ~ 1) despite the strong same-LAN traffic.
+  p.select = {.random = 0.05, .bandwidth = 1.0, .same_as = 0.0, .same_cc = 0.0};
+  p.discovery_as_bias = 0.0;
+  p.discovery_stable_bias = 0.0008;
+  p.lan_discovery = true;
+  p.sched.due_chunks = 9;
+  p.sched.eager_prob = 0.5;
+  p.sched.safety_chunks = 2;
+
+  // Aggressive upload exploitation: probe TX averaged ~3.4 Mb/s, i.e.
+  // ~8 stream copies, with peaks near 12 Mb/s on LAN probes.
+  p.upload.requester_arrival_per_s = 0.55;
+  p.upload.requester_lifetime_s = 35.0;
+  p.upload.max_requesters = 32;
+
+  p.population.background_peers = 15'000;
+  p.population.campus_lag_scale = 0.3;
+  p.population.eu_fraction = 0.10;
+  p.population.cn_fraction = 0.76;
+  p.population.inst_as_fraction = 0.30;
+  p.population.depth_shift = 1;
+  return p;
+}
+
+SystemProfile SystemProfile::sopcast() {
+  SystemProfile p;
+  p.name = "SopCast";
+
+  p.signaling.contact_rate_per_s = 2.2;
+  p.signaling.keepalive_per_s = 0.9;
+  p.signaling.keepalive_bytes = 180;
+
+  p.sched.partner_target = 30;
+  p.sched.max_inflight = 8;
+  p.sched.eager_prob = 0.32;
+  p.population.lag_floor_s = 0.55;
+  p.population.lag_mu = 1.1;
+
+  // Location-blind: bandwidth is the only non-random signal.
+  p.select = {.random = 0.05, .bandwidth = 1.0, .same_as = 0.0, .same_cc = 0.0};
+  p.discovery_as_bias = 0.0;
+
+  // TX below RX (293 vs 449 kb/s in Table II).
+  p.upload.requester_arrival_per_s = 0.10;
+  p.upload.requester_lifetime_s = 25.0;
+  p.upload.max_requesters = 8;
+  p.upload.share_hi_lo = 0.3;
+  p.upload.share_hi_hi = 0.9;
+  p.upload.share_lo_lo = 0.08;
+  p.upload.share_lo_hi = 0.3;
+
+  p.population.background_peers = 2'000;
+  p.population.eu_fraction = 0.12;
+  p.population.cn_fraction = 0.74;
+  p.population.inst_as_fraction = 0.35;
+  // SopCast's audience sat deepest in the access networks (its HOP
+  // byte-preference is the lowest of the three: B' ~ 29%).
+  p.population.depth_shift = 1;
+  return p;
+}
+
+SystemProfile SystemProfile::tvants() {
+  SystemProfile p;
+  p.name = "TVAnts";
+
+  p.signaling.contact_rate_per_s = 1.0;
+  p.signaling.keepalive_per_s = 1.0;
+  p.signaling.keepalive_bytes = 200;
+
+  p.sched.partner_target = 18;
+  p.sched.max_inflight = 8;
+  p.sched.eager_prob = 0.8;  // races the live edge harder than the rest
+  p.sched.safety_chunks = 1;
+  // TVAnts' observed swarm sat farther from the source than the probes:
+  // its background peers lag more, so the probe cloud exchanges most of
+  // the fresh stream internally (Table III: 56% of bytes).
+  p.population.lag_floor_s = 0.9;
+  p.population.lag_mu = 1.45;
+  p.population.campus_lag_scale = 0.4;
+
+  // AS-aware in both discovery (finds same-AS peers far above the base
+  // rate: P' 3.3% vs PPLive's 0.6%) and scheduling (B'/P' ~ 2).
+  p.select = {.random = 0.05, .bandwidth = 1.0, .same_as = 3.5, .same_cc = 0.0};
+  p.discovery_as_bias = 0.02;
+
+  // TX slightly above RX (464 vs 419 kb/s); most probe upload goes to
+  // the probe cloud itself, background demand stays moderate.
+  p.upload.requester_arrival_per_s = 0.07;
+  p.upload.requester_lifetime_s = 22.0;
+  p.upload.max_requesters = 8;
+  p.upload.share_hi_lo = 0.4;
+  p.upload.share_hi_hi = 1.3;  // campus downloaders re-distribute locally
+  p.upload.share_lo_lo = 0.08;
+  p.upload.share_lo_hi = 0.3;
+
+  p.population.background_peers = 520;
+  // The small TVAnts swarm the paper observed was relatively richer in
+  // European peers, mostly on campus networks (institution ASes).
+  p.population.cn_fraction = 0.73;
+  p.population.eu_fraction = 0.15;
+  p.population.row_fraction = 0.12;
+  p.population.inst_as_fraction = 0.40;
+  return p;
+}
+
+SystemProfile SystemProfile::pplive_popular() {
+  SystemProfile p = pplive();
+  p.name = "PPLive-Popular";
+  // A popular channel draws a much larger European audience, including
+  // on-campus viewers; locality becomes visible mostly as hop-0
+  // (same-LAN) traffic — the effect Figure 2's discussion singles out.
+  p.population.background_peers = 20'000;
+  p.population.cn_fraction = 0.55;
+  p.population.eu_fraction = 0.30;
+  p.population.row_fraction = 0.15;
+  p.population.inst_as_fraction = 0.35;
+  p.select.same_as = 6.0;
+  p.discovery_as_bias = 0.02;
+  return p;
+}
+
+SystemProfile SystemProfile::napawine_prototype() {
+  // Start from the location-blind baseline and add exactly the
+  // awareness the paper's conclusion calls for.
+  SystemProfile p = sopcast();
+  p.name = "NAPA-WINE-proto";
+  p.select.same_as = 2.5;      // AS-level traffic localisation
+  p.select.same_cc = 0.5;      // country fallback when no same-AS supplier
+  p.select.low_rtt = 1.0;      // prefer shorter paths
+  p.discovery_as_bias = 0.10;  // topology-aware peer discovery
+  p.lan_discovery = true;
+  return p;
+}
+
+}  // namespace peerscope::p2p

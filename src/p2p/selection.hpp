@@ -1,0 +1,69 @@
+// Supplier scoring and sampling — the planted peer-selection policy.
+//
+// score(e) = random + bandwidth * min(belief, 20 Mb/s)/20 + same_as +
+// same_cc; a supplier is drawn with probability proportional to its
+// score. The aware:: pipeline must later *recover* these biases from
+// traffic alone.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "p2p/population.hpp"
+#include "p2p/profile.hpp"
+#include "util/rng.hpp"
+
+namespace peerscope::p2p {
+
+struct Candidate {
+  PeerId id = 0;
+  double belief_mbps = 1.0;  // requester's throughput estimate of this peer
+  bool same_as = false;
+  bool same_cc = false;
+  /// Measured round-trip time (applications can probe this actively,
+  /// as the paper's §III notes). Used only when the policy has a
+  /// low_rtt weight — none of the 2008 systems did; the NAPA-WINE
+  /// prototype profile does.
+  double rtt_ms = 0.0;
+};
+
+/// Normalisation ceiling for the bandwidth belief term.
+inline constexpr double kBeliefCapMbps = 50.0;
+
+[[nodiscard]] inline double selection_score(const Candidate& c,
+                                            const SelectionWeights& w) {
+  const double bw = c.belief_mbps < kBeliefCapMbps ? c.belief_mbps
+                                                   : kBeliefCapMbps;
+  // Square-root compression of the belief term: real clients react to
+  // throughput differences but not proportionally (a 50x faster peer is
+  // not asked for 50x the chunks when slower peers still deliver).
+  double score = w.random + w.bandwidth * std::sqrt(bw / kBeliefCapMbps);
+  if (c.same_as) score += w.same_as;
+  if (c.same_cc) score += w.same_cc;
+  if (w.low_rtt > 0.0) {
+    // Linear proximity bonus, saturating at 300 ms RTT (beyond which
+    // everything is "far").
+    const double proximity = 1.0 - std::min(c.rtt_ms, 300.0) / 300.0;
+    score += w.low_rtt * proximity;
+  }
+  return score;
+}
+
+/// Samples one candidate index: with probability `w.explore` uniformly
+/// (slow-start trial), otherwise proportionally to score. Candidates
+/// must be non-empty.
+[[nodiscard]] inline std::size_t pick_candidate(
+    std::span<const Candidate> candidates, const SelectionWeights& w,
+    util::Rng& rng) {
+  if (w.explore > 0.0 && rng.chance(w.explore)) {
+    return static_cast<std::size_t>(rng.below(candidates.size()));
+  }
+  thread_local std::vector<double> scores;
+  scores.clear();
+  scores.reserve(candidates.size());
+  for (const auto& c : candidates) scores.push_back(selection_score(c, w));
+  return rng.weighted_pick(scores);
+}
+
+}  // namespace peerscope::p2p

@@ -1,0 +1,594 @@
+#include "p2p/swarm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "p2p/selection.hpp"
+#include "sim/packet.hpp"
+#include "sim/train.hpp"
+
+namespace peerscope::p2p {
+
+using util::SimTime;
+
+Swarm::Swarm(const net::AsTopology& topo, std::span<const ProbeSpec> probes,
+             SwarmConfig config)
+    : topo_(topo),
+      config_(std::move(config)),
+      population_(Population::build(topo, config_.profile.population, probes,
+                                    config_.seed)),
+      rng_(util::Rng{config_.seed}.fork(0xa11ce)),
+      chunk_interval_(config_.profile.stream.chunk_interval()) {
+  up_.resize(population_.size());
+  down_.resize(population_.size());
+  sinks_.reserve(population_.probe_ids().size());
+  probes_.reserve(population_.probe_ids().size());
+  for (const PeerId id : population_.probe_ids()) {
+    const std::size_t index = probes_.size();
+    sinks_.push_back(std::make_unique<trace::ProbeSink>(
+        population_.peer(id).ep.addr, config_.keep_records));
+    auto ps = std::make_unique<ProbeState>();
+    ps->id = id;
+    ps->index = index;
+    probe_by_peer_.emplace(id, index);
+    probes_.push_back(std::move(ps));
+  }
+}
+
+ChunkIndex Swarm::source_newest() const {
+  return engine_.now() / chunk_interval_ - 1;
+}
+
+double Swarm::bg_lag_s(const PeerInfo& peer, util::SimTime now) const {
+  const auto& spec = config_.profile.population;
+  // Per-peer phase so epoch boundaries are not synchronised.
+  util::SplitMix64 phase_mix{config_.seed ^ (0x1a9f37ULL + peer.id)};
+  const double phase = static_cast<double>(phase_mix.next() >> 11) *
+                       0x1.0p-53 * spec.lag_epoch_s;
+  const auto epoch = static_cast<std::uint64_t>(
+      (now.seconds() + phase) / spec.lag_epoch_s);
+
+  // Deterministic lognormal draw keyed on (seed, peer, epoch).
+  util::SplitMix64 mix{config_.seed ^ (static_cast<std::uint64_t>(peer.id)
+                                       << 32) ^ epoch};
+  double u1 = static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+  if (u1 < 1e-12) u1 = 1e-12;
+  const double u2 = static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+  const double normal = std::sqrt(-2.0 * std::log(u1)) *
+                        std::cos(2.0 * 3.14159265358979323846 * u2);
+  const double sample = std::exp(spec.lag_mu + spec.lag_sigma * normal);
+  return spec.lag_floor_s + sample * peer.lag_scale;
+}
+
+bool Swarm::peer_has_chunk(PeerId id, ChunkIndex chunk) const {
+  if (chunk < 0) return false;
+  const PeerInfo& peer = population_.peer(id);
+  if (peer.is_source) return chunk <= source_newest();
+  if (peer.is_probe) {
+    return probes_[probe_by_peer_.at(id)]->buffer.has(chunk);
+  }
+  // Background peer: the chunk reached it its current lag after the
+  // source finished emitting it.
+  const SimTime now = engine_.now();
+  const SimTime available = chunk_interval_ * (chunk + 1) +
+                            SimTime::from_seconds(bg_lag_s(peer, now));
+  return now >= available;
+}
+
+double Swarm::cached_belief(const ProbeState& ps, PeerId id) const {
+  if (const auto it = ps.belief_cache.find(id); it != ps.belief_cache.end()) {
+    return it->second;
+  }
+  return 1.0;  // neutral prior, DSL-ish
+}
+
+void Swarm::note_known(ProbeState& ps, PeerId id) {
+  if (id == ps.id) return;
+  if (ps.known_set.insert(id).second) ps.known_list.push_back(id);
+}
+
+PeerId Swarm::sample_peer(const ProbeState& ps, double as_bias) {
+  const PeerInfo& self = population_.peer(ps.id);
+  // Stable-peer overweighting: long-session peers accumulate presence
+  // in tracker responses and gossip caches.
+  const double stable_bias = config_.profile.discovery_stable_bias;
+  if (stable_bias > 0.0 && rng_.chance(stable_bias)) {
+    const auto probes = population_.probe_ids();
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const PeerId pick = probes[rng_.below(probes.size())];
+      if (pick != ps.id) return pick;
+    }
+  }
+  if (as_bias > 0.0 && rng_.chance(as_bias)) {
+    const auto same_as = population_.peers_in_as(self.ep.as);
+    if (same_as.size() > 1) {
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const PeerId pick = same_as[rng_.below(same_as.size())];
+        if (pick != ps.id) return pick;
+      }
+    }
+  }
+  // Peer exchange: ask one of our partners for one of *its* partners.
+  // Only fully-simulated peers expose a partner list; routing through
+  // a probe partner preferentially surfaces the other probes, which is
+  // how the real stable/high-capacity probe clouds got so strongly
+  // interconnected (Table III).
+  if (!ps.partners.empty() &&
+      rng_.chance(config_.profile.signaling.pex_fraction)) {
+    const Partner& via = ps.partners[rng_.below(ps.partners.size())];
+    if (const auto it = probe_by_peer_.find(via.id);
+        it != probe_by_peer_.end()) {
+      const ProbeState& qs = *probes_[it->second];
+      if (!qs.partners.empty()) {
+        const PeerId pick = qs.partners[rng_.below(qs.partners.size())].id;
+        if (pick != ps.id) return pick;
+      }
+    }
+  }
+  for (;;) {
+    const auto pick =
+        static_cast<PeerId>(rng_.below(population_.size()));
+    if (pick != ps.id) return pick;
+  }
+}
+
+void Swarm::contact(ProbeState& ps, PeerId target) {
+  const PeerInfo& self = population_.peer(ps.id);
+  const PeerInfo& other = population_.peer(target);
+  const auto fwd = topo_.path(self.ep, other.ep);
+  const auto rev = topo_.path(other.ep, self.ep);
+  const SimTime now = engine_.now();
+  const auto bytes = config_.profile.signaling.handshake_bytes;
+  trace::ProbeSink& sink = *sinks_[ps.index];
+
+  for (int i = 0; i < config_.profile.signaling.handshake_packets; ++i) {
+    const SimTime tx = now + SimTime::millis(i);
+    const SimTime rx = tx + fwd.one_way_delay + rev.one_way_delay +
+                       SimTime::millis(2);
+    sink.signaling_tx(other.ep.addr, tx, bytes);
+    sink.signaling_rx(other.ep.addr, rx, bytes, sim::ttl_after(rev.hops));
+    if (const auto it = probe_by_peer_.find(target);
+        it != probe_by_peer_.end()) {
+      trace::ProbeSink& peer_sink = *sinks_[it->second];
+      peer_sink.signaling_rx(self.ep.addr, tx + fwd.one_way_delay, bytes,
+                             sim::ttl_after(fwd.hops));
+      peer_sink.signaling_tx(self.ep.addr,
+                             tx + fwd.one_way_delay + SimTime::millis(2),
+                             bytes);
+      note_known(*probes_[it->second], ps.id);
+    }
+  }
+  note_known(ps, target);
+  ++counters_.contacts;
+}
+
+void Swarm::bootstrap(ProbeState& ps) {
+  ps.bootstrapped = true;
+  const ChunkIndex newest = source_newest();
+  ps.next_request =
+      std::max<ChunkIndex>(0, newest - config_.profile.sched.window_chunks +
+                                  config_.profile.sched.safety_chunks);
+  // PPLive-style local discovery: same-/24 neighbours are found
+  // immediately.
+  if (config_.profile.lan_discovery) {
+    const PeerInfo& self = population_.peer(ps.id);
+    for (const PeerId other : population_.probe_ids()) {
+      if (other != ps.id &&
+          net::same_subnet24(self.ep.addr,
+                             population_.peer(other).ep.addr)) {
+        contact(ps, other);
+      }
+    }
+  }
+  // Tracker response: an initial batch of random peers.
+  const std::size_t initial = std::min<std::size_t>(
+      40, population_.size() > 1 ? population_.size() - 1 : 0);
+  for (std::size_t i = 0; i < initial; ++i) {
+    contact(ps, sample_peer(ps, config_.profile.discovery_as_bias));
+  }
+  maintain_partners(ps);
+}
+
+void Swarm::run_discovery(ProbeState& ps) {
+  const double period_s = config_.profile.sched.period.seconds();
+  ps.discovery_credit +=
+      config_.profile.signaling.contact_rate_per_s * period_s;
+  while (ps.discovery_credit >= 1.0) {
+    ps.discovery_credit -= 1.0;
+    contact(ps, sample_peer(ps, config_.profile.discovery_as_bias));
+  }
+}
+
+void Swarm::send_keepalives(ProbeState& ps) {
+  const PeerInfo& self = population_.peer(ps.id);
+  const auto& sig = config_.profile.signaling;
+  const double p_send = sig.keepalive_per_s *
+                        config_.profile.sched.period.seconds();
+  trace::ProbeSink& sink = *sinks_[ps.index];
+  const SimTime now = engine_.now();
+  for (const Partner& partner : ps.partners) {
+    if (!rng_.chance(p_send)) continue;
+    const PeerInfo& other = population_.peer(partner.id);
+    const auto fwd = topo_.path(self.ep, other.ep);
+    const auto rev = topo_.path(other.ep, self.ep);
+    const SimTime rx =
+        now + fwd.one_way_delay + rev.one_way_delay + SimTime::millis(1);
+    sink.signaling_tx(other.ep.addr, now, sig.keepalive_bytes);
+    sink.signaling_rx(other.ep.addr, rx, sig.keepalive_bytes,
+                      sim::ttl_after(rev.hops));
+    if (const auto it = probe_by_peer_.find(partner.id);
+        it != probe_by_peer_.end()) {
+      trace::ProbeSink& peer_sink = *sinks_[it->second];
+      peer_sink.signaling_rx(self.ep.addr, now + fwd.one_way_delay,
+                             sig.keepalive_bytes, sim::ttl_after(fwd.hops));
+      peer_sink.signaling_tx(self.ep.addr,
+                             now + fwd.one_way_delay + SimTime::millis(1),
+                             sig.keepalive_bytes);
+    }
+  }
+}
+
+void Swarm::maintain_partners(ProbeState& ps) {
+  const auto& sched = config_.profile.sched;
+  // Scale the partner set to what the uplink can sustain signaling for:
+  // home-DSL probes keep fewer partners, as the real clients do.
+  const auto up_bps =
+      static_cast<double>(population_.peer(ps.id).access.up_bps);
+  const int target = std::max(
+      8, static_cast<int>(sched.partner_target *
+                          std::min(1.0, up_bps / 2'500'000.0)));
+
+  // Drop the worst-performing partners (by bytes since last round).
+  if (static_cast<int>(ps.partners.size()) >= target) {
+    auto drop_count = static_cast<std::size_t>(
+        static_cast<double>(ps.partners.size()) * sched.drop_fraction);
+    drop_count = std::max<std::size_t>(drop_count, 1);
+    std::sort(ps.partners.begin(), ps.partners.end(),
+              [](const Partner& a, const Partner& b) {
+                return a.bytes_delivered < b.bytes_delivered;
+              });
+    std::size_t dropped = 0;
+    for (auto it = ps.partners.begin();
+         it != ps.partners.end() && dropped < drop_count;) {
+      if (it->inflight > 0) {
+        ++it;
+        continue;
+      }
+      ps.belief_cache[it->id] = it->belief_mbps;
+      it = ps.partners.erase(it);
+      ++dropped;
+    }
+  }
+  // Exogenous churn: some partners leave no matter how well they serve.
+  for (int k = 0; k < sched.random_drops && !ps.partners.empty(); ++k) {
+    const std::size_t victim = rng_.below(ps.partners.size());
+    if (ps.partners[victim].inflight > 0) continue;
+    ps.belief_cache[ps.partners[victim].id] = ps.partners[victim].belief_mbps;
+    ps.partners.erase(ps.partners.begin() +
+                      static_cast<std::ptrdiff_t>(victim));
+  }
+
+  for (Partner& partner : ps.partners) partner.bytes_delivered = 0;
+
+  // Refill from the known set. Admission is *uniform* over known peers:
+  // selection biases act in discovery (which peers become known) and in
+  // chunk scheduling (who gets asked), matching the per-system designs.
+  if (ps.known_list.empty()) return;
+  int deficit = target - static_cast<int>(ps.partners.size());
+  int attempts = deficit * 8;
+  while (deficit > 0 && attempts-- > 0) {
+    const PeerId pick = ps.known_list[rng_.below(ps.known_list.size())];
+    if (pick == ps.id || population_.peer(pick).is_source) continue;
+    const bool already =
+        std::any_of(ps.partners.begin(), ps.partners.end(),
+                    [pick](const Partner& p) { return p.id == pick; });
+    if (already) continue;
+    // Peers that served us well before are re-admitted preferentially
+    // (rejection sampling on the cached belief); unknown peers keep a
+    // solid floor so the pool never stops being explored.
+    const double belief = cached_belief(ps, pick);
+    const double accept = 0.15 + 0.85 * std::min(belief, 20.0) / 20.0;
+    if (!rng_.chance(accept)) continue;
+    ps.partners.push_back({pick, belief, 0, 0});
+    --deficit;
+  }
+}
+
+void Swarm::schedule_requests(ProbeState& ps) {
+  const auto& sched = config_.profile.sched;
+  const ChunkIndex newest = source_newest();
+  const ChunkIndex lo =
+      std::max(ps.next_request, newest - sched.window_chunks);
+  const ChunkIndex hi = newest - sched.safety_chunks;
+  ps.next_request = std::max(ps.next_request, lo);
+
+  // Expire timed-out requests so the chunk can be retried elsewhere.
+  const SimTime now = engine_.now();
+  for (auto it = ps.inflight.begin(); it != ps.inflight.end();) {
+    if (it->second.deadline < now) {
+      ++counters_.timeouts;
+      it = ps.inflight.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (ps.partners.empty()) return;
+  thread_local std::vector<Candidate> candidates;
+  thread_local std::vector<std::size_t> candidate_slot;
+
+  const PeerInfo& self = population_.peer(ps.id);
+  for (ChunkIndex c = lo; c <= hi; ++c) {
+    if (static_cast<int>(ps.inflight.size()) >= sched.max_inflight) break;
+    if (ps.buffer.has(c) || ps.inflight.contains(c)) continue;
+    // Two-speed scheduling: chunks still young are pulled
+    // opportunistically, overdue ones urgently.
+    const bool urgent = newest - c >= sched.due_chunks;
+    if (!urgent && !rng_.chance(sched.eager_prob)) continue;
+
+    candidates.clear();
+    candidate_slot.clear();
+    const bool wants_rtt = config_.profile.select.low_rtt > 0.0;
+    for (std::size_t slot = 0; slot < ps.partners.size(); ++slot) {
+      Partner& partner = ps.partners[slot];
+      if (partner.inflight >= 3) continue;
+      if (!peer_has_chunk(partner.id, c)) continue;
+      const PeerInfo& other = population_.peer(partner.id);
+      Candidate candidate{partner.id, partner.belief_mbps,
+                          other.ep.as == self.ep.as,
+                          other.ep.country == self.ep.country, 0.0};
+      if (wants_rtt) {
+        // Next-gen policies probe RTT actively (paper §III: "it is
+        // straightforward to actively measure RTT").
+        candidate.rtt_ms = (topo_.path(self.ep, other.ep).one_way_delay +
+                            topo_.path(other.ep, self.ep).one_way_delay)
+                               .millis();
+      }
+      candidates.push_back(candidate);
+      candidate_slot.push_back(slot);
+    }
+    if (candidates.empty()) continue;
+    const std::size_t pick =
+        pick_candidate(candidates, config_.profile.select, rng_);
+    request_chunk(ps, ps.partners[candidate_slot[pick]], c);
+  }
+}
+
+void Swarm::request_chunk(ProbeState& ps, Partner& partner, ChunkIndex chunk) {
+  const auto& stream = config_.profile.stream;
+  const PeerInfo& self = population_.peer(ps.id);
+  const PeerInfo& other = population_.peer(partner.id);
+  const auto fwd = topo_.path(self.ep, other.ep);   // request direction
+  const auto rev = topo_.path(other.ep, self.ep);   // video direction
+  const SimTime now = engine_.now();
+  trace::ProbeSink& sink = *sinks_[ps.index];
+
+  sink.signaling_tx(other.ep.addr, now, config_.profile.signaling.request_bytes);
+
+  const SimTime service_start =
+      now + fwd.one_way_delay + SimTime::millis(2);
+  sim::TrainSpec spec;
+  spec.start = service_start;
+  spec.packet_count = stream.packets_per_chunk();
+  spec.packet_bytes = stream.packet_bytes;
+  spec.loss_rate = config_.loss_rate;
+  const sim::TrainResult train =
+      sim::transmit_train(spec, other.access, up_[partner.id], self.access,
+                          down_[ps.id], rev, rng_);
+
+  sink.video_train_rx(other.ep.addr, train.arrivals, stream.packet_bytes,
+                      sim::ttl_after(rev.hops));
+  if (const auto it = probe_by_peer_.find(partner.id);
+      it != probe_by_peer_.end()) {
+    trace::ProbeSink& peer_sink = *sinks_[it->second];
+    peer_sink.signaling_rx(self.ep.addr, now + fwd.one_way_delay,
+                           config_.profile.signaling.request_bytes,
+                           sim::ttl_after(fwd.hops));
+    peer_sink.video_train_tx(self.ep.addr, train.departures,
+                             stream.packet_bytes);
+  }
+
+  // Burst throughput observed by the downloader — the bandwidth signal
+  // the application's own selection feeds on (RTT-independent, like a
+  // sustained pipelined transfer).
+  double rate_mbps = 1.0;
+  if (train.arrivals.size() >= 2) {
+    const double span =
+        (train.arrivals.back() - train.arrivals.front()).seconds();
+    if (span > 0) {
+      rate_mbps = static_cast<double>(train.arrivals.size() - 1) *
+                  static_cast<double>(stream.packet_bytes) * 8.0 / span / 1e6;
+    }
+  }
+
+  ps.inflight.emplace(
+      chunk, ProbeState::Inflight{
+                 partner.id, now + config_.profile.sched.request_timeout});
+  ++partner.inflight;
+  const PeerId from = partner.id;
+  const auto bytes = static_cast<std::uint64_t>(train.arrivals.size()) *
+                     static_cast<std::uint64_t>(stream.packet_bytes);
+  // A fully-lost train never completes: the timeout path retries it.
+  if (train.arrivals.empty()) return;
+  const std::size_t probe_index = ps.index;
+  engine_.schedule_at(train.completed(), [this, probe_index, from, chunk, now,
+                                          rate_mbps, bytes] {
+    complete_chunk(*probes_[probe_index], from, chunk, now, rate_mbps, bytes);
+  });
+}
+
+void Swarm::complete_chunk(ProbeState& ps, PeerId from, ChunkIndex chunk,
+                           util::SimTime /*requested*/, double train_rate_mbps,
+                           std::uint64_t bytes) {
+  const auto it = ps.inflight.find(chunk);
+  if (it != ps.inflight.end() && it->second.from == from) {
+    ps.inflight.erase(it);
+  }
+  if (ps.buffer.mark(chunk)) {
+    ++counters_.chunks_delivered;
+  } else {
+    ++counters_.chunks_duplicate;
+  }
+  for (Partner& partner : ps.partners) {
+    if (partner.id != from) continue;
+    partner.belief_mbps = 0.7 * partner.belief_mbps + 0.3 * train_rate_mbps;
+    partner.bytes_delivered += bytes;
+    if (partner.inflight > 0) --partner.inflight;
+    return;
+  }
+  // Partner was dropped while the chunk was in flight; remember what we
+  // learned about it anyway.
+  ps.belief_cache[from] = 0.7 * cached_belief(ps, from) + 0.3 * train_rate_mbps;
+}
+
+void Swarm::spawn_requester(ProbeState& ps) {
+  const auto& upload = config_.profile.upload;
+  const PeerInfo& self = population_.peer(ps.id);
+
+  if (ps.active_requesters < upload.max_requesters) {
+    // Find a background peer that discovered this probe.
+    PeerId pick = 0;
+    bool found = false;
+    for (int attempt = 0; attempt < 8 && !found; ++attempt) {
+      pick = sample_peer(ps, config_.profile.discovery_as_bias);
+      const PeerInfo& cand = population_.peer(pick);
+      if (!cand.is_probe && !cand.is_source) found = true;
+    }
+    if (found) {
+      const PeerInfo& cand = population_.peer(pick);
+      auto req = std::make_shared<Requester>();
+      req->id = pick;
+      req->stream_share =
+          cand.access.is_high_bandwidth()
+              ? rng_.uniform(upload.share_hi_lo, upload.share_hi_hi)
+              : rng_.uniform(upload.share_lo_lo, upload.share_lo_hi);
+      // Local (same-AS) downloader sessions are markedly more stable
+      // than long-haul ones — they hold their supplier far longer.
+      const double lifetime =
+          upload.requester_lifetime_s *
+          (cand.ep.as == self.ep.as ? 2.5 : 1.0);
+      req->leaves = engine_.now() +
+                    SimTime::from_seconds(rng_.exponential(lifetime));
+      ++ps.active_requesters;
+      note_known(ps, pick);
+      const std::size_t probe_index = ps.index;
+      engine_.schedule_after(SimTime::millis(5), [this, probe_index, req] {
+        requester_loop(*probes_[probe_index], req);
+      });
+    }
+  }
+
+  // Next arrival (NAT/firewall suppress inbound connections).
+  double rate = upload.requester_arrival_per_s;
+  if (self.access.firewall) rate *= 0.25;
+  if (self.access.nat) rate *= 0.6;
+  const std::size_t probe_index = ps.index;
+  engine_.schedule_after(
+      SimTime::from_seconds(rng_.exponential(1.0 / rate)),
+      [this, probe_index] { spawn_requester(*probes_[probe_index]); });
+}
+
+void Swarm::requester_loop(ProbeState& ps, std::shared_ptr<Requester> req) {
+  const SimTime now = engine_.now();
+  if (now >= req->leaves || now >= config_.duration) {
+    --ps.active_requesters;
+    return;
+  }
+  const auto& stream = config_.profile.stream;
+  const auto& upload = config_.profile.upload;
+  const PeerInfo& self = population_.peer(ps.id);
+  const PeerInfo& other = population_.peer(req->id);
+
+  const SimTime next_period = SimTime::from_seconds(
+      chunk_interval_.seconds() / req->stream_share *
+      rng_.uniform(0.85, 1.15));
+  const std::size_t probe_index = ps.index;
+  engine_.schedule_after(next_period, [this, probe_index, req] {
+    requester_loop(*probes_[probe_index], req);
+  });
+
+  if (up_[ps.id].backlog(now) > upload.backlog_limit) {
+    ++counters_.requests_refused;
+    return;
+  }
+  const ChunkIndex newest = ps.buffer.newest();
+  if (newest < 0) return;
+  ChunkIndex chunk = newest - static_cast<ChunkIndex>(rng_.below(
+                                  static_cast<std::uint64_t>(
+                                      config_.profile.sched.window_chunks) /
+                                  2 +
+                                  1));
+  if (!ps.buffer.has(chunk)) chunk = newest;
+  if (!ps.buffer.has(chunk)) return;
+
+  const auto fwd = topo_.path(other.ep, self.ep);  // request direction
+  const auto rev = topo_.path(self.ep, other.ep);  // video direction
+  trace::ProbeSink& sink = *sinks_[ps.index];
+  sink.signaling_rx(other.ep.addr, now, config_.profile.signaling.request_bytes,
+                    sim::ttl_after(fwd.hops));
+
+  sim::TrainSpec spec;
+  spec.start = now + SimTime::millis(1);
+  spec.packet_count = stream.packets_per_chunk();
+  spec.packet_bytes = stream.packet_bytes;
+  spec.loss_rate = config_.loss_rate;
+  const sim::TrainResult train = sim::transmit_train(
+      spec, self.access, up_[ps.id], other.access, down_[req->id], rev, rng_);
+  sink.video_train_tx(other.ep.addr, train.departures, stream.packet_bytes);
+  ++counters_.chunks_uploaded;
+}
+
+void Swarm::tick(ProbeState& ps) {
+  const SimTime now = engine_.now();
+  if (now >= config_.duration) return;
+  if (!ps.bootstrapped) bootstrap(ps);
+
+  run_discovery(ps);
+  schedule_requests(ps);
+  send_keepalives(ps);
+
+  const std::size_t probe_index = ps.index;
+  engine_.schedule_after(config_.profile.sched.period, [this, probe_index] {
+    tick(*probes_[probe_index]);
+  });
+}
+
+void Swarm::run() {
+  if (ran_) throw std::logic_error("Swarm::run called twice");
+  ran_ = true;
+
+  for (const auto& ps : probes_) {
+    const std::size_t probe_index = ps->index;
+    // Staggered joins within the first two seconds.
+    const SimTime start =
+        SimTime::from_seconds(0.1 + rng_.uniform01() * 2.0);
+    engine_.schedule_at(start,
+                        [this, probe_index] { tick(*probes_[probe_index]); });
+
+    // Partner maintenance on its own slower cadence.
+    struct Maintenance {
+      static void fire(Swarm* swarm, std::size_t index) {
+        if (swarm->engine_.now() >= swarm->config_.duration) return;
+        swarm->maintain_partners(*swarm->probes_[index]);
+        swarm->engine_.schedule_after(
+            swarm->config_.profile.sched.maintenance_period,
+            [swarm, index] { Maintenance::fire(swarm, index); });
+      }
+    };
+    engine_.schedule_at(
+        start + config_.profile.sched.maintenance_period,
+        [this, probe_index] { Maintenance::fire(this, probe_index); });
+
+    // Background demand for this probe's upload capacity.
+    engine_.schedule_at(
+        start + SimTime::from_seconds(
+                    rng_.exponential(
+                        1.0 / config_.profile.upload.requester_arrival_per_s)),
+        [this, probe_index] { spawn_requester(*probes_[probe_index]); });
+  }
+
+  engine_.run_until(config_.duration);
+}
+
+}  // namespace peerscope::p2p

@@ -1,0 +1,147 @@
+// The experiment swarm: probes running the full mesh-pull protocol,
+// background peers as reactive capacity-constrained agents, and a
+// per-probe capture sink — one object per (application, run).
+//
+// Hybrid fidelity (DESIGN.md §2): everything a probe's sniffer could
+// observe is simulated at packet granularity (trains with physical
+// inter-packet gaps, TTL decay, path asymmetry); background-to-
+// background traffic, which no vantage point can see, is not generated
+// at all.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "p2p/buffer.hpp"
+#include "p2p/population.hpp"
+#include "p2p/profile.hpp"
+#include "sim/engine.hpp"
+#include "sim/link.hpp"
+#include "trace/sink.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace peerscope::p2p {
+
+struct SwarmConfig {
+  SystemProfile profile;
+  std::uint64_t seed = 1;
+  util::SimTime duration = util::SimTime::seconds(300);
+  /// Keep raw packet records in the sinks (needed for trace-file
+  /// export and the offline analysis path; costs memory).
+  bool keep_records = false;
+  /// Per-packet loss probability applied to every video train
+  /// (failure injection; 0 reproduces the paper's lossless-enough
+  /// campus captures).
+  double loss_rate = 0.0;
+};
+
+class Swarm {
+ public:
+  Swarm(const net::AsTopology& topo, std::span<const ProbeSpec> probes,
+        SwarmConfig config);
+
+  /// Runs the experiment to `config.duration`. Call once.
+  void run();
+
+  [[nodiscard]] const Population& population() const { return population_; }
+  [[nodiscard]] const SystemProfile& profile() const {
+    return config_.profile;
+  }
+  [[nodiscard]] util::SimTime duration() const { return config_.duration; }
+
+  [[nodiscard]] std::size_t probe_count() const { return probes_.size(); }
+  [[nodiscard]] const trace::ProbeSink& sink(std::size_t probe_index) const {
+    return *sinks_[probe_index];
+  }
+
+  /// Ground-truth counters for validation and reporting.
+  struct Counters {
+    std::uint64_t chunks_delivered = 0;  // to probes
+    std::uint64_t chunks_duplicate = 0;
+    std::uint64_t chunks_uploaded = 0;   // from probes
+    std::uint64_t requests_refused = 0;  // uplink backlog refusals
+    std::uint64_t contacts = 0;          // discovery handshakes
+    std::uint64_t timeouts = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  struct Partner {
+    PeerId id = 0;
+    double belief_mbps = 1.0;
+    std::uint64_t bytes_delivered = 0;
+    int inflight = 0;
+  };
+
+  struct Requester {
+    PeerId id = 0;
+    double stream_share = 0.5;
+    util::SimTime leaves{0};
+  };
+
+  struct ProbeState {
+    PeerId id = 0;
+    std::size_t index = 0;  // into probes_/sinks_
+    std::unordered_set<PeerId> known_set;
+    std::vector<PeerId> known_list;
+    std::vector<Partner> partners;
+    std::unordered_map<PeerId, double> belief_cache;
+    ChunkBuffer buffer{256};
+    ChunkIndex next_request = 0;  // earliest chunk worth requesting
+    struct Inflight {
+      PeerId from;
+      util::SimTime deadline;
+    };
+    std::unordered_map<ChunkIndex, Inflight> inflight;
+    int active_requesters = 0;
+    double discovery_credit = 0.0;
+    bool bootstrapped = false;
+  };
+
+  // --- protocol steps (each runs at engine-now) ---
+  void bootstrap(ProbeState& ps);
+  void tick(ProbeState& ps);                 // scheduler period
+  void maintain_partners(ProbeState& ps);    // partner churn
+  void run_discovery(ProbeState& ps);        // contact new peers
+  void send_keepalives(ProbeState& ps);
+  void schedule_requests(ProbeState& ps);
+  void request_chunk(ProbeState& ps, Partner& partner, ChunkIndex chunk);
+  void complete_chunk(ProbeState& ps, PeerId from, ChunkIndex chunk,
+                      util::SimTime requested, double train_rate_mbps,
+                      std::uint64_t bytes);
+  void spawn_requester(ProbeState& ps);
+  void requester_loop(ProbeState& ps, std::shared_ptr<Requester> req);
+
+  // --- helpers ---
+  [[nodiscard]] ChunkIndex source_newest() const;
+  [[nodiscard]] double bg_lag_s(const PeerInfo& peer,
+                                util::SimTime now) const;
+  [[nodiscard]] bool peer_has_chunk(PeerId id, ChunkIndex chunk) const;
+  [[nodiscard]] PeerId sample_peer(const ProbeState& ps, double as_bias);
+  void contact(ProbeState& ps, PeerId target);
+  void note_known(ProbeState& ps, PeerId id);
+  [[nodiscard]] double cached_belief(const ProbeState& ps, PeerId id) const;
+
+  const net::AsTopology& topo_;
+  SwarmConfig config_;
+  Population population_;
+  sim::Engine engine_;
+  util::Rng rng_;
+  std::vector<sim::LinkCursor> up_;
+  std::vector<sim::LinkCursor> down_;
+  std::vector<std::unique_ptr<trace::ProbeSink>> sinks_;
+  std::vector<std::unique_ptr<ProbeState>> probes_;
+  std::unordered_map<PeerId, std::size_t> probe_by_peer_;
+  Counters counters_;
+  util::SimTime chunk_interval_{0};
+  bool ran_ = false;
+};
+
+}  // namespace peerscope::p2p

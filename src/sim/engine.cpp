@@ -1,0 +1,49 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace peerscope::sim {
+
+Engine::Handle Engine::schedule_at(util::SimTime at, Callback cb) {
+  if (at < now_) {
+    throw std::logic_error("Engine: scheduling into the past");
+  }
+  if (!cb) {
+    throw std::invalid_argument("Engine: null callback");
+  }
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Item{at, seq});
+  live_.emplace(seq, std::move(cb));
+  return Handle{seq};
+}
+
+Engine::Handle Engine::schedule_after(util::SimTime delay, Callback cb) {
+  if (delay < util::SimTime::zero()) {
+    throw std::logic_error("Engine: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Engine::cancel(Handle handle) {
+  if (handle.id_ == 0) return false;
+  return live_.erase(handle.id_) > 0;
+}
+
+void Engine::run_until(util::SimTime horizon) {
+  while (!queue_.empty()) {
+    const Item item = queue_.top();
+    if (item.at > horizon) break;
+    queue_.pop();
+    const auto it = live_.find(item.seq);
+    if (it == live_.end()) continue;  // cancelled
+    // Move the callback out before invoking: the callback may schedule
+    // new events and rehash `live_`.
+    Callback cb = std::move(it->second);
+    live_.erase(it);
+    now_ = item.at;
+    ++executed_;
+    cb();
+  }
+}
+
+}  // namespace peerscope::sim

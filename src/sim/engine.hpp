@@ -1,0 +1,85 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded binary-heap scheduler with a total event order:
+// ties on timestamp break on insertion sequence, so a given seed always
+// replays the exact same execution (DESIGN.md §5.1). Parallelism lives
+// one level up — independent experiments each own an Engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace peerscope::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Identifies a scheduled event for cancellation. Value-semantic;
+  /// outliving the engine is harmless (cancel just returns false).
+  class Handle {
+   public:
+    Handle() = default;
+    [[nodiscard]] bool valid() const { return id_ != 0; }
+
+   private:
+    friend class Engine;
+    explicit Handle(std::uint64_t id) : id_(id) {}
+    std::uint64_t id_ = 0;  // 0 = null handle
+  };
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] util::SimTime now() const { return now_; }
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Schedules `cb` at absolute time `at`; scheduling in the past
+  /// (before now()) is a logic error and throws.
+  Handle schedule_at(util::SimTime at, Callback cb);
+
+  /// Schedules `cb` after a non-negative delay from now().
+  Handle schedule_after(util::SimTime delay, Callback cb);
+
+  /// Cancels a pending event. Returns false if the event already ran,
+  /// was already cancelled, or the handle is null.
+  bool cancel(Handle handle);
+
+  /// Runs events until the queue drains or the next event would fire
+  /// after `horizon`; `now()` ends at the later of its old value and
+  /// the last executed event time (never past the horizon). Events
+  /// scheduled exactly at the horizon still run.
+  void run_until(util::SimTime horizon);
+
+  /// Runs until the queue drains.
+  void run() { run_until(util::SimTime::max()); }
+
+ private:
+  struct Item {
+    util::SimTime at;
+    std::uint64_t seq;
+    // std::priority_queue is a max-heap; invert for earliest-first,
+    // with sequence as the deterministic tiebreak.
+    bool operator<(const Item& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  util::SimTime now_{0};
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Item> queue_;
+  // Callbacks live out-of-line so heap items stay 16 bytes; erasing
+  // from `live_` doubles as cancellation.
+  std::unordered_map<std::uint64_t, Callback> live_;
+};
+
+}  // namespace peerscope::sim

@@ -1,0 +1,44 @@
+// FIFO link occupancy cursor.
+//
+// Each host's uplink and downlink is a non-preemptive serial resource:
+// a transmission reserves the link from max(earliest, busy_until) for
+// its serialisation time. Concurrent transfers therefore queue and
+// stretch each other's inter-packet gaps — while an uncontended train's
+// gaps equal the link serialisation time, which is precisely the
+// packet-pair signal the BW classifier reads.
+#pragma once
+
+#include <cstdint>
+
+#include "util/sim_time.hpp"
+
+namespace peerscope::sim {
+
+class LinkCursor {
+ public:
+  /// Reserves the link for `duration` starting no earlier than
+  /// `earliest`; returns the actual start time.
+  util::SimTime reserve(util::SimTime earliest, util::SimTime duration) {
+    const util::SimTime start =
+        earliest > busy_until_ ? earliest : busy_until_;
+    busy_until_ = start + duration;
+    busy_time_ += duration;
+    return start;
+  }
+
+  [[nodiscard]] util::SimTime busy_until() const { return busy_until_; }
+
+  /// Cumulative reserved time; busy_time()/elapsed gives utilisation.
+  [[nodiscard]] util::SimTime busy_time() const { return busy_time_; }
+
+  /// Queueing backlog relative to `now` (zero when idle).
+  [[nodiscard]] util::SimTime backlog(util::SimTime now) const {
+    return busy_until_ > now ? busy_until_ - now : util::SimTime::zero();
+  }
+
+ private:
+  util::SimTime busy_until_{0};
+  util::SimTime busy_time_{0};
+};
+
+}  // namespace peerscope::sim

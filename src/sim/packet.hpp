@@ -1,0 +1,45 @@
+// Wire-level packet description.
+//
+// The trace substrate records exactly the fields the paper's passive
+// methodology consumes: addresses, size, and the received TTL (from
+// which it derives hop counts as 128 - TTL).
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.hpp"
+
+namespace peerscope::sim {
+
+enum class PacketKind : std::uint8_t {
+  kVideo,      // payload chunk fragment
+  kSignaling,  // buffer maps, peer lists, keep-alives, requests
+};
+
+/// Initial TTL: the paper assumes Windows hosts (default 128) when
+/// converting TTL to hop count, and the commercial clients it measures
+/// are Windows applications.
+inline constexpr int kInitialTtl = 128;
+
+struct Packet {
+  net::Ipv4Addr src;
+  net::Ipv4Addr dst;
+  std::int32_t bytes = 0;     // layer-3 size
+  std::uint8_t ttl = kInitialTtl;  // value observed at the receiver
+  PacketKind kind = PacketKind::kVideo;
+};
+
+/// Typical sizes (bytes, IP layer). Video fragments ride full-MTU-ish
+/// packets — 1250 B is the paper's reference size for the 1 ms / 10 Mb/s
+/// packet-pair threshold.
+inline constexpr std::int32_t kVideoPacketBytes = 1250;
+inline constexpr std::int32_t kSignalingPacketBytes = 120;
+
+/// TTL left after traversing `hops` routers; saturates at 1 so absurd
+/// paths do not wrap (real networks would have dropped the packet).
+[[nodiscard]] constexpr std::uint8_t ttl_after(int hops) {
+  const int left = kInitialTtl - hops;
+  return static_cast<std::uint8_t>(left < 1 ? 1 : left);
+}
+
+}  // namespace peerscope::sim

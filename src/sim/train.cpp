@@ -1,0 +1,60 @@
+#include "sim/train.hpp"
+
+#include <stdexcept>
+
+namespace peerscope::sim {
+
+TrainResult transmit_train(const TrainSpec& spec,
+                           const net::AccessLink& sender,
+                           LinkCursor& sender_up,
+                           const net::AccessLink& receiver,
+                           LinkCursor& receiver_down,
+                           const net::PathInfo& path, util::Rng& rng) {
+  if (spec.packet_count <= 0 || spec.packet_bytes <= 0) {
+    throw std::invalid_argument("transmit_train: empty train");
+  }
+
+  const util::SimTime up_ser = sender.up_tx_time(spec.packet_bytes);
+  const util::SimTime down_ser = receiver.down_tx_time(spec.packet_bytes);
+
+  TrainResult result;
+  result.arrivals.reserve(static_cast<std::size_t>(spec.packet_count));
+  result.departures.reserve(static_cast<std::size_t>(spec.packet_count));
+
+  // Uplink: the whole chunk is written to the socket at once, so its
+  // packets occupy the link contiguously — concurrent chunks queue
+  // *behind* the train, they do not interleave into it. This is what
+  // keeps the in-train inter-packet gap equal to the uplink
+  // serialisation time even on a busy sender (the packet-pair signal).
+  const util::SimTime train_start = sender_up.reserve(
+      spec.start, up_ser * static_cast<std::int64_t>(spec.packet_count));
+
+  util::SimTime release = train_start;
+  util::SimTime last_arrival{0};
+  for (int i = 0; i < spec.packet_count; ++i) {
+    const util::SimTime departed = release + up_ser;
+    release = departed;  // next packet right behind
+    result.departures.push_back(departed);
+
+    if (spec.loss_rate > 0.0 && rng.chance(spec.loss_rate)) {
+      continue;  // dropped in flight: no arrival, no receiver work
+    }
+
+    // Path: fixed one-way delay plus small positive jitter.
+    const util::SimTime jitter = util::SimTime::nanos(static_cast<std::int64_t>(
+        rng.uniform01() * static_cast<double>(spec.jitter_max.ns())));
+    const util::SimTime reached = departed + path.one_way_delay + jitter;
+
+    // Downlink: serialised through the receiver's access link; FIFO
+    // order is preserved even if jitter reordered the wire arrival.
+    const util::SimTime earliest = reached > last_arrival ? reached : last_arrival;
+    const util::SimTime rx_start = receiver_down.reserve(earliest, down_ser);
+    const util::SimTime arrival = rx_start + down_ser;
+    last_arrival = arrival;
+    result.arrivals.push_back(arrival);
+  }
+  result.sender_done = release;
+  return result;
+}
+
+}  // namespace peerscope::sim

@@ -1,0 +1,60 @@
+// Packet-train transmission timing.
+//
+// A video chunk is sent as a burst of back-to-back packets. This module
+// computes, without scheduling per-packet events, the receiver-side
+// arrival timestamp of every packet in the burst: sender uplink
+// serialisation -> path propagation (+ small jitter) -> receiver
+// downlink serialisation. The resulting inter-packet gaps carry the
+// path-bottleneck signature the paper's packet-pair classifier
+// (min IPG < 1 ms <=> > 10 Mb/s) measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/access.hpp"
+#include "net/topology.hpp"
+#include "sim/link.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace peerscope::sim {
+
+struct TrainSpec {
+  util::SimTime start;            // earliest sender release time
+  int packet_count = 1;
+  std::int32_t packet_bytes = 0;
+  /// Peak of the per-packet forward jitter (uniform in [0, max)).
+  util::SimTime jitter_max = util::SimTime::micros(30);
+  /// Independent per-packet drop probability along the path. Lost
+  /// packets consume uplink capacity and appear in `departures` but
+  /// never arrive (no receiver record — exactly what a vantage-point
+  /// sniffer would miss).
+  double loss_rate = 0.0;
+};
+
+struct TrainResult {
+  /// Receiver-side arrival time of each packet, non-decreasing.
+  std::vector<util::SimTime> arrivals;
+  /// Sender-side departure time of each packet (uplink serialisation
+  /// finished) — what a sniffer at the sender timestamps for TX.
+  std::vector<util::SimTime> departures;
+  /// When the sender uplink finished serialising the last packet.
+  util::SimTime sender_done{0};
+  /// When the last packet was fully received (== arrivals.back()).
+  [[nodiscard]] util::SimTime completed() const {
+    return arrivals.empty() ? util::SimTime::zero() : arrivals.back();
+  }
+};
+
+/// Simulates one burst from `sender` to `receiver` over `path`,
+/// advancing both link cursors. Deterministic given the RNG state.
+[[nodiscard]] TrainResult transmit_train(const TrainSpec& spec,
+                                         const net::AccessLink& sender,
+                                         LinkCursor& sender_up,
+                                         const net::AccessLink& receiver,
+                                         LinkCursor& receiver_down,
+                                         const net::PathInfo& path,
+                                         util::Rng& rng);
+
+}  // namespace peerscope::sim

@@ -1,0 +1,61 @@
+#include "trace/flow.hpp"
+
+#include <algorithm>
+
+namespace peerscope::trace {
+
+void FlowTable::add(const PacketRecord& record) {
+  auto [it, inserted] = flows_.try_emplace(record.remote);
+  FlowStats& f = it->second;
+  if (inserted) f.remote = record.remote;
+
+  f.first_ts = std::min(f.first_ts, record.ts);
+  f.last_ts = std::max(f.last_ts, record.ts);
+
+  const auto bytes = static_cast<std::uint64_t>(record.bytes);
+  if (record.dir == Direction::kRx) {
+    ++f.rx_pkts;
+    f.rx_bytes += bytes;
+    ++total_rx_pkts_;
+    total_rx_bytes_ += bytes;
+    f.rx_ttl = record.ttl;
+    f.saw_rx = true;
+    if (record.kind == sim::PacketKind::kVideo) {
+      ++f.rx_video_pkts;
+      f.rx_video_bytes += bytes;
+      auto [lit, first] = last_rx_video_.try_emplace(record.remote, record.ts);
+      if (!first) {
+        const std::int64_t gap = record.ts.ns() - lit->second.ns();
+        if (gap >= 0 && gap < f.min_rx_video_ipg_ns) {
+          f.min_rx_video_ipg_ns = gap;
+        }
+        lit->second = record.ts;
+      }
+    }
+  } else {
+    ++f.tx_pkts;
+    f.tx_bytes += bytes;
+    ++total_tx_pkts_;
+    total_tx_bytes_ += bytes;
+    if (record.kind == sim::PacketKind::kVideo) {
+      ++f.tx_video_pkts;
+      f.tx_video_bytes += bytes;
+    }
+  }
+}
+
+FlowTable FlowTable::from_records(net::Ipv4Addr probe,
+                                  std::span<const PacketRecord> records) {
+  std::vector<PacketRecord> sorted(records.begin(), records.end());
+  std::sort(sorted.begin(), sorted.end(), record_before);
+  FlowTable table{probe};
+  for (const auto& r : sorted) table.add(r);
+  return table;
+}
+
+const FlowStats* FlowTable::find(net::Ipv4Addr remote) const {
+  const auto it = flows_.find(remote);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+}  // namespace peerscope::trace

@@ -1,0 +1,99 @@
+// Per-peer-pair flow aggregation.
+//
+// FlowStats is the unit of everything downstream: the contributor
+// heuristic, the bandwidth classifier (min inter-packet gap over
+// received video packets), the hop estimator (RX TTL), and all
+// byte/peer preference counters.
+//
+// A FlowTable can be built two ways, with identical results:
+//   - online, by feeding records as the simulation emits them
+//     (memory stays O(#peers), used by the large benches);
+//   - offline, from a stored/loaded record vector sorted by time
+//     (the faithful "analyse the pcap" path, used by examples/tests).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "trace/record.hpp"
+#include "util/sim_time.hpp"
+
+namespace peerscope::trace {
+
+struct FlowStats {
+  net::Ipv4Addr remote;
+
+  std::uint64_t rx_pkts = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_pkts = 0;
+  std::uint64_t tx_bytes = 0;
+
+  std::uint64_t rx_video_pkts = 0;
+  std::uint64_t rx_video_bytes = 0;
+  std::uint64_t tx_video_pkts = 0;
+  std::uint64_t tx_video_bytes = 0;
+
+  /// Minimum gap between consecutive received video packets, the
+  /// packet-pair bottleneck signal. int64 max when < 2 video packets.
+  std::int64_t min_rx_video_ipg_ns = std::numeric_limits<std::int64_t>::max();
+
+  /// TTL observed on received packets (stable per path in the model;
+  /// the last observation is kept).
+  std::uint8_t rx_ttl = 0;
+  bool saw_rx = false;
+
+  util::SimTime first_ts = util::SimTime::max();
+  util::SimTime last_ts = util::SimTime::zero();
+
+  [[nodiscard]] bool has_min_ipg() const {
+    return min_rx_video_ipg_ns !=
+           std::numeric_limits<std::int64_t>::max();
+  }
+};
+
+/// All flows observed at one probe, keyed by remote address.
+class FlowTable {
+ public:
+  explicit FlowTable(net::Ipv4Addr probe) : probe_(probe) {}
+
+  [[nodiscard]] net::Ipv4Addr probe() const { return probe_; }
+
+  /// Online update with one record. Records for the same remote must
+  /// arrive in non-decreasing timestamp order for the IPG tracking to
+  /// match the offline path (the simulator guarantees this per remote).
+  void add(const PacketRecord& record);
+
+  /// Offline build: sorts a copy of `records` by time and feeds it.
+  [[nodiscard]] static FlowTable from_records(
+      net::Ipv4Addr probe, std::span<const PacketRecord> records);
+
+  [[nodiscard]] const FlowStats* find(net::Ipv4Addr remote) const;
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+
+  [[nodiscard]] const std::unordered_map<net::Ipv4Addr, FlowStats>& flows()
+      const {
+    return flows_;
+  }
+
+  /// Totals over all flows (Table II inputs).
+  [[nodiscard]] std::uint64_t total_rx_bytes() const { return total_rx_bytes_; }
+  [[nodiscard]] std::uint64_t total_tx_bytes() const { return total_tx_bytes_; }
+  [[nodiscard]] std::uint64_t total_rx_pkts() const { return total_rx_pkts_; }
+  [[nodiscard]] std::uint64_t total_tx_pkts() const { return total_tx_pkts_; }
+
+ private:
+  net::Ipv4Addr probe_;
+  std::unordered_map<net::Ipv4Addr, FlowStats> flows_;
+  // Last RX video timestamp per remote, for the online IPG update.
+  std::unordered_map<net::Ipv4Addr, util::SimTime> last_rx_video_;
+  std::uint64_t total_rx_bytes_ = 0;
+  std::uint64_t total_tx_bytes_ = 0;
+  std::uint64_t total_rx_pkts_ = 0;
+  std::uint64_t total_tx_pkts_ = 0;
+};
+
+}  // namespace peerscope::trace

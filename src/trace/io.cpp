@@ -1,0 +1,133 @@
+#include "trace/io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace peerscope::trace {
+
+namespace {
+
+// On-disk record layout (little-endian), 19 bytes packed:
+//   int64  ts_ns
+//   uint32 remote
+//   int32  bytes
+//   uint8  dir
+//   uint8  kind
+//   uint8  ttl
+constexpr std::size_t kRecordSize = 8 + 4 + 4 + 1 + 1 + 1;
+
+template <typename T>
+void put(std::string& buf, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  buf.append(bytes, sizeof(T));  // host is little-endian (x86/ARM64)
+}
+
+template <typename T>
+T get(const char*& ptr) {
+  T value;
+  std::memcpy(&value, ptr, sizeof(T));
+  ptr += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+void write_trace(const std::filesystem::path& path, net::Ipv4Addr probe,
+                 const std::vector<PacketRecord>& records) {
+  std::string buf;
+  buf.reserve(16 + records.size() * kRecordSize);
+  put<std::uint32_t>(buf, kTraceMagic);
+  put<std::uint16_t>(buf, kTraceVersion);
+  put<std::uint16_t>(buf, 0);  // reserved
+  put<std::uint32_t>(buf, probe.bits());
+  put<std::uint32_t>(buf, static_cast<std::uint32_t>(records.size()));
+  for (const auto& r : records) {
+    put<std::int64_t>(buf, r.ts.ns());
+    put<std::uint32_t>(buf, r.remote.bits());
+    put<std::int32_t>(buf, r.bytes);
+    put<std::uint8_t>(buf, static_cast<std::uint8_t>(r.dir));
+    put<std::uint8_t>(buf, static_cast<std::uint8_t>(r.kind));
+    put<std::uint8_t>(buf, r.ttl);
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("write_trace: cannot open " + path.string());
+  }
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!out) {
+    throw std::runtime_error("write_trace: short write to " + path.string());
+  }
+}
+
+TraceFile read_trace(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("read_trace: cannot open " + path.string());
+  }
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  if (buf.size() < 16) {
+    throw std::runtime_error("read_trace: truncated header in " +
+                             path.string());
+  }
+  const char* ptr = buf.data();
+  if (get<std::uint32_t>(ptr) != kTraceMagic) {
+    throw std::runtime_error("read_trace: bad magic in " + path.string());
+  }
+  if (get<std::uint16_t>(ptr) != kTraceVersion) {
+    throw std::runtime_error("read_trace: unsupported version in " +
+                             path.string());
+  }
+  (void)get<std::uint16_t>(ptr);  // reserved
+  TraceFile file;
+  file.probe = net::Ipv4Addr{get<std::uint32_t>(ptr)};
+  const auto count = get<std::uint32_t>(ptr);
+  if (buf.size() != 16 + static_cast<std::size_t>(count) * kRecordSize) {
+    throw std::runtime_error("read_trace: size mismatch in " + path.string());
+  }
+  file.records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    PacketRecord r;
+    r.ts = util::SimTime{get<std::int64_t>(ptr)};
+    r.remote = net::Ipv4Addr{get<std::uint32_t>(ptr)};
+    r.bytes = get<std::int32_t>(ptr);
+    const auto dir = get<std::uint8_t>(ptr);
+    const auto kind = get<std::uint8_t>(ptr);
+    if (dir > 1 || kind > 1) {
+      throw std::runtime_error("read_trace: corrupt record in " +
+                               path.string());
+    }
+    r.dir = static_cast<Direction>(dir);
+    r.kind = static_cast<sim::PacketKind>(kind);
+    r.ttl = get<std::uint8_t>(ptr);
+    file.records.push_back(r);
+  }
+  return file;
+}
+
+void write_trace_csv(const std::filesystem::path& path, net::Ipv4Addr probe,
+                     const std::vector<PacketRecord>& records) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("write_trace_csv: cannot open " + path.string());
+  }
+  out << "# probe=" << probe.to_string() << '\n';
+  out << "ts_ns,remote,dir,kind,bytes,ttl\n";
+  for (const auto& r : records) {
+    out << r.ts.ns() << ',' << r.remote.to_string() << ','
+        << (r.dir == Direction::kRx ? "rx" : "tx") << ','
+        << (r.kind == sim::PacketKind::kVideo ? "video" : "sig") << ','
+        << r.bytes << ',' << static_cast<int>(r.ttl) << '\n';
+  }
+  if (!out) {
+    throw std::runtime_error("write_trace_csv: short write to " +
+                             path.string());
+  }
+}
+
+}  // namespace peerscope::trace

@@ -1,0 +1,39 @@
+// Trace persistence.
+//
+// Binary format ("PSCT"): little-endian, fixed-size records, one file
+// per probe. A CSV exporter is provided for eyeballing traces with
+// standard tooling. Readers validate magic, version and record counts
+// and throw on any corruption — trace files are measurement data, not
+// best-effort input.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "trace/record.hpp"
+
+namespace peerscope::trace {
+
+inline constexpr std::uint32_t kTraceMagic = 0x50534354;  // "PSCT"
+inline constexpr std::uint16_t kTraceVersion = 1;
+
+struct TraceFile {
+  net::Ipv4Addr probe;
+  std::vector<PacketRecord> records;
+};
+
+/// Writes one probe's records. Overwrites an existing file.
+void write_trace(const std::filesystem::path& path, net::Ipv4Addr probe,
+                 const std::vector<PacketRecord>& records);
+
+/// Reads a trace file; throws std::runtime_error on malformed input.
+[[nodiscard]] TraceFile read_trace(const std::filesystem::path& path);
+
+/// CSV with header: ts_ns,remote,dir,kind,bytes,ttl
+void write_trace_csv(const std::filesystem::path& path, net::Ipv4Addr probe,
+                     const std::vector<PacketRecord>& records);
+
+}  // namespace peerscope::trace

@@ -1,0 +1,11 @@
+#include "trace/sink.hpp"
+
+#include <algorithm>
+
+namespace peerscope::trace {
+
+void ProbeSink::sort_records() {
+  std::sort(records_.begin(), records_.end(), record_before);
+}
+
+}  // namespace peerscope::trace

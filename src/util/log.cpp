@@ -1,0 +1,64 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace peerscope::util {
+
+namespace {
+
+std::mutex g_mutex;
+LogLevel g_level = LogLevel::kWarn;
+Log::Sink g_sink;
+
+void default_sink(LogLevel level, std::string_view message) {
+  std::fprintf(stderr, "[%s] %.*s\n", to_string(level).data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel level) {
+  std::lock_guard lock{g_mutex};
+  g_level = level;
+}
+
+LogLevel Log::level() {
+  std::lock_guard lock{g_mutex};
+  return g_level;
+}
+
+void Log::set_sink(Sink sink) {
+  std::lock_guard lock{g_mutex};
+  g_sink = std::move(sink);
+}
+
+void Log::write(LogLevel level, std::string_view message) {
+  Sink sink;
+  {
+    std::lock_guard lock{g_mutex};
+    if (level < g_level) return;
+    sink = g_sink;
+  }
+  if (sink) {
+    sink(level, message);
+  } else {
+    default_sink(level, message);
+  }
+}
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+}  // namespace peerscope::util

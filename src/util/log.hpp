@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// Bench/example binaries log progress at Info; the library itself only
+// logs at Debug so tests stay quiet. Not a general-purpose logging
+// framework on purpose -- a sink function pointer keeps it injectable
+// for tests without pulling in iostream formatting at call sites.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace peerscope::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide log configuration. The default sink writes to stderr.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static void set_level(LogLevel level);
+  [[nodiscard]] static LogLevel level();
+
+  /// Replaces the sink; passing nullptr restores the stderr sink.
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel level, std::string_view message);
+
+  static void debug(std::string_view message) {
+    write(LogLevel::kDebug, message);
+  }
+  static void info(std::string_view message) {
+    write(LogLevel::kInfo, message);
+  }
+  static void warn(std::string_view message) {
+    write(LogLevel::kWarn, message);
+  }
+  static void error(std::string_view message) {
+    write(LogLevel::kError, message);
+  }
+};
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+}  // namespace peerscope::util

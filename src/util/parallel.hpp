@@ -1,0 +1,78 @@
+// Data-parallel helpers over ThreadPool.
+//
+// parallel_for_chunked partitions an index range into contiguous chunks
+// (cache-friendly, no false sharing on the shard outputs) and blocks
+// until all chunks complete. parallel_map_reduce evaluates a mapper per
+// index and folds shard-local partials with an associative combiner, so
+// the result is independent of the worker count.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace peerscope::util {
+
+/// Invokes `body(begin, end)` over disjoint sub-ranges covering
+/// [0, count). Exceptions from any chunk propagate to the caller.
+template <typename Body>
+void parallel_for_chunked(ThreadPool& pool, std::size_t count, Body&& body,
+                          std::size_t min_chunk = 64) {
+  if (count == 0) return;
+  const std::size_t workers = pool.worker_count();
+  std::size_t chunks = workers * 4;
+  std::size_t chunk = (count + chunks - 1) / chunks;
+  if (chunk < min_chunk) chunk = min_chunk;
+  if (chunk >= count) {
+    body(std::size_t{0}, count);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(count / chunk + 1);
+  for (std::size_t begin = 0; begin < count; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, count);
+    futures.push_back(pool.submit([&body, begin, end] { body(begin, end); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+/// Maps each index through `mapper` (returning T), reduces with the
+/// associative `combiner(T&, const T&)`, starting each shard from
+/// `identity`. Reduction runs left-to-right over chunks, so combiner
+/// need not be commutative.
+template <typename T, typename Mapper, typename Combiner>
+[[nodiscard]] T parallel_map_reduce(ThreadPool& pool, std::size_t count,
+                                    T identity, Mapper&& mapper,
+                                    Combiner&& combiner,
+                                    std::size_t min_chunk = 64) {
+  if (count == 0) return identity;
+  const std::size_t workers = pool.worker_count();
+  std::size_t chunks = workers * 4;
+  std::size_t chunk = (count + chunks - 1) / chunks;
+  if (chunk < min_chunk) chunk = min_chunk;
+
+  struct Shard {
+    std::size_t begin;
+    std::size_t end;
+    std::future<T> result;
+  };
+  std::vector<Shard> shards;
+  for (std::size_t begin = 0; begin < count; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, count);
+    shards.push_back(
+        {begin, end, pool.submit([&mapper, &combiner, identity, begin, end] {
+           T acc = identity;
+           for (std::size_t i = begin; i < end; ++i) {
+             combiner(acc, mapper(i));
+           }
+           return acc;
+         })});
+  }
+  T total = identity;
+  for (auto& s : shards) combiner(total, s.result.get());
+  return total;
+}
+
+}  // namespace peerscope::util

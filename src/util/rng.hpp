@@ -1,0 +1,122 @@
+// Deterministic pseudo-random number generation.
+//
+// Simulation reproducibility is a hard requirement (DESIGN.md §5.1):
+// the same experiment seed must give bit-identical traces on every
+// platform. std::mt19937 would work but its distributions
+// (std::uniform_int_distribution et al.) are implementation-defined, so
+// we ship our own generator (xoshiro256**, seeded via splitmix64) and
+// our own distribution transforms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace peerscope::util {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state
+/// and to derive independent child seeds (seed-tree pattern).
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high quality, tiny state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm{seed};
+    for (auto& s : state_) s = sm.next();
+  }
+
+  /// Derives an independent generator; children with distinct tags are
+  /// statistically independent of the parent and of each other.
+  [[nodiscard]] Rng fork(std::uint64_t tag) const {
+    SplitMix64 sm{state_[0] ^ (state_[3] + 0x9e3779b97f4a7c15ULL * (tag + 1))};
+    Rng child{sm.next()};
+    return child;
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (for std::shuffle).
+  std::uint64_t operator()() { return next_u64(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform integer in [0, bound). Lemire's nearly-divisionless method.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Exponential with given mean (inverse-CDF).
+  double exponential(double mean);
+
+  /// Standard normal via Marsaglia polar method (deterministic given the
+  /// stream position).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Pareto (heavy-tailed) with shape alpha and minimum xm.
+  double pareto(double xm, double alpha);
+
+  /// Log-normal parameterised by the mean/stddev of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Weights must be non-negative with a positive sum.
+  std::size_t weighted_pick(std::span<const double> weights);
+
+  /// Samples k distinct indices from [0, n) (Floyd's algorithm); order is
+  /// unspecified but deterministic. If k >= n returns all of [0, n).
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(
+      std::size_t n, std::size_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace peerscope::util

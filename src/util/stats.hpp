@@ -1,0 +1,89 @@
+// Streaming and batch statistics used across trace analysis and report
+// generation: online mean/variance/min/max (Welford), percentiles over
+// collected samples, and fixed-width histograms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace peerscope::util {
+
+/// Welford online accumulator: numerically stable single-pass mean and
+/// variance plus min/max. Merge-able, so per-shard accumulators can be
+/// reduced associatively in parallel analysis.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator (Chan et al. parallel update).
+  void merge(const OnlineStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile with linear interpolation between closest ranks
+/// (the "linear" / type-7 estimator). `q` in [0, 1]. The input span is
+/// copied; use `percentile_inplace` to avoid the copy when the caller
+/// owns the buffer.
+[[nodiscard]] double percentile(std::span<const double> samples, double q);
+
+/// As `percentile` but sorts the given buffer in place.
+[[nodiscard]] double percentile_inplace(std::span<double> samples, double q);
+
+/// Median shorthand.
+[[nodiscard]] double median(std::span<const double> samples);
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into
+/// the edge bins so no data is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const {
+    return counts_[bin];
+  }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Value below which fraction `q` of the (weighted) mass lies,
+  /// interpolated within the containing bin.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Crude terminal rendering for reports (one line per bin).
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Ratio helper: percentage a/(a+b), 0 when both are zero. Used all over
+/// the preference framework (Eqs. 7-8 of the paper).
+[[nodiscard]] double percentage(double part, double complement);
+
+}  // namespace peerscope::util

@@ -1,0 +1,97 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+
+namespace peerscope::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("TextTable: header must be non-empty");
+  }
+  align_.assign(header_.size(), Align::kRight);
+  align_[0] = Align::kLeft;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() > header_.size()) {
+    throw std::invalid_argument("TextTable: row wider than header");
+  }
+  cells.resize(header_.size());
+  rows_.push_back({std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+void TextTable::set_align(std::size_t column, Align align) {
+  align_.at(column) = align;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  auto emit_cells = [&](std::ostringstream& out,
+                        const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << "| ";
+      const std::size_t pad = width[c] - cells[c].size();
+      if (align_[c] == Align::kRight) out << std::string(pad, ' ');
+      out << cells[c];
+      if (align_[c] == Align::kLeft) out << std::string(pad, ' ');
+      out << ' ';
+    }
+    out << "|\n";
+  };
+  auto emit_rule = [&](std::ostringstream& out) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      out << '+' << std::string(width[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+
+  std::ostringstream out;
+  emit_rule(out);
+  emit_cells(out, header_);
+  emit_rule(out);
+  for (const auto& row : rows_) {
+    if (row.rule_before) emit_rule(out);
+    emit_cells(out, row.cells);
+  }
+  emit_rule(out);
+  return out.str();
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << v;
+  return out.str();
+}
+
+std::string TextTable::count(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace peerscope::util

@@ -1,0 +1,60 @@
+// Fixed-size worker pool with a simple shared queue.
+//
+// Used to run independent experiments (3 applications x seeds)
+// concurrently and to shard trace analysis by probe. Results are
+// combined by associative reduction so any worker count yields identical
+// output (DESIGN.md §5.6).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace peerscope::util {
+
+class ThreadPool {
+ public:
+  /// `workers == 0` selects std::thread::hardware_concurrency() (at
+  /// least 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
+
+  /// Enqueues a task; the future resolves with its result (or exception).
+  template <typename F>
+  [[nodiscard]] std::future<std::invoke_result_t<F>> submit(F&& f) {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock{mutex_};
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool::submit after shutdown");
+      }
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool stopping_ = false;
+};
+
+}  // namespace peerscope::util

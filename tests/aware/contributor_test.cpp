@@ -1,0 +1,58 @@
+#include "aware/contributor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peerscope::aware {
+namespace {
+
+PairObservation with_video(std::uint64_t rx_pkts, std::uint64_t tx_pkts) {
+  PairObservation obs;
+  obs.rx_video_pkts = rx_pkts;
+  obs.tx_video_pkts = tx_pkts;
+  return obs;
+}
+
+TEST(Contributor, DefaultThresholdIsOneChunk) {
+  const ContributorConfig cfg;
+  EXPECT_EQ(cfg.min_video_packets, 13u);
+}
+
+TEST(Contributor, RxContributor) {
+  const ContributorConfig cfg;
+  EXPECT_FALSE(is_rx_contributor(with_video(0, 0), cfg));
+  EXPECT_FALSE(is_rx_contributor(with_video(12, 0), cfg));
+  EXPECT_TRUE(is_rx_contributor(with_video(13, 0), cfg));
+  EXPECT_TRUE(is_rx_contributor(with_video(1000, 0), cfg));
+}
+
+TEST(Contributor, TxContributor) {
+  const ContributorConfig cfg;
+  EXPECT_FALSE(is_tx_contributor(with_video(0, 12), cfg));
+  EXPECT_TRUE(is_tx_contributor(with_video(0, 13), cfg));
+}
+
+TEST(Contributor, UnionContributor) {
+  const ContributorConfig cfg;
+  EXPECT_TRUE(is_contributor(with_video(13, 0), cfg));
+  EXPECT_TRUE(is_contributor(with_video(0, 13), cfg));
+  EXPECT_TRUE(is_contributor(with_video(13, 13), cfg));
+  EXPECT_FALSE(is_contributor(with_video(12, 12), cfg));
+}
+
+TEST(Contributor, SignalingOnlyPeerIsNotContributor) {
+  const ContributorConfig cfg;
+  PairObservation obs;
+  obs.rx_pkts = 500;       // lots of signaling traffic
+  obs.rx_bytes = 60'000;
+  obs.rx_video_pkts = 0;   // but no video
+  EXPECT_FALSE(is_contributor(obs, cfg));
+}
+
+TEST(Contributor, CustomThreshold) {
+  const ContributorConfig cfg{.min_video_packets = 1};
+  EXPECT_TRUE(is_rx_contributor(with_video(1, 0), cfg));
+  EXPECT_FALSE(is_rx_contributor(with_video(0, 0), cfg));
+}
+
+}  // namespace
+}  // namespace peerscope::aware

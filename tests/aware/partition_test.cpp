@@ -1,0 +1,144 @@
+#include "aware/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace peerscope::aware {
+namespace {
+
+PairObservation base_obs() {
+  PairObservation obs;
+  obs.probe_as = net::AsId{2};
+  obs.remote_as = net::AsId{210};
+  obs.probe_cc = net::kItaly;
+  obs.remote_cc = net::kChina;
+  return obs;
+}
+
+TEST(BwPartition, ThresholdIsOneMillisecond) {
+  const Partition bw = bw_partition();
+  PairObservation obs = base_obs();
+  obs.min_rx_video_ipg_ns = 999'999;
+  EXPECT_EQ(bw(obs), std::optional<bool>{true});
+  obs.min_rx_video_ipg_ns = 1'000'000;
+  EXPECT_EQ(bw(obs), std::optional<bool>{false});
+}
+
+TEST(BwPartition, UnevaluableWithoutIpg) {
+  const Partition bw = bw_partition();
+  const PairObservation obs = base_obs();  // no IPG recorded
+  EXPECT_EQ(bw(obs), std::nullopt);
+}
+
+TEST(BwPartition, CustomThreshold) {
+  const Partition bw = bw_partition(BwConfig{.ipg_threshold_ns = 500'000});
+  PairObservation obs = base_obs();
+  obs.min_rx_video_ipg_ns = 700'000;
+  EXPECT_EQ(bw(obs), std::optional<bool>{false});
+}
+
+TEST(AsPartition, MatchesSameAs) {
+  const Partition as = as_partition();
+  PairObservation obs = base_obs();
+  EXPECT_EQ(as(obs), std::optional<bool>{false});
+  obs.remote_as = obs.probe_as;
+  EXPECT_EQ(as(obs), std::optional<bool>{true});
+}
+
+TEST(AsPartition, UnknownAsIsUnevaluable) {
+  const Partition as = as_partition();
+  PairObservation obs = base_obs();
+  obs.remote_as = net::AsId{};
+  EXPECT_EQ(as(obs), std::nullopt);
+}
+
+TEST(CcPartition, MatchesSameCountry) {
+  const Partition cc = cc_partition();
+  PairObservation obs = base_obs();
+  EXPECT_EQ(cc(obs), std::optional<bool>{false});
+  obs.remote_cc = net::kItaly;
+  EXPECT_EQ(cc(obs), std::optional<bool>{true});
+}
+
+TEST(CcPartition, SameAsImpliesSameCcInPractice) {
+  // Structural check of the data model: an observation with equal AS
+  // attributes built from one registry entry has equal CC too; the
+  // partitions must then nest (AS-preferred subset of CC-preferred).
+  PairObservation obs = base_obs();
+  obs.remote_as = obs.probe_as;
+  obs.remote_cc = obs.probe_cc;
+  EXPECT_EQ(as_partition()(obs), std::optional<bool>{true});
+  EXPECT_EQ(cc_partition()(obs), std::optional<bool>{true});
+}
+
+TEST(NetPartition, SameSubnetFlag) {
+  const Partition net = net_partition();
+  PairObservation obs = base_obs();
+  EXPECT_EQ(net(obs), std::optional<bool>{false});
+  obs.same_subnet = true;
+  EXPECT_EQ(net(obs), std::optional<bool>{true});
+}
+
+TEST(HopPartition, DefaultThresholdIsNineteen) {
+  const Partition hop = hop_partition();
+  PairObservation obs = base_obs();
+  obs.rx_hops = 18;
+  EXPECT_EQ(hop(obs), std::optional<bool>{true});
+  obs.rx_hops = 19;
+  EXPECT_EQ(hop(obs), std::optional<bool>{false});
+}
+
+TEST(HopPartition, UnevaluableWithoutRx) {
+  const Partition hop = hop_partition();
+  PairObservation obs = base_obs();
+  obs.rx_hops = -1;
+  EXPECT_EQ(hop(obs), std::nullopt);
+}
+
+TEST(HopPartition, ZeroHopsIsPreferred) {
+  const Partition hop = hop_partition();
+  PairObservation obs = base_obs();
+  obs.rx_hops = 0;
+  EXPECT_EQ(hop(obs), std::optional<bool>{true});
+}
+
+TEST(MakePartition, CoversAllMetrics) {
+  PairObservation obs = base_obs();
+  obs.min_rx_video_ipg_ns = 100;
+  obs.rx_hops = 5;
+  obs.same_subnet = true;
+  obs.remote_as = obs.probe_as;
+  obs.remote_cc = obs.probe_cc;
+  for (const Metric m : {Metric::kBw, Metric::kAs, Metric::kCc, Metric::kNet,
+                         Metric::kHop}) {
+    EXPECT_EQ(make_partition(m)(obs), std::optional<bool>{true})
+        << to_string(m);
+  }
+}
+
+TEST(MetricNames, MatchPaper) {
+  EXPECT_EQ(to_string(Metric::kBw), "BW");
+  EXPECT_EQ(to_string(Metric::kAs), "AS");
+  EXPECT_EQ(to_string(Metric::kCc), "CC");
+  EXPECT_EQ(to_string(Metric::kNet), "NET");
+  EXPECT_EQ(to_string(Metric::kHop), "HOP");
+}
+
+TEST(MedianHops, IgnoresUnknowns) {
+  std::vector<PairObservation> obs(5, base_obs());
+  obs[0].rx_hops = 10;
+  obs[1].rx_hops = 20;
+  obs[2].rx_hops = 30;
+  obs[3].rx_hops = -1;  // no RX
+  obs[4].rx_hops = -1;
+  EXPECT_DOUBLE_EQ(median_hops(obs), 20.0);
+}
+
+TEST(MedianHops, EmptyIsZero) {
+  std::vector<PairObservation> obs;
+  EXPECT_EQ(median_hops(obs), 0.0);
+}
+
+}  // namespace
+}  // namespace peerscope::aware

@@ -1,0 +1,150 @@
+#include "aware/preference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace peerscope::aware {
+namespace {
+
+// Builds a contributor observation: video volume in both directions,
+// with same-AS membership controlling the partition outcome.
+PairObservation contributor(bool same_as, std::uint64_t rx_bytes,
+                            std::uint64_t tx_bytes, bool napa = false) {
+  PairObservation obs;
+  obs.probe_as = net::AsId{2};
+  obs.remote_as = same_as ? net::AsId{2} : net::AsId{210};
+  obs.probe_cc = net::kItaly;
+  obs.remote_cc = same_as ? net::kItaly : net::kChina;
+  obs.rx_video_pkts = rx_bytes / 1250;
+  obs.rx_video_bytes = rx_bytes;
+  obs.tx_video_pkts = tx_bytes / 1250;
+  obs.tx_video_bytes = tx_bytes;
+  obs.remote_is_napa = napa;
+  return obs;
+}
+
+constexpr std::uint64_t kChunk = 16'250;  // 13 packets -> contributor
+
+TEST(Preference, HandComputedEquations) {
+  // Three download contributors: two same-AS (prefer) with 2 and 1
+  // chunks, one foreign with 5 chunks.
+  std::vector<PairObservation> obs{
+      contributor(true, 2 * kChunk, 0),
+      contributor(true, 1 * kChunk, 0),
+      contributor(false, 5 * kChunk, 0),
+  };
+  PreferenceOptions opt;
+  opt.dir = Dir::kDownload;
+  const PreferenceCounts counts =
+      evaluate_preference(obs, as_partition(), opt);
+  EXPECT_EQ(counts.peers_pref, 2u);       // Eq. 1
+  EXPECT_EQ(counts.peers_nonpref, 1u);    // Eq. 3
+  EXPECT_EQ(counts.bytes_pref, 3 * kChunk);     // Eq. 2
+  EXPECT_EQ(counts.bytes_nonpref, 5 * kChunk);  // Eq. 4
+  EXPECT_DOUBLE_EQ(counts.peer_pct(), 100.0 * 2 / 3);   // Eq. 7
+  EXPECT_DOUBLE_EQ(counts.byte_pct(), 100.0 * 3 / 8);   // Eq. 8
+}
+
+TEST(Preference, NonContributorsAreExcluded) {
+  std::vector<PairObservation> obs{
+      contributor(true, 2 * kChunk, 0),
+      contributor(true, 500, 0),  // below the contributor threshold
+  };
+  PreferenceOptions opt;
+  const PreferenceCounts counts =
+      evaluate_preference(obs, as_partition(), opt);
+  EXPECT_EQ(counts.peers_pref, 1u);
+  EXPECT_EQ(counts.bytes_pref, 2 * kChunk);
+}
+
+TEST(Preference, UploadDirectionUsesTxSets) {
+  std::vector<PairObservation> obs{
+      contributor(true, 0, 3 * kChunk),
+      contributor(false, 4 * kChunk, 0),  // download-only contributor
+  };
+  PreferenceOptions opt;
+  opt.dir = Dir::kUpload;
+  const PreferenceCounts counts =
+      evaluate_preference(obs, as_partition(), opt);
+  EXPECT_EQ(counts.peers_pref, 1u);
+  EXPECT_EQ(counts.peers_nonpref, 0u);
+  EXPECT_EQ(counts.bytes_pref, 3 * kChunk);
+  EXPECT_DOUBLE_EQ(counts.peer_pct(), 100.0);
+}
+
+TEST(Preference, ExcludeNapaDropsProbePeers) {
+  std::vector<PairObservation> obs{
+      contributor(true, 10 * kChunk, 0, /*napa=*/true),
+      contributor(true, 1 * kChunk, 0),
+      contributor(false, 1 * kChunk, 0),
+  };
+  PreferenceOptions opt;
+  opt.exclude_napa = true;
+  const PreferenceCounts counts =
+      evaluate_preference(obs, as_partition(), opt);
+  EXPECT_EQ(counts.peers_pref, 1u);
+  EXPECT_EQ(counts.bytes_pref, 1 * kChunk);
+  EXPECT_DOUBLE_EQ(counts.peer_pct(), 50.0);
+
+  opt.exclude_napa = false;
+  const PreferenceCounts all = evaluate_preference(obs, as_partition(), opt);
+  EXPECT_EQ(all.peers_pref, 2u);
+  EXPECT_EQ(all.bytes_pref, 11 * kChunk);
+}
+
+TEST(Preference, UnevaluablePeersCountedSeparately) {
+  std::vector<PairObservation> obs{
+      contributor(true, 2 * kChunk, 0),
+  };
+  obs.push_back(contributor(false, 2 * kChunk, 0));
+  obs.back().remote_as = net::AsId{};  // unknown AS -> unevaluable
+  PreferenceOptions opt;
+  const PreferenceCounts counts =
+      evaluate_preference(obs, as_partition(), opt);
+  EXPECT_EQ(counts.peers_pref, 1u);
+  EXPECT_EQ(counts.peers_nonpref, 0u);
+  EXPECT_EQ(counts.peers_unevaluable, 1u);
+}
+
+TEST(Preference, MergeAggregatesAcrossProbes) {
+  // Eq. 5-6: totals over the probe set are plain sums.
+  std::vector<PairObservation> probe1{contributor(true, kChunk, 0)};
+  std::vector<PairObservation> probe2{contributor(false, 3 * kChunk, 0)};
+  PreferenceOptions opt;
+  PreferenceCounts total = evaluate_preference(probe1, as_partition(), opt);
+  total.merge(evaluate_preference(probe2, as_partition(), opt));
+  EXPECT_EQ(total.peers_total(), 2u);
+  EXPECT_DOUBLE_EQ(total.peer_pct(), 50.0);
+  EXPECT_DOUBLE_EQ(total.byte_pct(), 25.0);
+}
+
+TEST(Preference, EmptySetYieldsZeroPercent) {
+  std::vector<PairObservation> obs;
+  PreferenceOptions opt;
+  const PreferenceCounts counts =
+      evaluate_preference(obs, as_partition(), opt);
+  EXPECT_EQ(counts.peers_total(), 0u);
+  EXPECT_EQ(counts.peer_pct(), 0.0);
+  EXPECT_EQ(counts.byte_pct(), 0.0);
+}
+
+TEST(Preference, BytePreferenceCanExceedPeerPreference) {
+  // The paper's central observable: few preferred peers carrying a
+  // disproportionate share of bytes (B >> P).
+  std::vector<PairObservation> obs{
+      contributor(true, 20 * kChunk, 0),
+      contributor(false, 1 * kChunk, 0),
+      contributor(false, 1 * kChunk, 0),
+      contributor(false, 1 * kChunk, 0),
+  };
+  PreferenceOptions opt;
+  const PreferenceCounts counts =
+      evaluate_preference(obs, as_partition(), opt);
+  EXPECT_DOUBLE_EQ(counts.peer_pct(), 25.0);
+  EXPECT_NEAR(counts.byte_pct(), 100.0 * 20 / 23, 1e-9);
+  EXPECT_GT(counts.byte_pct(), counts.peer_pct());
+}
+
+}  // namespace
+}  // namespace peerscope::aware

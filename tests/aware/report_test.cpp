@@ -1,0 +1,243 @@
+#include "aware/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace peerscope::aware {
+namespace {
+
+using net::Ipv4Addr;
+
+constexpr std::uint64_t kChunk = 16'250;
+
+PairObservation make_obs(Ipv4Addr probe, Ipv4Addr remote,
+                         std::uint64_t rx_video, std::uint64_t tx_video,
+                         bool napa = false) {
+  PairObservation obs;
+  obs.probe = probe;
+  obs.remote = remote;
+  obs.probe_as = net::AsId{2};
+  obs.probe_cc = net::kItaly;
+  // Probe remotes live in the probe's own AS/country (they are the
+  // Table I machines); background remotes are Chinese.
+  obs.remote_as = napa ? net::AsId{2} : net::AsId{210};
+  obs.remote_cc = napa ? net::kItaly : net::kChina;
+  obs.rx_video_pkts = rx_video / 1250;
+  obs.rx_video_bytes = rx_video;
+  obs.rx_bytes = rx_video;
+  obs.rx_pkts = obs.rx_video_pkts;
+  obs.tx_video_pkts = tx_video / 1250;
+  obs.tx_video_bytes = tx_video;
+  obs.tx_bytes = tx_video;
+  obs.tx_pkts = obs.tx_video_pkts;
+  obs.remote_is_napa = napa;
+  if (rx_video > 0) obs.rx_hops = 20;
+  return obs;
+}
+
+ExperimentObservations two_probe_experiment() {
+  const Ipv4Addr p1{20, 0, 0, 1};
+  const Ipv4Addr p2{20, 0, 0, 2};
+  ExperimentObservations data;
+  data.app = "Test";
+  data.duration = util::SimTime::seconds(100);
+  data.probes = {{p1, net::AsId{2}, net::kItaly, true, "P1"},
+                 {p2, net::AsId{2}, net::kItaly, true, "P2"}};
+  // Probe 1: two remotes plus the other probe.
+  data.per_probe.push_back({
+      make_obs(p1, Ipv4Addr{21, 0, 0, 1}, 4 * kChunk, 0),
+      make_obs(p1, Ipv4Addr{21, 0, 0, 2}, 0, 2 * kChunk),
+      make_obs(p1, p2, 2 * kChunk, 2 * kChunk, /*napa=*/true),
+  });
+  // Probe 2: one shared remote and the other probe.
+  data.per_probe.push_back({
+      make_obs(p2, Ipv4Addr{21, 0, 0, 1}, 2 * kChunk, 0),
+      make_obs(p2, p1, 2 * kChunk, 2 * kChunk, /*napa=*/true),
+  });
+  return data;
+}
+
+TEST(Summarize, RatesAndCounts) {
+  const auto data = two_probe_experiment();
+  const ExperimentSummary s = summarize(data);
+  // Probe 1 RX bytes: 4+2 chunks; probe 2: 2+2 chunks.
+  const double p1_kbps = 6.0 * kChunk * 8.0 / 100.0 / 1e3;
+  const double p2_kbps = 4.0 * kChunk * 8.0 / 100.0 / 1e3;
+  EXPECT_NEAR(s.rx_kbps_mean, (p1_kbps + p2_kbps) / 2, 1e-9);
+  EXPECT_NEAR(s.rx_kbps_max, p1_kbps, 1e-9);
+  EXPECT_DOUBLE_EQ(s.all_peers_mean, 2.5);
+  EXPECT_EQ(s.all_peers_max, 3u);
+  EXPECT_DOUBLE_EQ(s.contrib_rx_mean, 2.0);
+  EXPECT_EQ(s.contrib_rx_max, 2u);
+  EXPECT_DOUBLE_EQ(s.contrib_tx_mean, 1.5);
+  // Union of remotes: 21.0.0.1, 21.0.0.2, p1, p2.
+  EXPECT_EQ(s.observed_total, 4u);
+}
+
+TEST(Summarize, EmptyExperiment) {
+  ExperimentObservations data;
+  const ExperimentSummary s = summarize(data);
+  EXPECT_EQ(s.observed_total, 0u);
+  EXPECT_EQ(s.rx_kbps_mean, 0.0);
+}
+
+TEST(SelfBias, CountsNapaShare) {
+  const auto data = two_probe_experiment();
+  const SelfBias bias = self_bias(data);
+  // Contributors: p1 sees 3 (1 napa), p2 sees 2 (1 napa) -> 2/5.
+  EXPECT_DOUBLE_EQ(bias.contributors_peer_pct, 40.0);
+  // Bytes (rx+tx): napa flows carry (2+2)+(2+2) = 8 chunks of
+  // (4)+(2)+(4)+(2)+(4) = 16 total.
+  EXPECT_NEAR(bias.contributors_bytes_pct, 50.0, 1e-9);
+  EXPECT_DOUBLE_EQ(bias.all_peers_peer_pct, 40.0);
+}
+
+TEST(AwarenessTable, HasFiveMetricRows) {
+  const auto data = two_probe_experiment();
+  const auto rows = awareness_table(data);
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].metric, Metric::kBw);
+  EXPECT_EQ(rows[1].metric, Metric::kAs);
+  EXPECT_EQ(rows[2].metric, Metric::kCc);
+  EXPECT_EQ(rows[3].metric, Metric::kNet);
+  EXPECT_EQ(rows[4].metric, Metric::kHop);
+}
+
+TEST(AwarenessTable, BwUploadIsUndefined) {
+  const auto data = two_probe_experiment();
+  const auto rows = awareness_table(data);
+  EXPECT_FALSE(rows[0].upload.b_pct.has_value());
+  EXPECT_FALSE(rows[0].upload.p_pct.has_value());
+}
+
+TEST(AwarenessTable, AsRowReflectsSyntheticData) {
+  const auto data = two_probe_experiment();
+  const auto rows = awareness_table(data);
+  // All non-napa remotes are foreign-AS; only the napa probes share
+  // the AS. Non-NAPA: 0% preferred.
+  ASSERT_TRUE(rows[1].download.p_prime_pct.has_value());
+  EXPECT_DOUBLE_EQ(*rows[1].download.p_prime_pct, 0.0);
+  // All-contributors download: p1 has {A: 4ch, napa 2ch}, p2 has
+  // {A: 2ch, napa 2ch}: peers 2/4 same-AS, bytes 4/10.
+  ASSERT_TRUE(rows[1].download.p_pct.has_value());
+  EXPECT_DOUBLE_EQ(*rows[1].download.p_pct, 50.0);
+  EXPECT_DOUBLE_EQ(*rows[1].download.b_pct, 40.0);
+}
+
+TEST(AwarenessTable, HopRowUsesFixedThreshold) {
+  auto data = two_probe_experiment();
+  // All synthetic hops are 20 >= 19 -> nothing preferred.
+  const auto rows = awareness_table(data);
+  ASSERT_TRUE(rows[4].download.p_pct.has_value());
+  EXPECT_DOUBLE_EQ(*rows[4].download.p_pct, 0.0);
+  // Lower the threshold config above the synthetic value.
+  AwarenessConfig cfg;
+  cfg.hop.threshold_hops = 25;
+  const auto rows2 = awareness_table(data, cfg);
+  EXPECT_DOUBLE_EQ(*rows2[4].download.p_pct, 100.0);
+}
+
+TEST(GeoBreakdown, SharesSumToHundred) {
+  const auto data = two_probe_experiment();
+  const auto shares = geo_breakdown(data);
+  ASSERT_EQ(shares.size(), 6u);  // CN HU IT FR PL *
+  double peer_total = 0, rx_total = 0, tx_total = 0;
+  for (const auto& s : shares) {
+    peer_total += s.peer_pct;
+    rx_total += s.rx_bytes_pct;
+    tx_total += s.tx_bytes_pct;
+  }
+  EXPECT_NEAR(peer_total, 100.0, 1e-9);
+  EXPECT_NEAR(rx_total, 100.0, 1e-9);
+  EXPECT_NEAR(tx_total, 100.0, 1e-9);
+}
+
+TEST(GeoBreakdown, BucketsByCountry) {
+  const auto data = two_probe_experiment();
+  const auto shares = geo_breakdown(data);
+  // Order: CN, HU, IT, FR, PL, *.
+  EXPECT_EQ(shares[0].cc, net::kChina);
+  EXPECT_EQ(shares[2].cc, net::kItaly);
+  // 3 CN remotes of 5 observations; 2 IT (napa) observations.
+  EXPECT_DOUBLE_EQ(shares[0].peer_pct, 60.0);
+  EXPECT_DOUBLE_EQ(shares[2].peer_pct, 40.0);
+  EXPECT_DOUBLE_EQ(shares[1].peer_pct, 0.0);
+  EXPECT_FALSE(shares[5].cc.known());
+}
+
+TEST(AsMatrix, IntraAsTrafficAndRatio) {
+  const Ipv4Addr p1{20, 0, 0, 1};
+  const Ipv4Addr p2{20, 0, 1, 2};  // same AS, different subnet
+  const Ipv4Addr p3{21, 0, 0, 1};
+  ExperimentObservations data;
+  data.app = "Test";
+  data.probes = {{p1, net::AsId{2}, net::kItaly, true, "P1"},
+                 {p2, net::AsId{2}, net::kItaly, true, "P2"},
+                 {p3, net::AsId{4}, net::kFrance, true, "P3"}};
+  // p1 uploads 10 chunks to p2 (intra-AS) and 2 to p3 (inter).
+  data.per_probe.push_back({
+      make_obs(p1, p2, 0, 10 * kChunk, true),
+      make_obs(p1, p3, 0, 2 * kChunk, true),
+  });
+  data.per_probe.push_back({});
+  data.per_probe.push_back({});
+
+  const AsMatrix matrix = as_traffic_matrix(data);
+  ASSERT_EQ(matrix.ases.size(), 2u);
+  EXPECT_EQ(matrix.ases[0], net::AsId{2});
+  EXPECT_EQ(matrix.ases[1], net::AsId{4});
+  // Intra-AS2: 10 chunks over 2 ordered pairs -> 5 chunks mean.
+  EXPECT_DOUBLE_EQ(matrix.at(0, 0), 5.0 * kChunk);
+  // AS2 -> AS4: 2 chunks over 2 ordered pairs -> 1 chunk mean.
+  EXPECT_DOUBLE_EQ(matrix.at(0, 1), 1.0 * kChunk);
+  EXPECT_DOUBLE_EQ(matrix.at(1, 0), 0.0);
+  // R = intra mean / inter mean = (10/2) / (2/4); no same-subnet pairs
+  // here, so both ratio variants agree.
+  EXPECT_DOUBLE_EQ(matrix.intra_inter_ratio, 10.0);
+  EXPECT_DOUBLE_EQ(matrix.intra_inter_ratio_with_lan, 10.0);
+}
+
+TEST(AsMatrix, SameSubnetPairsExcludedFromR) {
+  const Ipv4Addr p1{20, 0, 0, 1};
+  const Ipv4Addr lan_mate{20, 0, 0, 2};  // same /24
+  const Ipv4Addr p2{20, 0, 1, 2};        // same AS, other subnet
+  const Ipv4Addr p3{21, 0, 0, 1};        // other AS
+  ExperimentObservations data;
+  data.probes = {{p1, net::AsId{2}, net::kItaly, true, "P1"},
+                 {lan_mate, net::AsId{2}, net::kItaly, true, "P1b"},
+                 {p2, net::AsId{2}, net::kItaly, true, "P2"},
+                 {p3, net::AsId{4}, net::kFrance, true, "P3"}};
+  // Heavy LAN exchange plus a little inter-AS traffic.
+  auto lan_obs = make_obs(p1, lan_mate, 0, 100 * kChunk, true);
+  lan_obs.same_subnet = true;
+  data.per_probe.push_back({
+      lan_obs,
+      make_obs(p1, p3, 0, 2 * kChunk, true),
+  });
+  data.per_probe.push_back({});
+  data.per_probe.push_back({});
+  data.per_probe.push_back({});
+
+  const AsMatrix matrix = as_traffic_matrix(data);
+  // Including LAN pairs, intra-AS dominates by far...
+  EXPECT_GT(matrix.intra_inter_ratio_with_lan, 10.0);
+  // ...but the paper's R (same-subnet excluded) sees no intra bias.
+  EXPECT_EQ(matrix.intra_inter_ratio, 0.0);
+}
+
+TEST(AsMatrix, ExcludesLowBandwidthProbes) {
+  const Ipv4Addr p1{20, 0, 0, 1};
+  const Ipv4Addr dsl{22, 0, 0, 1};
+  ExperimentObservations data;
+  data.probes = {{p1, net::AsId{2}, net::kItaly, true, "P1"},
+                 {dsl, net::AsId{11}, net::kItaly, false, "Home"}};
+  data.per_probe.push_back({make_obs(p1, dsl, 0, 5 * kChunk, true)});
+  data.per_probe.push_back({});
+  const AsMatrix matrix = as_traffic_matrix(data);
+  ASSERT_EQ(matrix.ases.size(), 1u);
+  EXPECT_EQ(matrix.at(0, 0), 0.0);  // no second high-bw probe in AS2
+}
+
+}  // namespace
+}  // namespace peerscope::aware

@@ -1,0 +1,125 @@
+#include "aware/temporal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/packet.hpp"
+
+namespace peerscope::aware {
+namespace {
+
+using net::Ipv4Addr;
+using trace::Direction;
+using trace::PacketRecord;
+using util::SimTime;
+
+const Ipv4Addr kA{20, 0, 0, 1};
+const Ipv4Addr kB{20, 0, 0, 2};
+
+PacketRecord rec(std::int64_t ms, Ipv4Addr remote, Direction dir,
+                 std::int32_t bytes,
+                 sim::PacketKind kind = sim::PacketKind::kVideo) {
+  return {SimTime::millis(ms), remote, bytes, dir, kind, 110};
+}
+
+TEST(TimeSeries, SplitsRatesPerInterval) {
+  std::vector<PacketRecord> records{
+      rec(100, kA, Direction::kRx, 1250),
+      rec(200, kA, Direction::kTx, 1250),
+      rec(1100, kB, Direction::kRx, 2500),
+  };
+  const auto series =
+      time_series(records, SimTime::seconds(2), SimTime::seconds(1));
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].rx_kbps, 1250 * 8.0 / 1e3);
+  EXPECT_DOUBLE_EQ(series[0].tx_kbps, 1250 * 8.0 / 1e3);
+  EXPECT_DOUBLE_EQ(series[1].rx_kbps, 2500 * 8.0 / 1e3);
+  EXPECT_EQ(series[0].active_peers, 1u);
+  EXPECT_EQ(series[1].active_peers, 1u);
+}
+
+TEST(TimeSeries, CountsNewPeersOnce) {
+  std::vector<PacketRecord> records{
+      rec(100, kA, Direction::kRx, 100),
+      rec(1100, kA, Direction::kRx, 100),
+      rec(1200, kB, Direction::kRx, 100),
+  };
+  const auto series =
+      time_series(records, SimTime::seconds(2), SimTime::seconds(1));
+  EXPECT_EQ(series[0].new_peers, 1u);
+  EXPECT_EQ(series[1].new_peers, 1u);  // only B is new
+  EXPECT_EQ(series[1].active_peers, 2u);
+}
+
+TEST(TimeSeries, ContributorCrossingAttributedToInterval) {
+  std::vector<PacketRecord> records;
+  // 12 video packets in interval 0, the 13th (threshold) in interval 1.
+  for (int i = 0; i < 12; ++i) {
+    records.push_back(rec(10 + i, kA, Direction::kRx, 1250));
+  }
+  records.push_back(rec(1500, kA, Direction::kRx, 1250));
+  const auto series =
+      time_series(records, SimTime::seconds(2), SimTime::seconds(1));
+  EXPECT_EQ(series[0].new_rx_contributors, 0u);
+  EXPECT_EQ(series[1].new_rx_contributors, 1u);
+}
+
+TEST(TimeSeries, IgnoresRecordsPastDuration) {
+  std::vector<PacketRecord> records{
+      rec(500, kA, Direction::kRx, 100),
+      rec(5000, kA, Direction::kRx, 100),  // beyond horizon
+  };
+  const auto series =
+      time_series(records, SimTime::seconds(1), SimTime::seconds(1));
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].active_peers, 1u);
+}
+
+TEST(TimeSeries, RejectsBadIntervals) {
+  std::vector<PacketRecord> records;
+  EXPECT_THROW((void)time_series(records, SimTime::seconds(1),
+                                 SimTime::zero()),
+               std::invalid_argument);
+  EXPECT_THROW((void)time_series(records, SimTime::zero(),
+                                 SimTime::seconds(1)),
+               std::invalid_argument);
+}
+
+TEST(TimeSeries, UnsortedInputHandled) {
+  std::vector<PacketRecord> records{
+      rec(1100, kB, Direction::kRx, 2500),
+      rec(100, kA, Direction::kRx, 1250),
+  };
+  const auto series =
+      time_series(records, SimTime::seconds(2), SimTime::seconds(1));
+  EXPECT_EQ(series[0].new_peers, 1u);
+  EXPECT_EQ(series[1].new_peers, 1u);
+}
+
+TEST(SessionStability, SpansPerPeer) {
+  std::vector<PacketRecord> records{
+      rec(0, kA, Direction::kRx, 100),
+      rec(10'000, kA, Direction::kRx, 100),   // A: 10 s span
+      rec(2'000, kB, Direction::kTx, 100),
+      rec(4'000, kB, Direction::kRx, 100),    // B: 2 s span
+  };
+  const auto stats = session_stability(records);
+  EXPECT_EQ(stats.peers, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_session_s, 6.0);
+  EXPECT_DOUBLE_EQ(stats.median_session_s, 6.0);
+}
+
+TEST(SessionStability, EmptyInput) {
+  const auto stats = session_stability({});
+  EXPECT_EQ(stats.peers, 0u);
+  EXPECT_EQ(stats.mean_session_s, 0.0);
+}
+
+TEST(SessionStability, SinglePacketPeerHasZeroSpan) {
+  std::vector<PacketRecord> records{rec(100, kA, Direction::kRx, 100)};
+  const auto stats = session_stability(records);
+  EXPECT_EQ(stats.peers, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_session_s, 0.0);
+}
+
+}  // namespace
+}  // namespace peerscope::aware

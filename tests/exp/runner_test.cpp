@@ -1,0 +1,97 @@
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aware/report.hpp"
+
+namespace peerscope::exp {
+namespace {
+
+using util::SimTime;
+
+const net::AsTopology& topo() {
+  static const net::AsTopology t = net::make_reference_topology();
+  return t;
+}
+
+RunSpec tiny_spec(std::uint64_t seed = 1) {
+  RunSpec spec;
+  spec.profile = p2p::SystemProfile::tvants();
+  spec.profile.population.background_peers = 120;
+  spec.seed = seed;
+  spec.duration = SimTime::seconds(25);
+  return spec;
+}
+
+TEST(Runner, ProducesObservationsForEveryProbe) {
+  const RunResult result = run_experiment(topo(), tiny_spec());
+  EXPECT_EQ(result.observations.app, "TVAnts");
+  EXPECT_EQ(result.observations.probes.size(), 46u);
+  EXPECT_EQ(result.observations.per_probe.size(), 46u);
+  for (const auto& obs : result.observations.per_probe) {
+    EXPECT_FALSE(obs.empty());
+  }
+  EXPECT_EQ(result.observations.duration, SimTime::seconds(25));
+}
+
+TEST(Runner, ProbeMetaReflectsTestbed) {
+  const RunResult result = run_experiment(topo(), tiny_spec());
+  const auto& probes = result.observations.probes;
+  EXPECT_EQ(probes[0].label, "BME-1");
+  EXPECT_TRUE(probes[0].high_bw);
+  EXPECT_EQ(probes[0].as, net::refas::kAs1);
+  EXPECT_EQ(probes[0].cc, net::kHungary);
+  // BME-5 is the home DSL probe.
+  EXPECT_EQ(probes[4].label, "BME-5");
+  EXPECT_FALSE(probes[4].high_bw);
+}
+
+TEST(Runner, NapaFlagsConsistentWithProbeSet) {
+  const RunResult result = run_experiment(topo(), tiny_spec());
+  std::unordered_set<net::Ipv4Addr> probe_addrs;
+  for (const auto& p : result.observations.probes) {
+    probe_addrs.insert(p.addr);
+  }
+  for (const auto& per_probe : result.observations.per_probe) {
+    for (const auto& obs : per_probe) {
+      EXPECT_EQ(obs.remote_is_napa, probe_addrs.contains(obs.remote));
+    }
+  }
+}
+
+TEST(Runner, ParallelMatchesSerial) {
+  const RunSpec specs[] = {tiny_spec(1), tiny_spec(2)};
+  util::ThreadPool pool{2};
+  const auto parallel = run_experiments(topo(), specs, pool);
+  ASSERT_EQ(parallel.size(), 2u);
+
+  const RunResult serial0 = run_experiment(topo(), specs[0]);
+  const RunResult serial1 = run_experiment(topo(), specs[1]);
+
+  EXPECT_EQ(parallel[0].counters.chunks_delivered,
+            serial0.counters.chunks_delivered);
+  EXPECT_EQ(parallel[1].counters.chunks_delivered,
+            serial1.counters.chunks_delivered);
+
+  const auto sum_rx = [](const RunResult& r) {
+    std::uint64_t total = 0;
+    for (const auto& per_probe : r.observations.per_probe) {
+      for (const auto& obs : per_probe) total += obs.rx_bytes;
+    }
+    return total;
+  };
+  EXPECT_EQ(sum_rx(parallel[0]), sum_rx(serial0));
+  EXPECT_EQ(sum_rx(parallel[1]), sum_rx(serial1));
+}
+
+TEST(Runner, SummaryIsComputableFromResult) {
+  const RunResult result = run_experiment(topo(), tiny_spec());
+  const aware::ExperimentSummary summary =
+      aware::summarize(result.observations);
+  EXPECT_GT(summary.rx_kbps_mean, 100.0);
+  EXPECT_GT(summary.all_peers_mean, 10.0);
+  EXPECT_GT(summary.observed_total, 50u);
+}
+
+}  // namespace
+}  // namespace peerscope::exp

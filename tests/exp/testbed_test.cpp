@@ -1,0 +1,88 @@
+#include "exp/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace peerscope::exp {
+namespace {
+
+TEST(Testbed, Table1Counts) {
+  const Testbed tb = Testbed::table1();
+  EXPECT_EQ(tb.host_count(), 46u);  // as printed in the paper's table
+  EXPECT_EQ(tb.site_count(), 7u);
+  EXPECT_EQ(tb.institution_as_count(), 6u);
+  EXPECT_EQ(tb.home_as_count(), 6u);
+  EXPECT_EQ(tb.home_host_count(), 7u);
+}
+
+TEST(Testbed, RowsGroupLikeThePaper) {
+  const Testbed tb = Testbed::table1();
+  const net::AsTopology topo = net::make_reference_topology();
+  const auto rows = tb.rows(topo);
+
+  // First row: BME hosts 1-4, HU, AS1, high-bw.
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0].hosts, "1-4");
+  EXPECT_EQ(rows[0].site, "BME");
+  EXPECT_EQ(rows[0].country, "HU");
+  EXPECT_EQ(rows[0].as_label, "AS1");
+  EXPECT_EQ(rows[0].access, "high-bw");
+  EXPECT_FALSE(rows[0].nat);
+  EXPECT_FALSE(rows[0].firewall);
+
+  // Second row: the BME home DSL host.
+  EXPECT_EQ(rows[1].hosts, "5");
+  EXPECT_EQ(rows[1].as_label, "ASx");
+  EXPECT_EQ(rows[1].access, "DSL 6/0.512");
+}
+
+TEST(Testbed, RowsCoverAllHosts) {
+  const Testbed tb = Testbed::table1();
+  const net::AsTopology topo = net::make_reference_topology();
+  std::size_t hosts = 0;
+  for (const auto& row : tb.rows(topo)) {
+    const auto dash = row.hosts.find('-');
+    if (dash == std::string::npos) {
+      ++hosts;
+    } else {
+      const int lo = std::stoi(row.hosts.substr(0, dash));
+      const int hi = std::stoi(row.hosts.substr(dash + 1));
+      hosts += static_cast<std::size_t>(hi - lo + 1);
+    }
+  }
+  EXPECT_EQ(hosts, tb.host_count());
+}
+
+TEST(Testbed, EnstRowIsFirewalled) {
+  const Testbed tb = Testbed::table1();
+  const net::AsTopology topo = net::make_reference_topology();
+  bool found = false;
+  for (const auto& row : tb.rows(topo)) {
+    if (row.site == "ENST" && row.access == "high-bw") {
+      EXPECT_TRUE(row.firewall);
+      EXPECT_EQ(row.country, "FR");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Testbed, CountriesMatchTable1) {
+  const Testbed tb = Testbed::table1();
+  const net::AsTopology topo = net::make_reference_topology();
+  for (const auto& row : tb.rows(topo)) {
+    if (row.site == "BME" || row.site == "MT") {
+      EXPECT_EQ(row.country, "HU");
+    }
+    if (row.site == "WUT") {
+      EXPECT_EQ(row.country, "PL");
+    }
+    if (row.site == "FFT") {
+      EXPECT_EQ(row.country, "FR");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace peerscope::exp

@@ -1,0 +1,79 @@
+#include "net/access.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peerscope::net {
+namespace {
+
+TEST(AccessLink, Lan100Defaults) {
+  const AccessLink lan = AccessLink::lan100();
+  EXPECT_EQ(lan.kind, AccessKind::kLan);
+  EXPECT_EQ(lan.up_bps, 100'000'000);
+  EXPECT_EQ(lan.down_bps, 100'000'000);
+  EXPECT_EQ(lan.down_line_bps, 100'000'000);
+  EXPECT_FALSE(lan.nat);
+  EXPECT_FALSE(lan.firewall);
+  EXPECT_TRUE(lan.is_high_bandwidth());
+}
+
+TEST(AccessLink, DslRatesFromTable1) {
+  const AccessLink dsl = AccessLink::dsl(6, 0.512);
+  EXPECT_EQ(dsl.kind, AccessKind::kDsl);
+  EXPECT_EQ(dsl.down_bps, 6'000'000);
+  EXPECT_EQ(dsl.up_bps, 512'000);
+  EXPECT_FALSE(dsl.is_high_bandwidth());
+}
+
+TEST(AccessLink, ShapedDownlinkHasLineRateHeadroom) {
+  // ADSL2+ line rate: short bursts pass at >= 24 Mb/s even on a 2 Mb/s
+  // plan (packet-pair measures the line, not the shaper).
+  const AccessLink dsl = AccessLink::dsl(2, 0.256);
+  EXPECT_EQ(dsl.down_line_bps, 24'000'000);
+  // A plan above the nominal line rate keeps its own rate.
+  const AccessLink fast = AccessLink::dsl(30, 3);
+  EXPECT_EQ(fast.down_line_bps, 30'000'000);
+  // DOCSIS channel rate for cable.
+  const AccessLink cable = AccessLink::catv(6, 0.512);
+  EXPECT_EQ(cable.down_line_bps, 38'000'000);
+}
+
+TEST(AccessLink, HighBandwidthBoundaryIsTenMbps) {
+  AccessLink link = AccessLink::lan100();
+  link.up_bps = 10'000'000;
+  EXPECT_FALSE(link.is_high_bandwidth());  // strictly greater than
+  link.up_bps = 10'000'001;
+  EXPECT_TRUE(link.is_high_bandwidth());
+}
+
+TEST(AccessLink, TransmissionTimes) {
+  const AccessLink lan = AccessLink::lan100();
+  EXPECT_EQ(lan.up_tx_time(1250).ns(), 100'000);
+  EXPECT_EQ(lan.down_tx_time(1250).ns(), 100'000);
+
+  const AccessLink dsl = AccessLink::dsl(4, 0.384);
+  EXPECT_EQ(dsl.up_tx_time(1250).ns(), 26'041'667);
+  // Downlink spacing at line rate (24 Mb/s), not the 4 Mb/s plan.
+  EXPECT_EQ(dsl.down_tx_time(1250).ns(), 416'667);
+}
+
+TEST(AccessLink, NatAndFirewallFlags) {
+  const AccessLink link = AccessLink::dsl(8, 0.384, true, true);
+  EXPECT_TRUE(link.nat);
+  EXPECT_TRUE(link.firewall);
+}
+
+TEST(AccessLink, Describe) {
+  EXPECT_EQ(AccessLink::lan100().describe(), "high-bw");
+  EXPECT_EQ(AccessLink::dsl(6, 0.512).describe(), "DSL 6/0.512");
+  EXPECT_EQ(AccessLink::dsl(8, 0.384, true).describe(), "DSL 8/0.384 NAT");
+  EXPECT_EQ(AccessLink::catv(6, 0.512).describe(), "CATV 6/0.512");
+}
+
+TEST(AccessKindNames, Render) {
+  EXPECT_EQ(to_string(AccessKind::kLan), "high-bw");
+  EXPECT_EQ(to_string(AccessKind::kDsl), "DSL");
+  EXPECT_EQ(to_string(AccessKind::kCatv), "CATV");
+}
+
+}  // namespace
+}  // namespace peerscope::net

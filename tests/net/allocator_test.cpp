@@ -1,0 +1,100 @@
+#include "net/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace peerscope::net {
+namespace {
+
+TEST(AddressAllocator, RegisterAnnouncesBlock) {
+  NetRegistry registry;
+  AddressAllocator alloc{registry};
+  const Ipv4Prefix block = alloc.register_as(AsId{7}, kItaly);
+  EXPECT_EQ(block.length(), 16);
+  EXPECT_EQ(registry.as_of(block.at(1234)), AsId{7});
+  EXPECT_EQ(registry.country_of(block.at(1)), kItaly);
+}
+
+TEST(AddressAllocator, RegisterIsIdempotent) {
+  NetRegistry registry;
+  AddressAllocator alloc{registry};
+  const Ipv4Prefix a = alloc.register_as(AsId{7}, kItaly);
+  const Ipv4Prefix b = alloc.register_as(AsId{7}, kItaly);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.prefix_count(), 1u);
+}
+
+TEST(AddressAllocator, DistinctAsGetDistinctBlocks) {
+  NetRegistry registry;
+  AddressAllocator alloc{registry};
+  const Ipv4Prefix a = alloc.register_as(AsId{1}, kItaly);
+  const Ipv4Prefix b = alloc.register_as(AsId{2}, kFrance);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(a.contains(b));
+  EXPECT_FALSE(b.contains(a));
+}
+
+TEST(AddressAllocator, SubnetsAreDisjointAndInsideBlock) {
+  NetRegistry registry;
+  AddressAllocator alloc{registry};
+  const Ipv4Prefix block = alloc.register_as(AsId{1}, kItaly);
+  const Ipv4Prefix s1 = alloc.new_subnet(AsId{1});
+  const Ipv4Prefix s2 = alloc.new_subnet(AsId{1});
+  EXPECT_TRUE(block.contains(s1));
+  EXPECT_TRUE(block.contains(s2));
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(s1.length(), 24);
+}
+
+TEST(AddressAllocator, HostsInSubnetAreUniqueAndValid) {
+  NetRegistry registry;
+  AddressAllocator alloc{registry};
+  alloc.register_as(AsId{1}, kItaly);
+  const Ipv4Prefix subnet = alloc.new_subnet(AsId{1});
+  std::unordered_set<Ipv4Addr> seen;
+  for (int i = 0; i < 254; ++i) {
+    const Ipv4Addr host = alloc.new_host_in_subnet(subnet);
+    EXPECT_TRUE(subnet.contains(host));
+    EXPECT_NE(host.octet(3), 0);
+    EXPECT_NE(host.octet(3), 255);
+    EXPECT_TRUE(seen.insert(host).second);
+  }
+  EXPECT_THROW((void)alloc.new_host_in_subnet(subnet), std::runtime_error);
+}
+
+TEST(AddressAllocator, ScatteredHostsNeverCollideWithLans) {
+  NetRegistry registry;
+  AddressAllocator alloc{registry};
+  const Ipv4Prefix block = alloc.register_as(AsId{1}, kItaly);
+  const Ipv4Prefix lan = alloc.new_subnet(AsId{1});
+  std::unordered_set<Ipv4Addr> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const Ipv4Addr host = alloc.new_host(AsId{1});
+    EXPECT_TRUE(block.contains(host));
+    EXPECT_FALSE(lan.contains(host));
+    EXPECT_TRUE(seen.insert(host).second);
+  }
+}
+
+TEST(AddressAllocator, UnknownAsThrows) {
+  NetRegistry registry;
+  AddressAllocator alloc{registry};
+  EXPECT_THROW((void)alloc.new_host(AsId{9}), std::out_of_range);
+  EXPECT_THROW((void)alloc.new_subnet(AsId{9}), std::out_of_range);
+  EXPECT_THROW((void)alloc.new_host_in_subnet(
+                   Ipv4Prefix{Ipv4Addr{1, 2, 3, 0}, 24}),
+               std::out_of_range);
+}
+
+TEST(AddressAllocator, RegistryResolvesAllocatedHosts) {
+  NetRegistry registry;
+  AddressAllocator alloc{registry};
+  alloc.register_as(AsId{42}, kChina);
+  const Ipv4Addr host = alloc.new_host(AsId{42});
+  EXPECT_EQ(registry.as_of(host), AsId{42});
+  EXPECT_EQ(registry.country_of(host), kChina);
+}
+
+}  // namespace
+}  // namespace peerscope::net

@@ -1,0 +1,72 @@
+#include "net/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+
+namespace peerscope::net {
+namespace {
+
+TEST(Ipv4Addr, OctetConstruction) {
+  const Ipv4Addr a{10, 1, 2, 3};
+  EXPECT_EQ(a.bits(), 0x0a010203u);
+  EXPECT_EQ(a.octet(0), 10);
+  EXPECT_EQ(a.octet(1), 1);
+  EXPECT_EQ(a.octet(2), 2);
+  EXPECT_EQ(a.octet(3), 3);
+}
+
+TEST(Ipv4Addr, ToStringDottedQuad) {
+  EXPECT_EQ((Ipv4Addr{0, 0, 0, 0}).to_string(), "0.0.0.0");
+  EXPECT_EQ((Ipv4Addr{255, 255, 255, 255}).to_string(), "255.255.255.255");
+  EXPECT_EQ((Ipv4Addr{192, 168, 1, 42}).to_string(), "192.168.1.42");
+}
+
+TEST(Ipv4Addr, ParseRoundTrip) {
+  for (const std::string text :
+       {"0.0.0.0", "10.20.30.40", "255.255.255.255", "1.2.3.4"}) {
+    const auto parsed = Ipv4Addr::parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(parsed->to_string(), text);
+  }
+}
+
+class Ipv4ParseRejects : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Ipv4ParseRejects, Malformed) {
+  EXPECT_FALSE(Ipv4Addr::parse(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadInputs, Ipv4ParseRejects,
+    ::testing::Values("", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.999",
+                      "a.b.c.d", "1..2.3", "1.2.3.4 ", " 1.2.3.4", "01.2.3.4",
+                      "1.2.3.-4", "1,2,3,4", "1.2.3.4x"));
+
+TEST(Ipv4Addr, Ordering) {
+  EXPECT_LT((Ipv4Addr{1, 0, 0, 0}), (Ipv4Addr{2, 0, 0, 0}));
+  EXPECT_LT((Ipv4Addr{1, 0, 0, 1}), (Ipv4Addr{1, 0, 0, 2}));
+  EXPECT_EQ((Ipv4Addr{9, 9, 9, 9}), (Ipv4Addr{9, 9, 9, 9}));
+}
+
+TEST(Ipv4Addr, HashSpreadsSequentialAddresses) {
+  std::unordered_set<std::size_t> hashes;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    hashes.insert(std::hash<Ipv4Addr>{}(Ipv4Addr{0x0a000000u + i}));
+  }
+  // Sequential addresses must not collide.
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(Ipv4Addr, UsableInUnorderedSet) {
+  std::unordered_set<Ipv4Addr> set;
+  set.insert(Ipv4Addr{1, 2, 3, 4});
+  set.insert(Ipv4Addr{1, 2, 3, 4});
+  set.insert(Ipv4Addr{1, 2, 3, 5});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(Ipv4Addr{1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace peerscope::net

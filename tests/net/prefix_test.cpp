@@ -1,0 +1,79 @@
+#include "net/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peerscope::net {
+namespace {
+
+TEST(Ipv4Prefix, CanonicalisesHostBits) {
+  const Ipv4Prefix p{Ipv4Addr{10, 1, 2, 3}, 24};
+  EXPECT_EQ(p.base(), (Ipv4Addr{10, 1, 2, 0}));
+  EXPECT_EQ(p.length(), 24);
+}
+
+TEST(Ipv4Prefix, MaskValues) {
+  EXPECT_EQ((Ipv4Prefix{Ipv4Addr{}, 0}).mask(), 0u);
+  EXPECT_EQ((Ipv4Prefix{Ipv4Addr{}, 8}).mask(), 0xff000000u);
+  EXPECT_EQ((Ipv4Prefix{Ipv4Addr{}, 24}).mask(), 0xffffff00u);
+  EXPECT_EQ((Ipv4Prefix{Ipv4Addr{}, 32}).mask(), 0xffffffffu);
+}
+
+TEST(Ipv4Prefix, ContainsAddress) {
+  const Ipv4Prefix p{Ipv4Addr{10, 1, 0, 0}, 16};
+  EXPECT_TRUE(p.contains(Ipv4Addr{10, 1, 200, 9}));
+  EXPECT_FALSE(p.contains(Ipv4Addr{10, 2, 0, 0}));
+  // /0 contains everything.
+  const Ipv4Prefix all{Ipv4Addr{}, 0};
+  EXPECT_TRUE(all.contains(Ipv4Addr{255, 1, 2, 3}));
+}
+
+TEST(Ipv4Prefix, ContainsPrefix) {
+  const Ipv4Prefix p16{Ipv4Addr{10, 1, 0, 0}, 16};
+  const Ipv4Prefix p24{Ipv4Addr{10, 1, 7, 0}, 24};
+  EXPECT_TRUE(p16.contains(p24));
+  EXPECT_FALSE(p24.contains(p16));
+  EXPECT_TRUE(p16.contains(p16));
+}
+
+TEST(Ipv4Prefix, SizeAndAt) {
+  const Ipv4Prefix p{Ipv4Addr{10, 1, 2, 0}, 24};
+  EXPECT_EQ(p.size(), 256u);
+  EXPECT_EQ(p.at(0), (Ipv4Addr{10, 1, 2, 0}));
+  EXPECT_EQ(p.at(255), (Ipv4Addr{10, 1, 2, 255}));
+  EXPECT_EQ((Ipv4Prefix{Ipv4Addr{}, 32}).size(), 1u);
+}
+
+TEST(Ipv4Prefix, ToStringAndParse) {
+  const Ipv4Prefix p{Ipv4Addr{192, 168, 0, 0}, 16};
+  EXPECT_EQ(p.to_string(), "192.168.0.0/16");
+  const auto parsed = Ipv4Prefix::parse("192.168.0.0/16");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, p);
+}
+
+class PrefixParseRejects : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrefixParseRejects, Malformed) {
+  EXPECT_FALSE(Ipv4Prefix::parse(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(BadInputs, PrefixParseRejects,
+                         ::testing::Values("", "10.0.0.0", "10.0.0.0/",
+                                           "10.0.0.0/33", "10.0.0.0/-1",
+                                           "10.0.0/24", "10.0.0.0/8x",
+                                           "/24"));
+
+TEST(Ipv4Prefix, ParseCanonicalises) {
+  const auto p = Ipv4Prefix::parse("10.1.2.3/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->base(), (Ipv4Addr{10, 1, 0, 0}));
+}
+
+TEST(SameSubnet24, Basics) {
+  EXPECT_TRUE(same_subnet24(Ipv4Addr{10, 0, 1, 5}, Ipv4Addr{10, 0, 1, 200}));
+  EXPECT_FALSE(same_subnet24(Ipv4Addr{10, 0, 1, 5}, Ipv4Addr{10, 0, 2, 5}));
+  EXPECT_TRUE(same_subnet24(Ipv4Addr{1, 2, 3, 4}, Ipv4Addr{1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace peerscope::net

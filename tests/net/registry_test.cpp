@@ -1,0 +1,95 @@
+#include "net/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peerscope::net {
+namespace {
+
+TEST(PrefixMap, LongestPrefixWins) {
+  PrefixMap<int> map;
+  map.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 8);
+  map.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 16);
+  map.insert(*Ipv4Prefix::parse("10.1.2.0/24"), 24);
+
+  EXPECT_EQ(map.lookup(*Ipv4Addr::parse("10.1.2.3")), 24);
+  EXPECT_EQ(map.lookup(*Ipv4Addr::parse("10.1.9.9")), 16);
+  EXPECT_EQ(map.lookup(*Ipv4Addr::parse("10.99.0.1")), 8);
+  EXPECT_EQ(map.lookup(*Ipv4Addr::parse("11.0.0.1")), std::nullopt);
+}
+
+TEST(PrefixMap, InsertReplacesExisting) {
+  PrefixMap<int> map;
+  map.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  map.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 2);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.lookup(*Ipv4Addr::parse("10.5.5.5")), 2);
+}
+
+TEST(PrefixMap, HostRouteMatchesFirst) {
+  PrefixMap<int> map;
+  map.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 8);
+  map.insert(*Ipv4Prefix::parse("10.0.0.1/32"), 32);
+  EXPECT_EQ(map.lookup(*Ipv4Addr::parse("10.0.0.1")), 32);
+  EXPECT_EQ(map.lookup(*Ipv4Addr::parse("10.0.0.2")), 8);
+}
+
+TEST(PrefixMap, DefaultRouteCoversEverything) {
+  PrefixMap<int> map;
+  map.insert(Ipv4Prefix{Ipv4Addr{}, 0}, -1);
+  EXPECT_EQ(map.lookup(Ipv4Addr{203, 0, 113, 9}), -1);
+}
+
+TEST(PrefixMap, ExactLookup) {
+  PrefixMap<int> map;
+  map.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 16);
+  EXPECT_EQ(map.exact(*Ipv4Prefix::parse("10.1.0.0/16")), 16);
+  EXPECT_EQ(map.exact(*Ipv4Prefix::parse("10.1.0.0/17")), std::nullopt);
+  EXPECT_EQ(map.exact(*Ipv4Prefix::parse("10.2.0.0/16")), std::nullopt);
+}
+
+TEST(NetRegistry, AsAndCountryLookups) {
+  NetRegistry registry;
+  registry.announce(*Ipv4Prefix::parse("20.0.0.0/16"), AsId{64512},
+                    CountryCode{'I', 'T'});
+  registry.announce(*Ipv4Prefix::parse("20.1.0.0/16"), AsId{64513},
+                    CountryCode{'C', 'N'});
+
+  EXPECT_EQ(registry.as_of(*Ipv4Addr::parse("20.0.5.5")), AsId{64512});
+  EXPECT_EQ(registry.country_of(*Ipv4Addr::parse("20.0.5.5")).to_string(),
+            "IT");
+  EXPECT_EQ(registry.as_of(*Ipv4Addr::parse("20.1.0.1")), AsId{64513});
+  EXPECT_EQ(registry.prefix_count(), 2u);
+}
+
+TEST(NetRegistry, UnknownAddressYieldsUnknowns) {
+  NetRegistry registry;
+  EXPECT_FALSE(registry.as_of(Ipv4Addr{1, 1, 1, 1}).known());
+  EXPECT_FALSE(registry.country_of(Ipv4Addr{1, 1, 1, 1}).known());
+  EXPECT_EQ(registry.lookup(Ipv4Addr{1, 1, 1, 1}), std::nullopt);
+}
+
+TEST(NetRegistry, PrefixesOfTracksAnnouncements) {
+  NetRegistry registry;
+  const AsId as{100};
+  registry.announce(*Ipv4Prefix::parse("20.0.0.0/16"), as,
+                    CountryCode{'F', 'R'});
+  registry.announce(*Ipv4Prefix::parse("20.5.0.0/16"), as,
+                    CountryCode{'F', 'R'});
+  ASSERT_EQ(registry.prefixes_of(as).size(), 2u);
+  EXPECT_TRUE(registry.prefixes_of(AsId{999}).empty());
+}
+
+TEST(AsIdAndCountryCode, Basics) {
+  EXPECT_EQ(AsId{7}.to_string(), "AS7");
+  EXPECT_FALSE(AsId{}.known());
+  EXPECT_TRUE(AsId{1}.known());
+
+  EXPECT_EQ(CountryCode('C', 'N').to_string(), "CN");
+  EXPECT_EQ(CountryCode{}.to_string(), "??");
+  EXPECT_EQ(CountryCode{"IT"}.to_string(), "IT");
+  EXPECT_FALSE(CountryCode{"ITA"}.known());
+  EXPECT_EQ(kChina, CountryCode{"CN"});
+}
+
+}  // namespace
+}  // namespace peerscope::net

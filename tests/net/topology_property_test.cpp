@@ -1,0 +1,104 @@
+// Property sweeps over the reference topology: hop counts stay in the
+// Internet-plausible band the paper measured, paths are deterministic,
+// and the structural orderings (LAN < intra-AS < intra-EU < EU-CN)
+// hold for arbitrary endpoints.
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace peerscope::net {
+namespace {
+
+const AsTopology& topo() {
+  static const AsTopology t = make_reference_topology();
+  return t;
+}
+
+Endpoint endpoint(AsId as, std::uint32_t host, int depth) {
+  return {Ipv4Addr{0x14000000u + as.value() * 65536u + host}, as,
+          topo().country_of_as(as), topo().region_of_as(as), depth};
+}
+
+class AsPairSweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(AsPairSweep, HopCountsPlausibleAndStable) {
+  const auto [a_value, b_value] = GetParam();
+  const AsId a{a_value}, b{b_value};
+  util::Rng rng{a_value * 31 + b_value};
+  for (int trial = 0; trial < 24; ++trial) {
+    const Endpoint src = endpoint(
+        a, static_cast<std::uint32_t>(257 + rng.below(1000)),
+        static_cast<int>(2 + rng.below(5)));
+    const Endpoint dst = endpoint(
+        b, static_cast<std::uint32_t>(70'000 + rng.below(1000)),
+        static_cast<int>(2 + rng.below(5)));
+    const PathInfo path = topo().path(src, dst);
+    EXPECT_GE(path.hops, 4);
+    EXPECT_LE(path.hops, 40);  // the TTL band real traceroutes inhabit
+    EXPECT_GT(path.one_way_delay, util::SimTime::millis(1));
+    EXPECT_LT(path.one_way_delay, util::SimTime::millis(400));
+    // Determinism: the same pair always routes identically.
+    const PathInfo again = topo().path(src, dst);
+    EXPECT_EQ(path.hops, again.hops);
+    EXPECT_EQ(path.one_way_delay, again.one_way_delay);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, AsPairSweep,
+    ::testing::Values(std::make_pair(1u, 2u),      // EU NREN to EU NREN
+                      std::make_pair(2u, 2u),      // intra-AS
+                      std::make_pair(1u, 210u),    // EU to CN
+                      std::make_pair(210u, 1u),    // CN to EU
+                      std::make_pair(210u, 215u),  // CN to CN
+                      std::make_pair(2u, 300u),    // EU to ROW
+                      std::make_pair(11u, 2u),     // home ISP to NREN
+                      std::make_pair(400u, 210u),  // EU eyeball to CN
+                      std::make_pair(6u, 4u)));    // PL to FR
+
+TEST(TopologyOrdering, DistanceClassesAreOrdered) {
+  using namespace refas;
+  util::Rng rng{5};
+  double lan = 0, intra_as = 0, intra_eu = 0, eu_cn = 0;
+  const int n = 40;
+  for (int i = 0; i < n; ++i) {
+    const auto host = static_cast<std::uint32_t>(rng.below(200));
+    const Endpoint a{Ipv4Addr{0x14000100u + host}, kAs2, kItaly,
+                     Region::kEurope, 2};
+    const Endpoint lan_peer{Ipv4Addr{0x14000100u + ((host + 1) % 200)},
+                            kAs2, kItaly, Region::kEurope, 2};
+    const Endpoint as_peer = endpoint(kAs2, 70'000 + host, 3);
+    const Endpoint eu_peer = endpoint(kAs1, 70'000 + host, 3);
+    const Endpoint cn_peer = endpoint(kCnIspFirst, 70'000 + host, 4);
+    lan += topo().path(a, lan_peer).hops;
+    intra_as += topo().path(a, as_peer).hops;
+    intra_eu += topo().path(a, eu_peer).hops;
+    eu_cn += topo().path(a, cn_peer).hops;
+  }
+  EXPECT_LT(lan / n, intra_as / n);
+  EXPECT_LT(intra_as / n, intra_eu / n);
+  EXPECT_LT(intra_eu / n, eu_cn / n);
+  // The EU-CN band straddles the paper's 19-hop median.
+  EXPECT_GT(eu_cn / n, 15.0);
+  EXPECT_LT(eu_cn / n, 28.0);
+}
+
+TEST(TopologyOrdering, AsymmetryIsBoundedByTwoHops) {
+  using namespace refas;
+  util::Rng rng{9};
+  for (int i = 0; i < 60; ++i) {
+    const Endpoint a = endpoint(kAs2, 70'000 + static_cast<std::uint32_t>(i),
+                                3);
+    const Endpoint b = endpoint(
+        AsId{kCnIspFirst.value() + static_cast<std::uint32_t>(rng.below(6))},
+        80'000 + static_cast<std::uint32_t>(i), 4);
+    const int fwd = topo().path(a, b).hops;
+    const int rev = topo().path(b, a).hops;
+    EXPECT_LE(std::abs(fwd - rev), 4);  // 2 per direction at most
+  }
+}
+
+}  // namespace
+}  // namespace peerscope::net

@@ -1,0 +1,112 @@
+#include "p2p/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peerscope::p2p {
+namespace {
+
+TEST(ChunkBuffer, EmptyHasNothing) {
+  ChunkBuffer buf{16};
+  EXPECT_FALSE(buf.has(0));
+  EXPECT_FALSE(buf.has(100));
+  EXPECT_EQ(buf.newest(), -1);
+  EXPECT_EQ(buf.received_count(), 0u);
+}
+
+TEST(ChunkBuffer, MarkAndQuery) {
+  ChunkBuffer buf{16};
+  EXPECT_TRUE(buf.mark(3));
+  EXPECT_TRUE(buf.has(3));
+  EXPECT_FALSE(buf.has(2));
+  EXPECT_FALSE(buf.has(4));
+  EXPECT_EQ(buf.newest(), 3);
+  EXPECT_EQ(buf.received_count(), 1u);
+}
+
+TEST(ChunkBuffer, DuplicateMarkReturnsFalse) {
+  ChunkBuffer buf{16};
+  EXPECT_TRUE(buf.mark(5));
+  EXPECT_FALSE(buf.mark(5));
+  EXPECT_EQ(buf.received_count(), 1u);
+}
+
+TEST(ChunkBuffer, OutOfOrderMarks) {
+  ChunkBuffer buf{16};
+  EXPECT_TRUE(buf.mark(10));
+  EXPECT_TRUE(buf.mark(7));
+  EXPECT_TRUE(buf.mark(12));
+  EXPECT_TRUE(buf.has(7));
+  EXPECT_TRUE(buf.has(10));
+  EXPECT_TRUE(buf.has(12));
+  EXPECT_EQ(buf.newest(), 12);
+}
+
+TEST(ChunkBuffer, EvictsBeyondRetention) {
+  ChunkBuffer buf{4};
+  for (ChunkIndex c = 0; c < 10; ++c) buf.mark(c);
+  // Only the trailing 4 slots remain servable.
+  EXPECT_TRUE(buf.has(9));
+  EXPECT_TRUE(buf.has(6));
+  EXPECT_FALSE(buf.has(5));
+  EXPECT_FALSE(buf.has(0));
+  EXPECT_EQ(buf.newest(), 9);
+  EXPECT_EQ(buf.received_count(), 10u);
+}
+
+TEST(ChunkBuffer, MarkingEvictedChunkFails) {
+  ChunkBuffer buf{4};
+  for (ChunkIndex c = 0; c < 10; ++c) buf.mark(c);
+  EXPECT_FALSE(buf.mark(2));
+  EXPECT_FALSE(buf.has(2));
+}
+
+TEST(ChunkBuffer, WindowBaseAdvances) {
+  ChunkBuffer buf{4};
+  buf.mark(0);
+  EXPECT_EQ(buf.window_base(), 0);
+  buf.mark(20);
+  EXPECT_GT(buf.window_base(), 0);
+  EXPECT_TRUE(buf.has(20));
+}
+
+TEST(ChunkBuffer, LargeJumpKeepsOnlyRecent) {
+  ChunkBuffer buf{8};
+  buf.mark(1);
+  buf.mark(1'000'000);
+  EXPECT_FALSE(buf.has(1));
+  EXPECT_TRUE(buf.has(1'000'000));
+}
+
+TEST(ChunkBuffer, GapsStayMissing) {
+  ChunkBuffer buf{16};
+  buf.mark(1);
+  buf.mark(3);
+  EXPECT_FALSE(buf.has(2));
+  EXPECT_TRUE(buf.mark(2));
+  EXPECT_TRUE(buf.has(2));
+}
+
+TEST(ChunkBuffer, RejectsBadRetention) {
+  EXPECT_THROW(ChunkBuffer{0}, std::invalid_argument);
+  EXPECT_THROW(ChunkBuffer{-3}, std::invalid_argument);
+}
+
+// Property sweep over retention sizes: after marking [0, n), exactly
+// the last min(n, retention) chunks are servable.
+class BufferRetentionSweep : public ::testing::TestWithParam<ChunkIndex> {};
+
+TEST_P(BufferRetentionSweep, TrailingWindowInvariant) {
+  const ChunkIndex retention = GetParam();
+  ChunkBuffer buf{retention};
+  const ChunkIndex n = 100;
+  for (ChunkIndex c = 0; c < n; ++c) buf.mark(c);
+  for (ChunkIndex c = 0; c < n; ++c) {
+    EXPECT_EQ(buf.has(c), c >= n - std::min(n, retention)) << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Retentions, BufferRetentionSweep,
+                         ::testing::Values(1, 2, 5, 16, 64, 99, 100, 500));
+
+}  // namespace
+}  // namespace peerscope::p2p

@@ -1,0 +1,126 @@
+// Cross-profile invariant sweep: every application profile — including
+// the next-generation prototype — must drive a functioning swarm whose
+// captures satisfy the structural invariants the analysis relies on.
+#include <gtest/gtest.h>
+
+#include "aware/observation.hpp"
+#include "aware/partition.hpp"
+#include "p2p/swarm.hpp"
+
+namespace peerscope::p2p {
+namespace {
+
+using util::SimTime;
+
+const net::AsTopology& topo() {
+  static const net::AsTopology t = net::make_reference_topology();
+  return t;
+}
+
+class ProfileSweep : public ::testing::TestWithParam<const char*> {
+ protected:
+  static SystemProfile profile_for(const std::string& name) {
+    if (name == "pplive") {
+      auto p = SystemProfile::pplive();
+      p.population.background_peers = 600;  // shrink for test speed
+      return p;
+    }
+    if (name == "sopcast") {
+      auto p = SystemProfile::sopcast();
+      p.population.background_peers = 400;
+      return p;
+    }
+    if (name == "napawine") {
+      auto p = SystemProfile::napawine_prototype();
+      p.population.background_peers = 400;
+      return p;
+    }
+    auto p = SystemProfile::tvants();
+    p.population.background_peers = 200;
+    return p;
+  }
+
+  static const Swarm& swarm() {
+    // One swarm per parameter, cached across the suite's tests.
+    static std::map<std::string, std::unique_ptr<Swarm>> cache;
+    const std::string name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    const std::string key = name.substr(name.rfind('/') + 1);
+    auto& slot = cache[key];
+    if (!slot) {
+      SwarmConfig config;
+      config.profile = profile_for(key);
+      config.seed = 77;
+      config.duration = SimTime::seconds(30);
+      slot = std::make_unique<Swarm>(topo(), table1_probes(), config);
+      slot->run();
+    }
+    return *slot;
+  }
+};
+
+TEST_P(ProfileSweep, EveryProbeReceivesTheStream) {
+  const Swarm& s = swarm();
+  for (std::size_t i = 0; i < s.probe_count(); ++i) {
+    const double kbps =
+        static_cast<double>(s.sink(i).flows().total_rx_bytes()) * 8.0 /
+        s.duration().seconds() / 1e3;
+    EXPECT_GT(kbps, 200.0) << GetParam() << " probe " << i;
+    EXPECT_LT(kbps, 1200.0) << GetParam() << " probe " << i;
+  }
+}
+
+TEST_P(ProfileSweep, TtlsDecodeToPlausibleHops) {
+  const Swarm& s = swarm();
+  const auto& pop = s.population();
+  for (std::size_t i = 0; i < s.probe_count(); ++i) {
+    const auto obs = aware::extract_observations(
+        s.sink(i).flows(), pop.registry(), pop.probe_addrs());
+    for (const auto& o : obs) {
+      if (o.rx_hops < 0) continue;
+      EXPECT_GE(o.rx_hops, 0) << GetParam();
+      EXPECT_LE(o.rx_hops, 45) << GetParam();
+    }
+  }
+}
+
+TEST_P(ProfileSweep, EveryRemoteResolvesInRegistry) {
+  const Swarm& s = swarm();
+  const auto& pop = s.population();
+  for (std::size_t i = 0; i < s.probe_count(); ++i) {
+    for (const auto& [remote, flow] : s.sink(i).flows().flows()) {
+      EXPECT_TRUE(pop.registry().as_of(remote).known())
+          << GetParam() << ' ' << remote.to_string();
+      EXPECT_TRUE(pop.registry().country_of(remote).known());
+    }
+  }
+}
+
+TEST_P(ProfileSweep, MinIpgOnlyOnVideoFlows) {
+  const Swarm& s = swarm();
+  for (std::size_t i = 0; i < s.probe_count(); ++i) {
+    for (const auto& [remote, flow] : s.sink(i).flows().flows()) {
+      if (flow.has_min_ipg()) {
+        EXPECT_GE(flow.rx_video_pkts, 2u) << GetParam();
+        EXPECT_GT(flow.min_rx_video_ipg_ns, 0) << GetParam();
+      }
+    }
+  }
+}
+
+TEST_P(ProfileSweep, ChunkAccountingConsistent) {
+  const Swarm& s = swarm();
+  const auto& counters = s.counters();
+  EXPECT_GT(counters.chunks_delivered, 500u) << GetParam();
+  EXPECT_GT(counters.contacts, 50u) << GetParam();
+  // Duplicates stay a small fraction of deliveries.
+  EXPECT_LT(counters.chunks_duplicate, counters.chunks_delivered / 5 + 10)
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ProfileSweep,
+                         ::testing::Values("tvants", "sopcast", "pplive",
+                                           "napawine"));
+
+}  // namespace
+}  // namespace peerscope::p2p

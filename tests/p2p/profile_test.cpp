@@ -1,0 +1,128 @@
+#include "p2p/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peerscope::p2p {
+namespace {
+
+TEST(StreamModel, ChunkIntervalFromRate) {
+  StreamModel stream;  // 16 kB chunks at 384 kb/s
+  EXPECT_EQ(stream.chunk_interval().ns(), 333'333'333);
+  EXPECT_EQ(stream.packets_per_chunk(), 13);  // ceil(16000 / 1250)
+}
+
+TEST(StreamModel, PacketsPerChunkCeils) {
+  StreamModel stream;
+  stream.chunk_bytes = 1250;
+  EXPECT_EQ(stream.packets_per_chunk(), 1);
+  stream.chunk_bytes = 1251;
+  EXPECT_EQ(stream.packets_per_chunk(), 2);
+}
+
+TEST(Profiles, NamesAndStreamRate) {
+  EXPECT_EQ(SystemProfile::pplive().name, "PPLive");
+  EXPECT_EQ(SystemProfile::sopcast().name, "SopCast");
+  EXPECT_EQ(SystemProfile::tvants().name, "TVAnts");
+  EXPECT_EQ(SystemProfile::pplive_popular().name, "PPLive-Popular");
+  // All systems stream the same nominal 384 kb/s channel (paper §II).
+  for (const auto& p :
+       {SystemProfile::pplive(), SystemProfile::sopcast(),
+        SystemProfile::tvants()}) {
+    EXPECT_EQ(p.stream.stream_bps, 384'000);
+  }
+}
+
+TEST(Profiles, SwarmSizeOrderingMatchesPaper) {
+  // Observed peers: PPLive >> SopCast >> TVAnts (181729 / 4057 / 550).
+  EXPECT_GT(SystemProfile::pplive().population.background_peers,
+            SystemProfile::sopcast().population.background_peers * 5);
+  EXPECT_GT(SystemProfile::sopcast().population.background_peers,
+            SystemProfile::tvants().population.background_peers * 2);
+}
+
+TEST(Profiles, ContactRateOrderingMatchesPaper) {
+  // PPLive contacts far more peers than the others (23101 vs 776 / 229
+  // per probe in Table II).
+  EXPECT_GT(SystemProfile::pplive().signaling.contact_rate_per_s,
+            SystemProfile::sopcast().signaling.contact_rate_per_s * 2);
+  EXPECT_GT(SystemProfile::sopcast().signaling.contact_rate_per_s,
+            SystemProfile::tvants().signaling.contact_rate_per_s);
+}
+
+TEST(Profiles, PlantedLocalityBiases) {
+  // SopCast is location-blind. TVAnts is explicitly AS-aware in
+  // discovery and scheduling. PPLive has no explicit AS rule either —
+  // its AS byte-bias emerges from bandwidth-following on a swarm whose
+  // same-AS (campus) peers are the best suppliers — but it does do
+  // local (same-subnet) peer discovery, which the others do not.
+  const auto sopcast = SystemProfile::sopcast();
+  EXPECT_EQ(sopcast.select.same_as, 0.0);
+  EXPECT_EQ(sopcast.discovery_as_bias, 0.0);
+  EXPECT_FALSE(sopcast.lan_discovery);
+
+  const auto tvants = SystemProfile::tvants();
+  EXPECT_GT(tvants.select.same_as, 0.0);
+  EXPECT_GT(tvants.discovery_as_bias, 0.0);
+  EXPECT_FALSE(tvants.lan_discovery);
+
+  const auto pplive = SystemProfile::pplive();
+  EXPECT_EQ(pplive.select.same_as, 0.0);
+  EXPECT_EQ(pplive.discovery_as_bias, 0.0);
+  EXPECT_TRUE(pplive.lan_discovery);
+  // The campus pool is pulled toward the live edge harder for PPLive
+  // (the infrastructure-correlation mechanism).
+  EXPECT_LT(pplive.population.campus_lag_scale,
+            pplive.population.highbw_lag_scale);
+}
+
+TEST(Profiles, NoSystemUsesExplicitCountryBias) {
+  // The paper concludes CC preference is induced by AS preference:
+  // none of the planted policies may use the country directly.
+  for (const auto& p :
+       {SystemProfile::pplive(), SystemProfile::sopcast(),
+        SystemProfile::tvants(), SystemProfile::pplive_popular()}) {
+    EXPECT_EQ(p.select.same_cc, 0.0) << p.name;
+  }
+}
+
+TEST(Profiles, AllSystemsPreferBandwidth) {
+  for (const auto& p :
+       {SystemProfile::pplive(), SystemProfile::sopcast(),
+        SystemProfile::tvants()}) {
+    EXPECT_GT(p.select.bandwidth, 0.0) << p.name;
+    EXPECT_GT(p.select.random, 0.0) << p.name;
+  }
+}
+
+TEST(Profiles, UploadAggressionOrdering) {
+  // PPLive exploits probe upload hardest (TX 3384 kb/s vs ~300-460).
+  const auto pplive = SystemProfile::pplive();
+  const auto sopcast = SystemProfile::sopcast();
+  EXPECT_GT(pplive.upload.requester_arrival_per_s *
+                pplive.upload.requester_lifetime_s,
+            3 * sopcast.upload.requester_arrival_per_s *
+                sopcast.upload.requester_lifetime_s);
+}
+
+TEST(Profiles, PopulationFractionsSumToOne) {
+  for (const auto& p :
+       {SystemProfile::pplive(), SystemProfile::sopcast(),
+        SystemProfile::tvants(), SystemProfile::pplive_popular()}) {
+    const auto& pop = p.population;
+    EXPECT_NEAR(pop.cn_fraction + pop.eu_fraction + pop.row_fraction, 1.0,
+                1e-9)
+        << p.name;
+    EXPECT_GT(pop.cn_fraction, pop.eu_fraction) << p.name;  // Fig 1: CN
+  }
+}
+
+TEST(Profiles, PopularVariantIsMoreEuropean) {
+  const auto base = SystemProfile::pplive();
+  const auto popular = SystemProfile::pplive_popular();
+  EXPECT_GT(popular.population.eu_fraction, base.population.eu_fraction);
+  EXPECT_GT(popular.population.background_peers,
+            base.population.background_peers);
+}
+
+}  // namespace
+}  // namespace peerscope::p2p

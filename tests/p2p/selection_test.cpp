@@ -1,0 +1,112 @@
+#include "p2p/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace peerscope::p2p {
+namespace {
+
+TEST(SelectionScore, RandomFloorAlwaysPresent) {
+  SelectionWeights w;
+  w.random = 0.5;
+  w.bandwidth = 0.0;
+  const Candidate c{1, 0.0, false, false};
+  EXPECT_DOUBLE_EQ(selection_score(c, w), 0.5);
+}
+
+TEST(SelectionScore, BandwidthTermIsSqrtCompressed) {
+  SelectionWeights w;
+  w.random = 0.0;
+  w.bandwidth = 1.0;
+  const Candidate quarter{1, kBeliefCapMbps / 4.0, false, false};
+  EXPECT_NEAR(selection_score(quarter, w), 0.5, 1e-12);
+  const Candidate full{1, kBeliefCapMbps, false, false};
+  EXPECT_NEAR(selection_score(full, w), 1.0, 1e-12);
+}
+
+TEST(SelectionScore, BeliefIsCapped) {
+  SelectionWeights w;
+  w.random = 0.0;
+  const Candidate huge{1, 1000.0, false, false};
+  EXPECT_NEAR(selection_score(huge, w), 1.0, 1e-12);
+}
+
+TEST(SelectionScore, LocalityBonusesAdd) {
+  SelectionWeights w;
+  w.random = 0.1;
+  w.bandwidth = 0.0;
+  w.same_as = 2.0;
+  w.same_cc = 0.5;
+  EXPECT_DOUBLE_EQ(selection_score({1, 0, true, false}, w), 2.1);
+  EXPECT_DOUBLE_EQ(selection_score({1, 0, false, true}, w), 0.6);
+  EXPECT_DOUBLE_EQ(selection_score({1, 0, true, true}, w), 2.6);
+}
+
+TEST(PickCandidate, HonorsScoreProportions) {
+  SelectionWeights w;
+  w.random = 0.0;
+  w.bandwidth = 1.0;
+  w.explore = 0.0;
+  const std::vector<Candidate> candidates{
+      {0, kBeliefCapMbps, false, false},        // score 1.0
+      {1, kBeliefCapMbps / 4.0, false, false},  // score 0.5
+  };
+  util::Rng rng{17};
+  int first = 0;
+  const int n = 30'000;
+  for (int i = 0; i < n; ++i) {
+    if (pick_candidate(candidates, w, rng) == 0) ++first;
+  }
+  EXPECT_NEAR(static_cast<double>(first) / n, 2.0 / 3.0, 0.02);
+}
+
+TEST(PickCandidate, ExploreIsUniform) {
+  SelectionWeights w;
+  w.random = 0.0;
+  w.bandwidth = 1.0;
+  w.explore = 1.0;  // always explore
+  const std::vector<Candidate> candidates{
+      {0, kBeliefCapMbps, false, false},
+      {1, 0.0, false, false},  // zero score, still picked half the time
+  };
+  util::Rng rng{18};
+  int second = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (pick_candidate(candidates, w, rng) == 1) ++second;
+  }
+  EXPECT_NEAR(static_cast<double>(second) / n, 0.5, 0.02);
+}
+
+TEST(PickCandidate, SameAsBonusDominates) {
+  SelectionWeights w;
+  w.random = 0.05;
+  w.bandwidth = 1.0;
+  w.same_as = 10.0;
+  w.explore = 0.0;
+  const std::vector<Candidate> candidates{
+      {0, kBeliefCapMbps, false, false},  // 1.05
+      {1, kBeliefCapMbps, true, false},   // 11.05
+  };
+  util::Rng rng{19};
+  int local = 0;
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i) {
+    if (pick_candidate(candidates, w, rng) == 1) ++local;
+  }
+  EXPECT_NEAR(static_cast<double>(local) / n, 11.05 / 12.10, 0.02);
+}
+
+TEST(PickCandidate, SingleCandidateAlwaysPicked) {
+  SelectionWeights w;
+  const std::vector<Candidate> one{{7, 1.0, false, false}};
+  util::Rng rng{20};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(pick_candidate(one, w, rng), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace peerscope::p2p

@@ -1,0 +1,115 @@
+// Cross-sink conservation laws: when two probes exchange traffic, both
+// vantage points record the same packets from opposite directions. Any
+// double-count or dropped mirror in the swarm's emission paths breaks
+// these identities — they pin the capture substrate end to end.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "p2p/swarm.hpp"
+
+namespace peerscope::p2p {
+namespace {
+
+using util::SimTime;
+
+class ConservationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    static const net::AsTopology topo = net::make_reference_topology();
+    SystemProfile profile = SystemProfile::tvants();
+    profile.population.background_peers = 150;
+    SwarmConfig config;
+    config.profile = profile;
+    config.seed = 21;
+    config.duration = SimTime::seconds(40);
+    swarm_ = new Swarm{topo, table1_probes(), config};
+    swarm_->run();
+  }
+  static void TearDownTestSuite() {
+    delete swarm_;
+    swarm_ = nullptr;
+  }
+  static Swarm* swarm_;
+};
+
+Swarm* ConservationTest::swarm_ = nullptr;
+
+TEST_F(ConservationTest, ProbePairVideoBytesMatchBothViews) {
+  const auto& pop = swarm_->population();
+  // For every ordered probe pair (i, j): video bytes i recorded as TX
+  // toward j must equal video bytes j recorded as RX from i.
+  std::size_t pairs_with_traffic = 0;
+  for (std::size_t i = 0; i < swarm_->probe_count(); ++i) {
+    const auto addr_i = pop.peer(pop.probe_ids()[i]).ep.addr;
+    for (std::size_t j = 0; j < swarm_->probe_count(); ++j) {
+      if (i == j) continue;
+      const auto addr_j = pop.peer(pop.probe_ids()[j]).ep.addr;
+      const auto* from_i = swarm_->sink(i).flows().find(addr_j);
+      const auto* from_j = swarm_->sink(j).flows().find(addr_i);
+      const std::uint64_t tx =
+          from_i ? from_i->tx_video_bytes : 0;
+      const std::uint64_t rx =
+          from_j ? from_j->rx_video_bytes : 0;
+      ASSERT_EQ(tx, rx) << "pair " << i << "->" << j;
+      if (tx > 0) ++pairs_with_traffic;
+    }
+  }
+  // TVAnts probes exchange heavily; the identity must be exercised.
+  EXPECT_GT(pairs_with_traffic, 50u);
+}
+
+TEST_F(ConservationTest, ProbePairSignalingPacketsMatchBothViews) {
+  const auto& pop = swarm_->population();
+  for (std::size_t i = 0; i < swarm_->probe_count(); ++i) {
+    const auto addr_i = pop.peer(pop.probe_ids()[i]).ep.addr;
+    for (std::size_t j = i + 1; j < swarm_->probe_count(); ++j) {
+      const auto addr_j = pop.peer(pop.probe_ids()[j]).ep.addr;
+      const auto* at_i = swarm_->sink(i).flows().find(addr_j);
+      const auto* at_j = swarm_->sink(j).flows().find(addr_i);
+      const auto sig_tx_i =
+          at_i ? at_i->tx_pkts - at_i->tx_video_pkts : 0;
+      const auto sig_rx_j =
+          at_j ? at_j->rx_pkts - at_j->rx_video_pkts : 0;
+      EXPECT_EQ(sig_tx_i, sig_rx_j) << "pair " << i << "<->" << j;
+    }
+  }
+}
+
+TEST_F(ConservationTest, FlowExistenceIsSymmetricAmongProbes) {
+  const auto& pop = swarm_->population();
+  for (std::size_t i = 0; i < swarm_->probe_count(); ++i) {
+    const auto addr_i = pop.peer(pop.probe_ids()[i]).ep.addr;
+    for (std::size_t j = i + 1; j < swarm_->probe_count(); ++j) {
+      const auto addr_j = pop.peer(pop.probe_ids()[j]).ep.addr;
+      const bool i_sees_j =
+          swarm_->sink(i).flows().find(addr_j) != nullptr;
+      const bool j_sees_i =
+          swarm_->sink(j).flows().find(addr_i) != nullptr;
+      EXPECT_EQ(i_sees_j, j_sees_i);
+    }
+  }
+}
+
+TEST_F(ConservationTest, NoProbeRecordsTrafficWithItself) {
+  const auto& pop = swarm_->population();
+  for (std::size_t i = 0; i < swarm_->probe_count(); ++i) {
+    const auto addr = pop.peer(pop.probe_ids()[i]).ep.addr;
+    EXPECT_EQ(swarm_->sink(i).flows().find(addr), nullptr);
+  }
+}
+
+TEST_F(ConservationTest, VideoByteTotalsAreChunkMultiples) {
+  // Every video transfer is a whole chunk of 13 x 1250 B packets, so
+  // per-flow video byte counts are multiples of the packet size.
+  for (std::size_t i = 0; i < swarm_->probe_count(); ++i) {
+    for (const auto& [remote, flow] : swarm_->sink(i).flows().flows()) {
+      EXPECT_EQ(flow.rx_video_bytes % 1250, 0u);
+      EXPECT_EQ(flow.tx_video_bytes % 1250, 0u);
+      EXPECT_EQ(flow.rx_video_bytes, flow.rx_video_pkts * 1250);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace peerscope::p2p

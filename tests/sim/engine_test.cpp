@@ -1,0 +1,159 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace peerscope::sim {
+namespace {
+
+using util::SimTime;
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(SimTime::millis(30), [&order] { order.push_back(3); });
+  engine.schedule_at(SimTime::millis(10), [&order] { order.push_back(1); });
+  engine.schedule_at(SimTime::millis(20), [&order] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(SimTime::millis(5), [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, NowAdvancesWithEvents) {
+  Engine engine;
+  SimTime seen{0};
+  engine.schedule_at(SimTime::millis(7), [&engine, &seen] {
+    seen = engine.now();
+  });
+  engine.run();
+  EXPECT_EQ(seen, SimTime::millis(7));
+  EXPECT_EQ(engine.now(), SimTime::millis(7));
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine engine;
+  SimTime fired{0};
+  engine.schedule_at(SimTime::millis(10), [&engine, &fired] {
+    engine.schedule_after(SimTime::millis(5),
+                          [&engine, &fired] { fired = engine.now(); });
+  });
+  engine.run();
+  EXPECT_EQ(fired, SimTime::millis(15));
+}
+
+TEST(Engine, RunUntilStopsAtHorizon) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(SimTime::millis(10), [&fired] { ++fired; });
+  engine.schedule_at(SimTime::millis(20), [&fired] { ++fired; });
+  engine.schedule_at(SimTime::millis(30), [&fired] { ++fired; });
+  engine.run_until(SimTime::millis(20));  // inclusive
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  int fired = 0;
+  const auto handle =
+      engine.schedule_at(SimTime::millis(5), [&fired] { ++fired; });
+  EXPECT_TRUE(engine.cancel(handle));
+  engine.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, CancelTwiceReturnsFalse) {
+  Engine engine;
+  const auto handle = engine.schedule_at(SimTime::millis(5), [] {});
+  EXPECT_TRUE(engine.cancel(handle));
+  EXPECT_FALSE(engine.cancel(handle));
+}
+
+TEST(Engine, CancelAfterExecutionReturnsFalse) {
+  Engine engine;
+  const auto handle = engine.schedule_at(SimTime::millis(5), [] {});
+  engine.run();
+  EXPECT_FALSE(engine.cancel(handle));
+}
+
+TEST(Engine, NullHandleCancelIsFalse) {
+  Engine engine;
+  EXPECT_FALSE(engine.cancel(Engine::Handle{}));
+}
+
+TEST(Engine, SchedulingInPastThrows) {
+  Engine engine;
+  engine.schedule_at(SimTime::millis(10), [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(SimTime::millis(5), [] {}),
+               std::logic_error);
+  EXPECT_THROW(engine.schedule_after(SimTime::millis(-1), [] {}),
+               std::logic_error);
+}
+
+TEST(Engine, NullCallbackThrows) {
+  Engine engine;
+  EXPECT_THROW(engine.schedule_at(SimTime::millis(1), nullptr),
+               std::invalid_argument);
+}
+
+TEST(Engine, ExecutedCounts) {
+  Engine engine;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_at(SimTime::millis(i + 1), [] {});
+  }
+  const auto cancelled = engine.schedule_at(SimTime::millis(9), [] {});
+  engine.cancel(cancelled);
+  engine.run();
+  EXPECT_EQ(engine.executed(), 5u);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(Engine, EventsCanScheduleEventsRecursively) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) {
+      engine.schedule_after(SimTime::micros(10), recurse);
+    }
+  };
+  engine.schedule_at(SimTime::zero(), recurse);
+  engine.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(engine.now(), SimTime::micros(990));
+}
+
+TEST(Engine, EventAtExactHorizonRuns) {
+  Engine engine;
+  bool fired = false;
+  engine.schedule_at(SimTime::seconds(1), [&fired] { fired = true; });
+  engine.run_until(SimTime::seconds(1));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, CancelFromWithinEarlierEvent) {
+  Engine engine;
+  int fired = 0;
+  const auto later =
+      engine.schedule_at(SimTime::millis(20), [&fired] { ++fired; });
+  engine.schedule_at(SimTime::millis(10), [&engine, later] {
+    EXPECT_TRUE(engine.cancel(later));
+  });
+  engine.run();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace peerscope::sim

@@ -1,0 +1,56 @@
+#include "sim/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peerscope::sim {
+namespace {
+
+using util::SimTime;
+
+TEST(LinkCursor, IdleLinkStartsImmediately) {
+  LinkCursor link;
+  const SimTime start = link.reserve(SimTime::millis(5), SimTime::millis(2));
+  EXPECT_EQ(start, SimTime::millis(5));
+  EXPECT_EQ(link.busy_until(), SimTime::millis(7));
+}
+
+TEST(LinkCursor, BusyLinkQueues) {
+  LinkCursor link;
+  link.reserve(SimTime::millis(0), SimTime::millis(10));
+  const SimTime start = link.reserve(SimTime::millis(2), SimTime::millis(3));
+  EXPECT_EQ(start, SimTime::millis(10));
+  EXPECT_EQ(link.busy_until(), SimTime::millis(13));
+}
+
+TEST(LinkCursor, LateArrivalAfterIdleGap) {
+  LinkCursor link;
+  link.reserve(SimTime::millis(0), SimTime::millis(1));
+  const SimTime start = link.reserve(SimTime::millis(50), SimTime::millis(1));
+  EXPECT_EQ(start, SimTime::millis(50));
+}
+
+TEST(LinkCursor, BacklogRelativeToNow) {
+  LinkCursor link;
+  link.reserve(SimTime::zero(), SimTime::millis(10));
+  EXPECT_EQ(link.backlog(SimTime::millis(4)), SimTime::millis(6));
+  EXPECT_EQ(link.backlog(SimTime::millis(10)), SimTime::zero());
+  EXPECT_EQ(link.backlog(SimTime::millis(99)), SimTime::zero());
+}
+
+TEST(LinkCursor, BusyTimeAccumulates) {
+  LinkCursor link;
+  link.reserve(SimTime::zero(), SimTime::millis(3));
+  link.reserve(SimTime::millis(100), SimTime::millis(4));
+  EXPECT_EQ(link.busy_time(), SimTime::millis(7));
+}
+
+TEST(LinkCursor, FifoOrderPreserved) {
+  LinkCursor link;
+  const SimTime a = link.reserve(SimTime::millis(5), SimTime::millis(1));
+  // An "earlier" reservation made later still queues behind.
+  const SimTime b = link.reserve(SimTime::millis(1), SimTime::millis(1));
+  EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace peerscope::sim

@@ -1,0 +1,173 @@
+#include "trace/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace peerscope::trace {
+namespace {
+
+using net::Ipv4Addr;
+using util::SimTime;
+
+const Ipv4Addr kProbe{10, 0, 0, 1};
+const Ipv4Addr kPeerA{20, 0, 0, 1};
+const Ipv4Addr kPeerB{20, 0, 0, 2};
+
+PacketRecord video_rx(Ipv4Addr remote, std::int64_t ts_ns,
+                      std::uint8_t ttl = 110, std::int32_t bytes = 1250) {
+  return {SimTime{ts_ns}, remote, bytes, Direction::kRx,
+          sim::PacketKind::kVideo, ttl};
+}
+
+PacketRecord sig_tx(Ipv4Addr remote, std::int64_t ts_ns,
+                    std::int32_t bytes = 120) {
+  return {SimTime{ts_ns}, remote, bytes, Direction::kTx,
+          sim::PacketKind::kSignaling, 128};
+}
+
+TEST(FlowTable, AggregatesPerRemote) {
+  FlowTable table{kProbe};
+  table.add(video_rx(kPeerA, 1000));
+  table.add(video_rx(kPeerA, 2000));
+  table.add(sig_tx(kPeerA, 3000));
+  table.add(video_rx(kPeerB, 1500));
+
+  EXPECT_EQ(table.flow_count(), 2u);
+  const FlowStats* a = table.find(kPeerA);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->rx_pkts, 2u);
+  EXPECT_EQ(a->rx_bytes, 2500u);
+  EXPECT_EQ(a->rx_video_pkts, 2u);
+  EXPECT_EQ(a->tx_pkts, 1u);
+  EXPECT_EQ(a->tx_bytes, 120u);
+  EXPECT_EQ(a->tx_video_pkts, 0u);
+}
+
+TEST(FlowTable, MinIpgTracksConsecutiveVideoGaps) {
+  FlowTable table{kProbe};
+  table.add(video_rx(kPeerA, 1'000'000));
+  table.add(video_rx(kPeerA, 1'500'000));   // gap 500 us
+  table.add(video_rx(kPeerA, 9'000'000));   // gap 7.5 ms
+  table.add(video_rx(kPeerA, 9'100'000));   // gap 100 us  <- min
+  const FlowStats* a = table.find(kPeerA);
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->has_min_ipg());
+  EXPECT_EQ(a->min_rx_video_ipg_ns, 100'000);
+}
+
+TEST(FlowTable, MinIpgUndefinedWithOneVideoPacket) {
+  FlowTable table{kProbe};
+  table.add(video_rx(kPeerA, 1000));
+  const FlowStats* a = table.find(kPeerA);
+  ASSERT_NE(a, nullptr);
+  EXPECT_FALSE(a->has_min_ipg());
+}
+
+TEST(FlowTable, SignalingDoesNotAffectIpg) {
+  FlowTable table{kProbe};
+  table.add(video_rx(kPeerA, 1'000'000));
+  PacketRecord sig = video_rx(kPeerA, 1'000'100);
+  sig.kind = sim::PacketKind::kSignaling;
+  table.add(sig);
+  table.add(video_rx(kPeerA, 3'000'000));
+  const FlowStats* a = table.find(kPeerA);
+  EXPECT_EQ(a->min_rx_video_ipg_ns, 2'000'000);
+}
+
+TEST(FlowTable, IpgIsPerRemote) {
+  FlowTable table{kProbe};
+  table.add(video_rx(kPeerA, 1'000'000));
+  table.add(video_rx(kPeerB, 1'000'050));
+  table.add(video_rx(kPeerA, 2'000'000));
+  EXPECT_EQ(table.find(kPeerA)->min_rx_video_ipg_ns, 1'000'000);
+  EXPECT_FALSE(table.find(kPeerB)->has_min_ipg());
+}
+
+TEST(FlowTable, TracksRxTtlAndTimestamps) {
+  FlowTable table{kProbe};
+  table.add(video_rx(kPeerA, 5000, 107));
+  table.add(sig_tx(kPeerA, 9000));
+  const FlowStats* a = table.find(kPeerA);
+  EXPECT_TRUE(a->saw_rx);
+  EXPECT_EQ(a->rx_ttl, 107);
+  EXPECT_EQ(a->first_ts.ns(), 5000);
+  EXPECT_EQ(a->last_ts.ns(), 9000);
+}
+
+TEST(FlowTable, TxOnlyFlowHasNoRxTtl) {
+  FlowTable table{kProbe};
+  table.add(sig_tx(kPeerA, 1000));
+  EXPECT_FALSE(table.find(kPeerA)->saw_rx);
+}
+
+TEST(FlowTable, Totals) {
+  FlowTable table{kProbe};
+  table.add(video_rx(kPeerA, 1000));
+  table.add(video_rx(kPeerB, 2000));
+  table.add(sig_tx(kPeerA, 3000));
+  EXPECT_EQ(table.total_rx_pkts(), 2u);
+  EXPECT_EQ(table.total_rx_bytes(), 2500u);
+  EXPECT_EQ(table.total_tx_pkts(), 1u);
+  EXPECT_EQ(table.total_tx_bytes(), 120u);
+}
+
+TEST(FlowTable, OfflineEqualsOnline) {
+  // Property: feeding shuffled records through from_records (which
+  // sorts) produces identical aggregates to in-order online feeding.
+  util::Rng rng{99};
+  std::vector<PacketRecord> records;
+  std::int64_t ts = 0;
+  for (int i = 0; i < 2000; ++i) {
+    ts += static_cast<std::int64_t>(rng.below(500'000)) + 1;
+    const Ipv4Addr remote = rng.chance(0.5) ? kPeerA : kPeerB;
+    PacketRecord r;
+    r.ts = SimTime{ts};
+    r.remote = remote;
+    r.bytes = rng.chance(0.8) ? 1250 : 120;
+    r.kind = r.bytes == 1250 ? sim::PacketKind::kVideo
+                             : sim::PacketKind::kSignaling;
+    r.dir = rng.chance(0.7) ? Direction::kRx : Direction::kTx;
+    r.ttl = static_cast<std::uint8_t>(100 + rng.below(20));
+    records.push_back(r);
+  }
+
+  FlowTable online{kProbe};
+  for (const auto& r : records) online.add(r);
+
+  std::vector<PacketRecord> shuffled = records;
+  std::shuffle(shuffled.begin(), shuffled.end(), rng);
+  const FlowTable offline = FlowTable::from_records(kProbe, shuffled);
+
+  ASSERT_EQ(offline.flow_count(), online.flow_count());
+  for (const auto& [remote, off] : offline.flows()) {
+    const FlowStats* on = online.find(remote);
+    ASSERT_NE(on, nullptr);
+    EXPECT_EQ(off.rx_pkts, on->rx_pkts);
+    EXPECT_EQ(off.rx_bytes, on->rx_bytes);
+    EXPECT_EQ(off.tx_pkts, on->tx_pkts);
+    EXPECT_EQ(off.rx_video_pkts, on->rx_video_pkts);
+    EXPECT_EQ(off.min_rx_video_ipg_ns, on->min_rx_video_ipg_ns);
+    EXPECT_EQ(off.first_ts, on->first_ts);
+    EXPECT_EQ(off.last_ts, on->last_ts);
+  }
+  EXPECT_EQ(offline.total_rx_bytes(), online.total_rx_bytes());
+  EXPECT_EQ(offline.total_tx_bytes(), online.total_tx_bytes());
+}
+
+TEST(RecordOrdering, TotalOrder) {
+  const PacketRecord a = video_rx(kPeerA, 100);
+  const PacketRecord b = video_rx(kPeerA, 200);
+  EXPECT_TRUE(record_before(a, b));
+  EXPECT_FALSE(record_before(b, a));
+  const PacketRecord c = video_rx(kPeerB, 100);
+  EXPECT_TRUE(record_before(a, c));  // same ts, smaller remote first
+  PacketRecord d = a;
+  d.dir = Direction::kTx;
+  EXPECT_TRUE(record_before(a, d));  // RX before TX at equal (ts, remote)
+}
+
+}  // namespace
+}  // namespace peerscope::trace

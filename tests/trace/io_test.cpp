@@ -1,0 +1,133 @@
+#include "trace/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+namespace peerscope::trace {
+namespace {
+
+using net::Ipv4Addr;
+using util::SimTime;
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("peerscope_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+std::vector<PacketRecord> sample_records() {
+  std::vector<PacketRecord> records;
+  for (int i = 0; i < 100; ++i) {
+    PacketRecord r;
+    r.ts = SimTime::micros(i * 137);
+    r.remote = Ipv4Addr{20, 0, static_cast<std::uint8_t>(i % 3),
+                        static_cast<std::uint8_t>(i + 1)};
+    r.bytes = i % 2 ? 1250 : 120;
+    r.dir = i % 2 ? Direction::kRx : Direction::kTx;
+    r.kind = i % 2 ? sim::PacketKind::kVideo : sim::PacketKind::kSignaling;
+    r.ttl = static_cast<std::uint8_t>(100 + i % 28);
+    records.push_back(r);
+  }
+  return records;
+}
+
+TEST_F(TraceIoTest, BinaryRoundTrip) {
+  const Ipv4Addr probe{10, 0, 0, 1};
+  const auto records = sample_records();
+  const auto path = dir_ / "probe.psct";
+  write_trace(path, probe, records);
+
+  const TraceFile loaded = read_trace(path);
+  EXPECT_EQ(loaded.probe, probe);
+  ASSERT_EQ(loaded.records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(loaded.records[i].ts, records[i].ts);
+    EXPECT_EQ(loaded.records[i].remote, records[i].remote);
+    EXPECT_EQ(loaded.records[i].bytes, records[i].bytes);
+    EXPECT_EQ(loaded.records[i].dir, records[i].dir);
+    EXPECT_EQ(loaded.records[i].kind, records[i].kind);
+    EXPECT_EQ(loaded.records[i].ttl, records[i].ttl);
+  }
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips) {
+  const auto path = dir_ / "empty.psct";
+  write_trace(path, Ipv4Addr{1, 2, 3, 4}, {});
+  const TraceFile loaded = read_trace(path);
+  EXPECT_EQ(loaded.probe, (Ipv4Addr{1, 2, 3, 4}));
+  EXPECT_TRUE(loaded.records.empty());
+}
+
+TEST_F(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW((void)read_trace(dir_ / "nonexistent.psct"),
+               std::runtime_error);
+}
+
+TEST_F(TraceIoTest, BadMagicThrows) {
+  const auto path = dir_ / "bad.psct";
+  std::ofstream(path) << "this is not a trace file at all, not even close";
+  EXPECT_THROW((void)read_trace(path), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, TruncatedHeaderThrows) {
+  const auto path = dir_ / "short.psct";
+  std::ofstream(path) << "abc";
+  EXPECT_THROW((void)read_trace(path), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, TruncatedBodyThrows) {
+  const auto path = dir_ / "truncated.psct";
+  write_trace(path, Ipv4Addr{1, 2, 3, 4}, sample_records());
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 5);
+  EXPECT_THROW((void)read_trace(path), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, CorruptEnumThrows) {
+  const auto path = dir_ / "corrupt.psct";
+  std::vector<PacketRecord> records = sample_records();
+  write_trace(path, Ipv4Addr{1, 2, 3, 4}, records);
+  // Flip the first record's direction byte (offset: 16 header + 8 ts +
+  // 4 remote + 4 bytes = 32) to an invalid value.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(32);
+  const char bad = 9;
+  f.write(&bad, 1);
+  f.close();
+  EXPECT_THROW((void)read_trace(path), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, CsvExport) {
+  const auto path = dir_ / "trace.csv";
+  std::vector<PacketRecord> records;
+  PacketRecord r;
+  r.ts = SimTime::millis(5);
+  r.remote = Ipv4Addr{20, 0, 0, 7};
+  r.bytes = 1250;
+  r.dir = Direction::kRx;
+  r.kind = sim::PacketKind::kVideo;
+  r.ttl = 110;
+  records.push_back(r);
+  write_trace_csv(path, Ipv4Addr{10, 0, 0, 1}, records);
+
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "# probe=10.0.0.1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "ts_ns,remote,dir,kind,bytes,ttl");
+  std::getline(in, line);
+  EXPECT_EQ(line, "5000000,20.0.0.7,rx,video,1250,110");
+}
+
+}  // namespace
+}  // namespace peerscope::trace

@@ -1,0 +1,58 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace peerscope::util {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Log::set_sink([this](LogLevel level, std::string_view message) {
+      captured_.emplace_back(level, std::string{message});
+    });
+    Log::set_level(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    Log::set_sink(nullptr);
+    Log::set_level(LogLevel::kWarn);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LogTest, CapturesMessages) {
+  Log::info("hello");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].second, "hello");
+}
+
+TEST_F(LogTest, LevelFiltersLowerSeverities) {
+  Log::set_level(LogLevel::kWarn);
+  Log::debug("d");
+  Log::info("i");
+  Log::warn("w");
+  Log::error("e");
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kWarn);
+  EXPECT_EQ(captured_[1].first, LogLevel::kError);
+}
+
+TEST_F(LogTest, LevelAccessorRoundTrips) {
+  Log::set_level(LogLevel::kError);
+  EXPECT_EQ(Log::level(), LogLevel::kError);
+}
+
+TEST(LogLevelNames, AllDistinct) {
+  EXPECT_EQ(to_string(LogLevel::kDebug), "debug");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "info");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "warn");
+  EXPECT_EQ(to_string(LogLevel::kError), "error");
+}
+
+}  // namespace
+}  // namespace peerscope::util

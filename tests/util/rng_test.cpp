@@ -1,0 +1,200 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace peerscope::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng parent{77};
+  Rng child1 = parent.fork(5);
+  // Forking does not consume parent state, and the same tag gives the
+  // same child.
+  Rng child2 = parent.fork(5);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(child1.next_u64(), child2.next_u64());
+  }
+}
+
+TEST(Rng, ForkDifferentTagsDiverge) {
+  Rng parent{77};
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng{9};
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng{9};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng{4};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng{11};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng{5};
+  double sum = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng{6};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng{7};
+  double sum = 0;
+  const int n = 30'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, NormalMeanAndStddev) {
+  Rng rng{8};
+  const int n = 30'000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng rng{10};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng{12};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal(0.5, 1.0), 0.0);
+  }
+}
+
+TEST(Rng, WeightedPickHonorsWeights) {
+  Rng rng{13};
+  const double weights[] = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_pick(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, WeightedPickThrowsOnZeroTotal) {
+  Rng rng{14};
+  const double weights[] = {0.0, 0.0};
+  EXPECT_THROW((void)rng.weighted_pick(weights), std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng{15};
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto sample = rng.sample_without_replacement(50, 10);
+    ASSERT_EQ(sample.size(), 10u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (const auto v : sample) EXPECT_LT(v, 50u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng{16};
+  const auto sample = rng.sample_without_replacement(5, 9);
+  ASSERT_EQ(sample.size(), 5u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique, (std::set<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+// Property sweep: below() is unbiased enough that each residue of a
+// small modulus appears with roughly equal frequency.
+class RngBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundSweep, ResiduesRoughlyUniform) {
+  const std::uint64_t bound = GetParam();
+  Rng rng{bound * 31 + 1};
+  std::vector<int> counts(bound, 0);
+  const int n = 12'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(bound)];
+  const double expected = static_cast<double>(n) / static_cast<double>(bound);
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.35);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallBounds, RngBoundSweep,
+                         ::testing::Values(2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace peerscope::util

@@ -1,0 +1,80 @@
+#include "util/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peerscope::util {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.ns(), 0);
+  EXPECT_EQ(SimTime::zero().ns(), 0);
+}
+
+TEST(SimTime, UnitConstructors) {
+  EXPECT_EQ(SimTime::nanos(7).ns(), 7);
+  EXPECT_EQ(SimTime::micros(3).ns(), 3'000);
+  EXPECT_EQ(SimTime::millis(2).ns(), 2'000'000);
+  EXPECT_EQ(SimTime::seconds(5).ns(), 5'000'000'000);
+}
+
+TEST(SimTime, UnitAccessors) {
+  const SimTime t = SimTime::millis(1500);
+  EXPECT_DOUBLE_EQ(t.seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(t.millis(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.micros(), 1'500'000.0);
+}
+
+TEST(SimTime, FromSecondsRoundsToNearest) {
+  EXPECT_EQ(SimTime::from_seconds(1.0).ns(), 1'000'000'000);
+  EXPECT_EQ(SimTime::from_seconds(0.5e-9).ns(), 1);   // rounds up
+  EXPECT_EQ(SimTime::from_seconds(0.4e-9).ns(), 0);   // rounds down
+  EXPECT_EQ(SimTime::from_seconds(-1.0).ns(), -1'000'000'000);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::seconds(2);
+  const SimTime b = SimTime::millis(500);
+  EXPECT_EQ((a + b).ns(), 2'500'000'000);
+  EXPECT_EQ((a - b).ns(), 1'500'000'000);
+  EXPECT_EQ((b * 4).ns(), 2'000'000'000);
+  EXPECT_EQ((4 * b).ns(), 2'000'000'000);
+  EXPECT_EQ(a / b, 4);
+  EXPECT_EQ((a / 2).ns(), 1'000'000'000);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = SimTime::seconds(1);
+  t += SimTime::millis(250);
+  EXPECT_EQ(t.ns(), 1'250'000'000);
+  t -= SimTime::millis(250);
+  EXPECT_EQ(t.ns(), 1'000'000'000);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::millis(1), SimTime::millis(2));
+  EXPECT_EQ(SimTime::seconds(1), SimTime::millis(1000));
+  EXPECT_GT(SimTime::max(), SimTime::seconds(1'000'000));
+}
+
+TEST(TransmissionTime, ExactReferenceValues) {
+  // The paper's threshold case: 1250 bytes at 10 Mb/s is exactly 1 ms.
+  EXPECT_EQ(transmission_time(1250, 10'000'000).ns(), 1'000'000);
+  // 1250 bytes at 100 Mb/s is exactly 100 us.
+  EXPECT_EQ(transmission_time(1250, 100'000'000).ns(), 100'000);
+  // 1250 bytes at 384 kb/s (DSL uplink) ~ 26.04 ms.
+  EXPECT_EQ(transmission_time(1250, 384'000).ns(), 26'041'667);
+}
+
+TEST(TransmissionTime, RoundsToNearestNanosecond) {
+  // 1 byte at 3 b/s = 8/3 s = 2.666..s -> 2666666667 ns.
+  EXPECT_EQ(transmission_time(1, 3).ns(), 2'666'666'667);
+}
+
+TEST(TransmissionTime, ScalesLinearlyInBytes) {
+  const auto one = transmission_time(1250, 20'000'000);
+  const auto ten = transmission_time(12'500, 20'000'000);
+  EXPECT_EQ(ten.ns(), one.ns() * 10);
+}
+
+}  // namespace
+}  // namespace peerscope::util

@@ -1,0 +1,193 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace peerscope::util {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+  EXPECT_EQ(s.sum(), 42.0);
+}
+
+TEST(OnlineStats, KnownSeries) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the series is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  Rng rng{3};
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) values.push_back(rng.normal(5, 3));
+
+  OnlineStats whole;
+  for (const double v : values) whole.add(v);
+
+  for (const std::size_t split : {0u, 1u, 100u, 250u, 499u, 500u}) {
+    OnlineStats left, right;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      (i < split ? left : right).add(values[i]);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+    EXPECT_EQ(left.min(), whole.min());
+    EXPECT_EQ(left.max(), whole.max());
+  }
+}
+
+TEST(OnlineStats, MergeWithEmptyIsNoop) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.mean(), 2.0);
+}
+
+TEST(Percentile, Median) {
+  const std::vector<double> odd{5, 1, 3};
+  EXPECT_EQ(median(odd), 3.0);
+  const std::vector<double> even{4, 1, 3, 2};
+  EXPECT_EQ(median(even), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v{10, 20, 30, 40};
+  EXPECT_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_EQ(percentile(v, 1.0), 40.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.75), 7.5);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)percentile(empty, 0.5), std::invalid_argument);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)percentile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)percentile(v, 1.1), std::invalid_argument);
+}
+
+TEST(Percentile, DoesNotMutateInput) {
+  const std::vector<double> v{3, 1, 2};
+  (void)percentile(v, 0.5);
+  EXPECT_EQ(v, (std::vector<double>{3, 1, 2}));
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(-100);   // clamps to first bin
+  h.add(0.5);
+  h.add(9.9);
+  h.add(100);    // clamps to last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h{0.0, 10.0, 5};
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h{0.0, 4.0, 4};
+  h.add(1.5, 10);
+  EXPECT_EQ(h.count(1), 10u);
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(Histogram, QuantileInterpolation) {
+  Histogram h{0.0, 10.0, 10};
+  for (int i = 0; i < 100; ++i) {
+    h.add(static_cast<double>(i) / 10.0);  // uniform over [0, 10)
+  }
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 0.5);
+  EXPECT_NEAR(h.quantile(0.1), 1.0, 0.5);
+}
+
+TEST(Histogram, Merge) {
+  Histogram a{0.0, 10.0, 5};
+  Histogram b{0.0, 10.0, 5};
+  a.add(1.0);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(a.count(0), 1u);
+  EXPECT_EQ(a.count(4), 1u);
+}
+
+TEST(Histogram, MergeShapeMismatchThrows) {
+  Histogram a{0.0, 10.0, 5};
+  Histogram b{0.0, 10.0, 6};
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW((Histogram{1.0, 1.0, 5}), std::invalid_argument);
+  EXPECT_THROW((Histogram{2.0, 1.0, 5}), std::invalid_argument);
+  EXPECT_THROW((Histogram{0.0, 1.0, 0}), std::invalid_argument);
+}
+
+TEST(Histogram, EmptyQuantileThrows) {
+  Histogram h{0.0, 1.0, 2};
+  EXPECT_THROW((void)h.quantile(0.5), std::logic_error);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h{0.0, 2.0, 2};
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('2'), std::string::npos);
+}
+
+TEST(Percentage, Basics) {
+  EXPECT_DOUBLE_EQ(percentage(1, 3), 25.0);
+  EXPECT_DOUBLE_EQ(percentage(0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(percentage(5, 0), 100.0);
+  EXPECT_DOUBLE_EQ(percentage(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace peerscope::util

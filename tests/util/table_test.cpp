@@ -1,0 +1,81 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peerscope::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t{{"name", "value"}};
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t{{"a", "b", "c"}};
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW((void)t.render());
+}
+
+TEST(TextTable, RejectsWideRows) {
+  TextTable t{{"a"}};
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW((TextTable{{}}), std::invalid_argument);
+}
+
+TEST(TextTable, AlignmentLeftAndRight) {
+  TextTable t{{"label", "n"}};
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "100"});
+  const std::string out = t.render();
+  // Right-aligned numeric column: "  1" appears padded on the left.
+  EXPECT_NE(out.find("  1 "), std::string::npos);
+  // Left-aligned label column: "x" is followed by padding.
+  EXPECT_NE(out.find("x     "), std::string::npos);
+}
+
+TEST(TextTable, RuleInsertsSeparator) {
+  TextTable t{{"a"}};
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // Header rule + top + bottom + the explicit one = 4 separator lines.
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(5.0, 0), "5");
+  EXPECT_EQ(TextTable::num(-1.05, 1), "-1.1");
+}
+
+TEST(TextTable, CountInsertsSeparators) {
+  EXPECT_EQ(TextTable::count(0), "0");
+  EXPECT_EQ(TextTable::count(999), "999");
+  EXPECT_EQ(TextTable::count(1000), "1,000");
+  EXPECT_EQ(TextTable::count(140'000'000), "140,000,000");
+  EXPECT_EQ(TextTable::count(1'234'567), "1,234,567");
+}
+
+TEST(TextTable, SetAlignValidatesColumn) {
+  TextTable t{{"a", "b"}};
+  EXPECT_NO_THROW(t.set_align(1, Align::kLeft));
+  EXPECT_THROW(t.set_align(2, Align::kLeft), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace peerscope::util

@@ -1,0 +1,311 @@
+// peerscope — command-line front end.
+//
+//   peerscope testbed
+//       Print the Table I testbed.
+//   peerscope run --app <name> [--seed N] [--duration S] --out DIR
+//                 [--pcap] [--csv]
+//       Run one experiment, store per-probe traces plus the experiment
+//       metadata sidecar needed for offline analysis.
+//   peerscope analyze DIR
+//       Reload stored traces + metadata and print the full analysis
+//       (summary, self-bias, awareness table) — the paper's pipeline
+//       applied to on-disk captures.
+//   peerscope report --app <name> [--seed N] [--duration S]
+//       Run and analyse in one step without storing traces.
+//   peerscope reproduce [--out FILE] [--seed N] [--duration S]
+//       Rerun every experiment and write a markdown report with
+//       paper-vs-measured rows for all tables and figures.
+//
+// Apps: pplive | sopcast | tvants | pplive-popular | napawine-proto
+
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aware/observation.hpp"
+#include "aware/report.hpp"
+#include "exp/metadata.hpp"
+#include "exp/runner.hpp"
+#include "exp/testbed.hpp"
+#include "net/topology.hpp"
+#include "p2p/swarm.hpp"
+#include "tools/reproduce.hpp"
+#include "trace/io.hpp"
+#include "trace/pcap.hpp"
+#include "util/table.hpp"
+
+using namespace peerscope;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      R"(usage:
+  peerscope testbed
+  peerscope run --app <name> [--seed N] [--duration S] --out DIR [--pcap] [--csv]
+  peerscope analyze DIR
+  peerscope report --app <name> [--seed N] [--duration S]
+  peerscope reproduce [--out FILE] [--seed N] [--duration S]
+
+apps: pplive | sopcast | tvants | pplive-popular | napawine-proto
+)";
+  return 2;
+}
+
+std::optional<p2p::SystemProfile> profile_by_name(const std::string& name) {
+  if (name == "pplive") return p2p::SystemProfile::pplive();
+  if (name == "sopcast") return p2p::SystemProfile::sopcast();
+  if (name == "tvants") return p2p::SystemProfile::tvants();
+  if (name == "pplive-popular") return p2p::SystemProfile::pplive_popular();
+  if (name == "napawine-proto") {
+    return p2p::SystemProfile::napawine_prototype();
+  }
+  return std::nullopt;
+}
+
+struct RunArgs {
+  p2p::SystemProfile profile;
+  std::uint64_t seed = 42;
+  std::int64_t duration_s = 120;
+  std::filesystem::path out;
+  bool pcap = false;
+  bool csv = false;
+};
+
+std::optional<RunArgs> parse_run_args(int argc, char** argv, int first) {
+  RunArgs args;
+  bool have_app = false;
+  for (int i = first; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--app") {
+      const char* name = value();
+      if (!name) return std::nullopt;
+      const auto profile = profile_by_name(name);
+      if (!profile) {
+        std::cerr << "unknown app: " << name << '\n';
+        return std::nullopt;
+      }
+      args.profile = *profile;
+      have_app = true;
+    } else if (flag == "--seed") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--duration") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      args.duration_s = std::atoll(v);
+      if (args.duration_s <= 0) return std::nullopt;
+    } else if (flag == "--out") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      args.out = v;
+    } else if (flag == "--pcap") {
+      args.pcap = true;
+    } else if (flag == "--csv") {
+      args.csv = true;
+    } else {
+      std::cerr << "unknown flag: " << flag << '\n';
+      return std::nullopt;
+    }
+  }
+  if (!have_app) {
+    std::cerr << "--app is required\n";
+    return std::nullopt;
+  }
+  return args;
+}
+
+void print_analysis(const aware::ExperimentObservations& data) {
+  const auto summary = aware::summarize(data);
+  util::TextTable overview{{"metric", "mean", "max"}};
+  overview.add_row({"stream RX [kbps]",
+                    util::TextTable::num(summary.rx_kbps_mean, 0),
+                    util::TextTable::num(summary.rx_kbps_max, 0)});
+  overview.add_row({"stream TX [kbps]",
+                    util::TextTable::num(summary.tx_kbps_mean, 0),
+                    util::TextTable::num(summary.tx_kbps_max, 0)});
+  overview.add_row({"peers / probe",
+                    util::TextTable::num(summary.all_peers_mean, 0),
+                    util::TextTable::count(summary.all_peers_max)});
+  overview.add_row({"RX contributors / probe",
+                    util::TextTable::num(summary.contrib_rx_mean, 0),
+                    util::TextTable::count(summary.contrib_rx_max)});
+  overview.add_row(
+      {"observed peers", util::TextTable::count(summary.observed_total), ""});
+  std::cout << '\n' << data.app << " overview:\n" << overview.render();
+
+  const auto bias = aware::self_bias(data);
+  std::cout << "\nself-induced bias (contributors): peers "
+            << util::TextTable::num(bias.contributors_peer_pct) << "%, bytes "
+            << util::TextTable::num(bias.contributors_bytes_pct) << "%\n";
+
+  const auto rows = aware::awareness_table(data);
+  util::TextTable awareness{
+      {"net", "B'D%", "P'D%", "BD%", "PD%", "B'U%", "P'U%", "BU%", "PU%"}};
+  const auto cell = [](const std::optional<double>& v) {
+    return v ? util::TextTable::num(*v) : std::string{"-"};
+  };
+  for (const auto& row : rows) {
+    awareness.add_row({aware::to_string(row.metric),
+                       cell(row.download.b_prime_pct),
+                       cell(row.download.p_prime_pct),
+                       cell(row.download.b_pct), cell(row.download.p_pct),
+                       cell(row.upload.b_prime_pct),
+                       cell(row.upload.p_prime_pct), cell(row.upload.b_pct),
+                       cell(row.upload.p_pct)});
+  }
+  std::cout << "\nnetwork awareness:\n" << awareness.render();
+}
+
+int cmd_testbed() {
+  const net::AsTopology topo = net::make_reference_topology();
+  const exp::Testbed testbed = exp::Testbed::table1();
+  util::TextTable table{{"Host", "Site", "CC", "AS", "Access", "Nat", "FW"}};
+  for (const auto& row : testbed.rows(topo)) {
+    table.add_row({row.hosts, row.site, row.country, row.as_label,
+                   row.access, row.nat ? "Y" : "-",
+                   row.firewall ? "Y" : "-"});
+  }
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_run(const RunArgs& args) {
+  if (args.out.empty()) {
+    std::cerr << "--out is required for run\n";
+    return 2;
+  }
+  std::filesystem::create_directories(args.out);
+
+  const net::AsTopology topo = net::make_reference_topology();
+  const exp::Testbed testbed = exp::Testbed::table1();
+  p2p::SwarmConfig config;
+  config.profile = args.profile;
+  config.seed = args.seed;
+  config.duration = util::SimTime::seconds(args.duration_s);
+  config.keep_records = true;
+
+  std::cerr << "running " << config.profile.name << " (seed " << args.seed
+            << ", " << args.duration_s << " s)...\n";
+  p2p::Swarm swarm{topo, testbed.probes(), config};
+  swarm.run();
+
+  const auto& population = swarm.population();
+  exp::ExperimentMetadata meta;
+  meta.app = config.profile.name;
+  meta.duration = config.duration;
+  meta.announcements = population.registry().dump();
+
+  std::uint64_t packets = 0;
+  for (std::size_t i = 0; i < swarm.probe_count(); ++i) {
+    const auto& info = population.peer(population.probe_ids()[i]);
+    const auto label = population.probe_specs()[i].label();
+    meta.probes.push_back({info.ep.addr, info.ep.as, info.ep.country,
+                           info.access.is_high_bandwidth(), label});
+    auto records = swarm.sink(i).records();
+    std::sort(records.begin(), records.end(), trace::record_before);
+    trace::write_trace(
+        args.out / exp::ExperimentMetadata::trace_filename(label),
+        swarm.sink(i).probe(), records);
+    if (args.pcap) {
+      trace::write_pcap(args.out / (label + ".pcap"), swarm.sink(i).probe(),
+                        records);
+    }
+    if (args.csv) {
+      trace::write_trace_csv(args.out / (label + ".csv"),
+                             swarm.sink(i).probe(), records);
+    }
+    packets += records.size();
+  }
+  write_metadata(args.out / "experiment.meta", meta);
+  std::cerr << "wrote " << swarm.probe_count() << " traces ("
+            << util::TextTable::count(packets) << " packets) + metadata to "
+            << args.out << '\n';
+  return 0;
+}
+
+int cmd_analyze(const std::filesystem::path& dir) {
+  const auto meta = exp::read_metadata(dir / "experiment.meta");
+  const auto registry = meta.build_registry();
+  const auto napa = meta.napa_set();
+
+  aware::ExperimentObservations data;
+  data.app = meta.app;
+  data.duration = meta.duration;
+  data.probes = meta.probes;
+  for (const auto& probe : meta.probes) {
+    const auto file = trace::read_trace(
+        dir / exp::ExperimentMetadata::trace_filename(probe.label));
+    data.per_probe.push_back(aware::extract_observations(
+        trace::FlowTable::from_records(file.probe, file.records), registry,
+        napa));
+  }
+  print_analysis(data);
+  return 0;
+}
+
+int cmd_report(const RunArgs& args) {
+  const net::AsTopology topo = net::make_reference_topology();
+  exp::RunSpec spec;
+  spec.profile = args.profile;
+  spec.seed = args.seed;
+  spec.duration = util::SimTime::seconds(args.duration_s);
+  std::cerr << "running " << spec.profile.name << " (seed " << args.seed
+            << ", " << args.duration_s << " s)...\n";
+  const auto result = exp::run_experiment(topo, spec);
+  print_analysis(result.observations);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "testbed") return cmd_testbed();
+    if (command == "run") {
+      const auto args = parse_run_args(argc, argv, 2);
+      return args ? cmd_run(*args) : usage();
+    }
+    if (command == "analyze") {
+      if (argc != 3) return usage();
+      return cmd_analyze(argv[2]);
+    }
+    if (command == "report") {
+      const auto args = parse_run_args(argc, argv, 2);
+      return args ? cmd_report(*args) : usage();
+    }
+    if (command == "reproduce") {
+      tools::ReproduceOptions options;
+      for (int i = 2; i < argc; ++i) {
+        const std::string flag = argv[i];
+        const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (flag == "--out" && value) {
+          options.output = value;
+          ++i;
+        } else if (flag == "--seed" && value) {
+          options.seed = std::strtoull(value, nullptr, 10);
+          ++i;
+        } else if (flag == "--duration" && value) {
+          options.seconds = std::atoll(value);
+          ++i;
+        } else {
+          return usage();
+        }
+      }
+      return tools::reproduce(options);
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+  return usage();
+}

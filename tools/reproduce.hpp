@@ -1,0 +1,20 @@
+// `peerscope reproduce`: one command that reruns every experiment and
+// writes a self-contained markdown report with paper-vs-measured rows
+// for all tables and figures — the repository's headline artifact.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+
+namespace peerscope::tools {
+
+struct ReproduceOptions {
+  std::filesystem::path output = "REPORT.md";
+  std::int64_t seconds = 300;
+  std::uint64_t seed = 42;
+};
+
+/// Returns the process exit code.
+int reproduce(const ReproduceOptions& options);
+
+}  // namespace peerscope::tools
