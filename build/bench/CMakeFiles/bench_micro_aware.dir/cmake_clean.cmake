@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_aware.dir/bench_micro_aware.cpp.o"
+  "CMakeFiles/bench_micro_aware.dir/bench_micro_aware.cpp.o.d"
+  "bench_micro_aware"
+  "bench_micro_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

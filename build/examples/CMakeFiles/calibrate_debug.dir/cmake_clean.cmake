@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_debug.dir/calibrate_debug.cpp.o"
+  "CMakeFiles/calibrate_debug.dir/calibrate_debug.cpp.o.d"
+  "calibrate_debug"
+  "calibrate_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nextgen_locality.dir/nextgen_locality.cpp.o"
+  "CMakeFiles/nextgen_locality.dir/nextgen_locality.cpp.o.d"
+  "nextgen_locality"
+  "nextgen_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nextgen_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

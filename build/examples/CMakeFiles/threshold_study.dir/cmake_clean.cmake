@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_study.dir/threshold_study.cpp.o"
+  "CMakeFiles/threshold_study.dir/threshold_study.cpp.o.d"
+  "threshold_study"
+  "threshold_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

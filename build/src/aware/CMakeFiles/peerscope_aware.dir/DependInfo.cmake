@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aware/bandwidth.cpp" "src/aware/CMakeFiles/peerscope_aware.dir/bandwidth.cpp.o" "gcc" "src/aware/CMakeFiles/peerscope_aware.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/aware/export.cpp" "src/aware/CMakeFiles/peerscope_aware.dir/export.cpp.o" "gcc" "src/aware/CMakeFiles/peerscope_aware.dir/export.cpp.o.d"
+  "/root/repo/src/aware/observation.cpp" "src/aware/CMakeFiles/peerscope_aware.dir/observation.cpp.o" "gcc" "src/aware/CMakeFiles/peerscope_aware.dir/observation.cpp.o.d"
+  "/root/repo/src/aware/partition.cpp" "src/aware/CMakeFiles/peerscope_aware.dir/partition.cpp.o" "gcc" "src/aware/CMakeFiles/peerscope_aware.dir/partition.cpp.o.d"
+  "/root/repo/src/aware/preference.cpp" "src/aware/CMakeFiles/peerscope_aware.dir/preference.cpp.o" "gcc" "src/aware/CMakeFiles/peerscope_aware.dir/preference.cpp.o.d"
+  "/root/repo/src/aware/report.cpp" "src/aware/CMakeFiles/peerscope_aware.dir/report.cpp.o" "gcc" "src/aware/CMakeFiles/peerscope_aware.dir/report.cpp.o.d"
+  "/root/repo/src/aware/temporal.cpp" "src/aware/CMakeFiles/peerscope_aware.dir/temporal.cpp.o" "gcc" "src/aware/CMakeFiles/peerscope_aware.dir/temporal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/peerscope_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/peerscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/peerscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/peerscope_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

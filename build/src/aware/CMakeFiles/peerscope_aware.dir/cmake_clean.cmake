@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerscope_aware.dir/bandwidth.cpp.o"
+  "CMakeFiles/peerscope_aware.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/peerscope_aware.dir/export.cpp.o"
+  "CMakeFiles/peerscope_aware.dir/export.cpp.o.d"
+  "CMakeFiles/peerscope_aware.dir/observation.cpp.o"
+  "CMakeFiles/peerscope_aware.dir/observation.cpp.o.d"
+  "CMakeFiles/peerscope_aware.dir/partition.cpp.o"
+  "CMakeFiles/peerscope_aware.dir/partition.cpp.o.d"
+  "CMakeFiles/peerscope_aware.dir/preference.cpp.o"
+  "CMakeFiles/peerscope_aware.dir/preference.cpp.o.d"
+  "CMakeFiles/peerscope_aware.dir/report.cpp.o"
+  "CMakeFiles/peerscope_aware.dir/report.cpp.o.d"
+  "CMakeFiles/peerscope_aware.dir/temporal.cpp.o"
+  "CMakeFiles/peerscope_aware.dir/temporal.cpp.o.d"
+  "libpeerscope_aware.a"
+  "libpeerscope_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerscope_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

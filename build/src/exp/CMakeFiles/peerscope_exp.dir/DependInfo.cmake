@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/metadata.cpp" "src/exp/CMakeFiles/peerscope_exp.dir/metadata.cpp.o" "gcc" "src/exp/CMakeFiles/peerscope_exp.dir/metadata.cpp.o.d"
+  "/root/repo/src/exp/runner.cpp" "src/exp/CMakeFiles/peerscope_exp.dir/runner.cpp.o" "gcc" "src/exp/CMakeFiles/peerscope_exp.dir/runner.cpp.o.d"
+  "/root/repo/src/exp/sensitivity.cpp" "src/exp/CMakeFiles/peerscope_exp.dir/sensitivity.cpp.o" "gcc" "src/exp/CMakeFiles/peerscope_exp.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/exp/testbed.cpp" "src/exp/CMakeFiles/peerscope_exp.dir/testbed.cpp.o" "gcc" "src/exp/CMakeFiles/peerscope_exp.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/peerscope_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/peerscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/peerscope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/peerscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/peerscope_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/aware/CMakeFiles/peerscope_aware.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerscope_exp.dir/metadata.cpp.o"
+  "CMakeFiles/peerscope_exp.dir/metadata.cpp.o.d"
+  "CMakeFiles/peerscope_exp.dir/runner.cpp.o"
+  "CMakeFiles/peerscope_exp.dir/runner.cpp.o.d"
+  "CMakeFiles/peerscope_exp.dir/sensitivity.cpp.o"
+  "CMakeFiles/peerscope_exp.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/peerscope_exp.dir/testbed.cpp.o"
+  "CMakeFiles/peerscope_exp.dir/testbed.cpp.o.d"
+  "libpeerscope_exp.a"
+  "libpeerscope_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerscope_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

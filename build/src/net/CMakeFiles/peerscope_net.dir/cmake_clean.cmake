@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerscope_net.dir/access.cpp.o"
+  "CMakeFiles/peerscope_net.dir/access.cpp.o.d"
+  "CMakeFiles/peerscope_net.dir/allocator.cpp.o"
+  "CMakeFiles/peerscope_net.dir/allocator.cpp.o.d"
+  "CMakeFiles/peerscope_net.dir/ipv4.cpp.o"
+  "CMakeFiles/peerscope_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/peerscope_net.dir/prefix.cpp.o"
+  "CMakeFiles/peerscope_net.dir/prefix.cpp.o.d"
+  "CMakeFiles/peerscope_net.dir/registry.cpp.o"
+  "CMakeFiles/peerscope_net.dir/registry.cpp.o.d"
+  "CMakeFiles/peerscope_net.dir/topology.cpp.o"
+  "CMakeFiles/peerscope_net.dir/topology.cpp.o.d"
+  "libpeerscope_net.a"
+  "libpeerscope_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerscope_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

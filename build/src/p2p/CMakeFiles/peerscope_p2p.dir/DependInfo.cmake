@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p2p/population.cpp" "src/p2p/CMakeFiles/peerscope_p2p.dir/population.cpp.o" "gcc" "src/p2p/CMakeFiles/peerscope_p2p.dir/population.cpp.o.d"
+  "/root/repo/src/p2p/profile.cpp" "src/p2p/CMakeFiles/peerscope_p2p.dir/profile.cpp.o" "gcc" "src/p2p/CMakeFiles/peerscope_p2p.dir/profile.cpp.o.d"
+  "/root/repo/src/p2p/swarm.cpp" "src/p2p/CMakeFiles/peerscope_p2p.dir/swarm.cpp.o" "gcc" "src/p2p/CMakeFiles/peerscope_p2p.dir/swarm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/peerscope_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/peerscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/peerscope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/peerscope_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerscope_p2p.dir/population.cpp.o"
+  "CMakeFiles/peerscope_p2p.dir/population.cpp.o.d"
+  "CMakeFiles/peerscope_p2p.dir/profile.cpp.o"
+  "CMakeFiles/peerscope_p2p.dir/profile.cpp.o.d"
+  "CMakeFiles/peerscope_p2p.dir/swarm.cpp.o"
+  "CMakeFiles/peerscope_p2p.dir/swarm.cpp.o.d"
+  "libpeerscope_p2p.a"
+  "libpeerscope_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerscope_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerscope_sim.dir/engine.cpp.o"
+  "CMakeFiles/peerscope_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/peerscope_sim.dir/train.cpp.o"
+  "CMakeFiles/peerscope_sim.dir/train.cpp.o.d"
+  "libpeerscope_sim.a"
+  "libpeerscope_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerscope_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

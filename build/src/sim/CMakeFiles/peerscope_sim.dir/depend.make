@@ -1,0 +1,2 @@
+# Empty dependencies file for peerscope_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/flow.cpp" "src/trace/CMakeFiles/peerscope_trace.dir/flow.cpp.o" "gcc" "src/trace/CMakeFiles/peerscope_trace.dir/flow.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/peerscope_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/peerscope_trace.dir/io.cpp.o.d"
+  "/root/repo/src/trace/pcap.cpp" "src/trace/CMakeFiles/peerscope_trace.dir/pcap.cpp.o" "gcc" "src/trace/CMakeFiles/peerscope_trace.dir/pcap.cpp.o.d"
+  "/root/repo/src/trace/sink.cpp" "src/trace/CMakeFiles/peerscope_trace.dir/sink.cpp.o" "gcc" "src/trace/CMakeFiles/peerscope_trace.dir/sink.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/peerscope_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/peerscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/peerscope_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerscope_trace.dir/flow.cpp.o"
+  "CMakeFiles/peerscope_trace.dir/flow.cpp.o.d"
+  "CMakeFiles/peerscope_trace.dir/io.cpp.o"
+  "CMakeFiles/peerscope_trace.dir/io.cpp.o.d"
+  "CMakeFiles/peerscope_trace.dir/pcap.cpp.o"
+  "CMakeFiles/peerscope_trace.dir/pcap.cpp.o.d"
+  "CMakeFiles/peerscope_trace.dir/sink.cpp.o"
+  "CMakeFiles/peerscope_trace.dir/sink.cpp.o.d"
+  "libpeerscope_trace.a"
+  "libpeerscope_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerscope_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

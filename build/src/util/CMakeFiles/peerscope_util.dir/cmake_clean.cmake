@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerscope_util.dir/log.cpp.o"
+  "CMakeFiles/peerscope_util.dir/log.cpp.o.d"
+  "CMakeFiles/peerscope_util.dir/rng.cpp.o"
+  "CMakeFiles/peerscope_util.dir/rng.cpp.o.d"
+  "CMakeFiles/peerscope_util.dir/stats.cpp.o"
+  "CMakeFiles/peerscope_util.dir/stats.cpp.o.d"
+  "CMakeFiles/peerscope_util.dir/table.cpp.o"
+  "CMakeFiles/peerscope_util.dir/table.cpp.o.d"
+  "CMakeFiles/peerscope_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/peerscope_util.dir/thread_pool.cpp.o.d"
+  "libpeerscope_util.a"
+  "libpeerscope_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerscope_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

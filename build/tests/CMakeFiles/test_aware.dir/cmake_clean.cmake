@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aware.dir/aware/bandwidth_test.cpp.o"
+  "CMakeFiles/test_aware.dir/aware/bandwidth_test.cpp.o.d"
+  "CMakeFiles/test_aware.dir/aware/contributor_test.cpp.o"
+  "CMakeFiles/test_aware.dir/aware/contributor_test.cpp.o.d"
+  "CMakeFiles/test_aware.dir/aware/export_test.cpp.o"
+  "CMakeFiles/test_aware.dir/aware/export_test.cpp.o.d"
+  "CMakeFiles/test_aware.dir/aware/observation_test.cpp.o"
+  "CMakeFiles/test_aware.dir/aware/observation_test.cpp.o.d"
+  "CMakeFiles/test_aware.dir/aware/partition_test.cpp.o"
+  "CMakeFiles/test_aware.dir/aware/partition_test.cpp.o.d"
+  "CMakeFiles/test_aware.dir/aware/preference_test.cpp.o"
+  "CMakeFiles/test_aware.dir/aware/preference_test.cpp.o.d"
+  "CMakeFiles/test_aware.dir/aware/report_test.cpp.o"
+  "CMakeFiles/test_aware.dir/aware/report_test.cpp.o.d"
+  "CMakeFiles/test_aware.dir/aware/temporal_test.cpp.o"
+  "CMakeFiles/test_aware.dir/aware/temporal_test.cpp.o.d"
+  "test_aware"
+  "test_aware.pdb"
+  "test_aware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

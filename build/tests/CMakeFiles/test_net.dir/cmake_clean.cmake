@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/access_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/access_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/allocator_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/allocator_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/ipv4_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/ipv4_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/prefix_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/prefix_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/registry_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/registry_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/topology_property_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/topology_property_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/topology_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/topology_test.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

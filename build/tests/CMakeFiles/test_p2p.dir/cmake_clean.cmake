@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p2p.dir/p2p/buffer_test.cpp.o"
+  "CMakeFiles/test_p2p.dir/p2p/buffer_test.cpp.o.d"
+  "CMakeFiles/test_p2p.dir/p2p/population_test.cpp.o"
+  "CMakeFiles/test_p2p.dir/p2p/population_test.cpp.o.d"
+  "CMakeFiles/test_p2p.dir/p2p/profile_sweep_test.cpp.o"
+  "CMakeFiles/test_p2p.dir/p2p/profile_sweep_test.cpp.o.d"
+  "CMakeFiles/test_p2p.dir/p2p/profile_test.cpp.o"
+  "CMakeFiles/test_p2p.dir/p2p/profile_test.cpp.o.d"
+  "CMakeFiles/test_p2p.dir/p2p/selection_test.cpp.o"
+  "CMakeFiles/test_p2p.dir/p2p/selection_test.cpp.o.d"
+  "CMakeFiles/test_p2p.dir/p2p/swarm_conservation_test.cpp.o"
+  "CMakeFiles/test_p2p.dir/p2p/swarm_conservation_test.cpp.o.d"
+  "CMakeFiles/test_p2p.dir/p2p/swarm_loss_test.cpp.o"
+  "CMakeFiles/test_p2p.dir/p2p/swarm_loss_test.cpp.o.d"
+  "CMakeFiles/test_p2p.dir/p2p/swarm_test.cpp.o"
+  "CMakeFiles/test_p2p.dir/p2p/swarm_test.cpp.o.d"
+  "test_p2p"
+  "test_p2p.pdb"
+  "test_p2p[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

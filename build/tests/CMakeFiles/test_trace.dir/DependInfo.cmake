@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/flow_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/flow_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/flow_test.cpp.o.d"
+  "/root/repo/tests/trace/fuzz_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/fuzz_test.cpp.o.d"
+  "/root/repo/tests/trace/io_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/io_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/io_test.cpp.o.d"
+  "/root/repo/tests/trace/pcap_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/pcap_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/pcap_test.cpp.o.d"
+  "/root/repo/tests/trace/sink_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/sink_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/sink_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/peerscope_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/peerscope_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/aware/CMakeFiles/peerscope_aware.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/peerscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/peerscope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/peerscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/peerscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerscope.dir/peerscope_cli.cpp.o"
+  "CMakeFiles/peerscope.dir/peerscope_cli.cpp.o.d"
+  "CMakeFiles/peerscope.dir/reproduce.cpp.o"
+  "CMakeFiles/peerscope.dir/reproduce.cpp.o.d"
+  "peerscope"
+  "peerscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
