@@ -1,19 +1,24 @@
 #include "aware/bandwidth.hpp"
 
+#include <limits>
+
 #include "aware/partition.hpp"
 #include "aware/preference.hpp"
 
 namespace peerscope::aware {
 
 std::optional<CapacityEstimate> estimate_capacity(const PairObservation& obs,
-                                                  std::int32_t packet_bytes) {
-  if (!obs.has_min_ipg() || obs.min_rx_video_ipg_ns <= 0) {
+                                                  std::int32_t packet_bytes,
+                                                  int ipg_discard) {
+  if (!obs.has_min_ipg()) return std::nullopt;
+  const std::int64_t ipg = obs.min_ipg_after_discard(ipg_discard);
+  if (ipg <= 0 || ipg == std::numeric_limits<std::int64_t>::max()) {
     return std::nullopt;
   }
   CapacityEstimate estimate;
-  estimate.min_ipg_ns = obs.min_rx_video_ipg_ns;
+  estimate.min_ipg_ns = ipg;
   estimate.mbps = static_cast<double>(packet_bytes) * 8.0 /
-                  static_cast<double>(obs.min_rx_video_ipg_ns) * 1e3;
+                  static_cast<double>(ipg) * 1e3;
   return estimate;
 }
 

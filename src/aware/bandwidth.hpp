@@ -29,8 +29,12 @@ struct CapacityEstimate {
 /// Estimates the path bottleneck toward the probe from the minimum
 /// inter-packet gap, assuming `packet_bytes`-sized video packets (the
 /// paper's 1250 B reference). nullopt when no packet pair was observed.
+/// `ipg_discard` drops that many smallest gap samples first (capture
+/// duplication fabricates near-zero gaps that would otherwise read as
+/// absurd multi-Gb/s capacities); 0 is the paper's plain minimum.
 [[nodiscard]] std::optional<CapacityEstimate> estimate_capacity(
-    const PairObservation& obs, std::int32_t packet_bytes = 1250);
+    const PairObservation& obs, std::int32_t packet_bytes = 1250,
+    int ipg_discard = 0);
 
 /// One point of the threshold sensitivity sweep.
 struct ThresholdPoint {

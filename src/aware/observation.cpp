@@ -35,8 +35,12 @@ std::vector<PairObservation> extract_observations(
     obs.tx_video_pkts = f.tx_video_pkts;
     obs.tx_video_bytes = f.tx_video_bytes;
     obs.min_rx_video_ipg_ns = f.min_rx_video_ipg_ns;
+    obs.smallest_rx_ipgs = f.smallest_rx_ipgs;
+    obs.rx_ipg_samples = f.rx_ipg_samples;
     if (f.saw_rx) {
-      obs.rx_hops = sim::kInitialTtl - static_cast<int>(f.rx_ttl);
+      // TTL mode, not last-seen: a corrupt TTL byte on the final packet
+      // of a flow must not move the hop estimate.
+      obs.rx_hops = sim::kInitialTtl - static_cast<int>(f.rx_ttl_mode());
     }
     out.push_back(obs);
   }

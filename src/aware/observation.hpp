@@ -8,6 +8,7 @@
 // cannot tell the difference (black-box property).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -47,6 +48,24 @@ struct PairObservation {
       std::numeric_limits<std::int64_t>::max();
   [[nodiscard]] bool has_min_ipg() const {
     return min_rx_video_ipg_ns != std::numeric_limits<std::int64_t>::max();
+  }
+
+  /// The k smallest RX video IPGs (ascending, int64-max padded) and the
+  /// sample count, for the corruption-robust BW estimator.
+  std::array<std::int64_t, trace::FlowStats::kIpgTrack> smallest_rx_ipgs{
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::max()};
+  std::uint64_t rx_ipg_samples = 0;
+  /// Min IPG after discarding the `discard` smallest samples (capture
+  /// duplication/reordering artifacts); discard <= 0 is the plain min.
+  /// Falls back to min_rx_video_ipg_ns when the k-smallest array was
+  /// never populated (hand-built observations).
+  [[nodiscard]] std::int64_t min_ipg_after_discard(int discard) const {
+    if (discard <= 0 || rx_ipg_samples == 0) return min_rx_video_ipg_ns;
+    return trace::robust_min_ipg(smallest_rx_ipgs, rx_ipg_samples, discard);
   }
 
   /// Hop count inferred from received TTL (128 - TTL); -1 when the

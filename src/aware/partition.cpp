@@ -25,7 +25,7 @@ std::string to_string(Metric metric) {
 Partition bw_partition(BwConfig cfg) {
   return [cfg](const PairObservation& obs) -> std::optional<bool> {
     if (!obs.has_min_ipg()) return std::nullopt;
-    return obs.min_rx_video_ipg_ns < cfg.ipg_threshold_ns;
+    return obs.min_ipg_after_discard(cfg.ipg_discard) < cfg.ipg_threshold_ns;
   };
 }
 

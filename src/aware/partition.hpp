@@ -27,6 +27,10 @@ using Partition =
 /// paper restricts BW analysis to the download direction.
 struct BwConfig {
   std::int64_t ipg_threshold_ns = 1'000'000;
+  /// Number of smallest IPG samples to discard before taking the
+  /// minimum (robustness against capture duplication/reordering, which
+  /// fabricate near-zero gaps). 0 = the paper's plain minimum.
+  int ipg_discard = 0;
 };
 [[nodiscard]] Partition bw_partition(BwConfig cfg = {});
 

@@ -45,6 +45,20 @@ void write_metadata(const std::filesystem::path& path,
     out << "prefix " << a.prefix.to_string() << ' ' << a.as.value() << ' '
         << a.country.to_string() << '\n';
   }
+  if (meta.impairment.enabled()) {
+    const auto& imp = meta.impairment;
+    out << "impairment " << imp.loss_rate << ' ' << imp.loss_burst << ' '
+        << imp.reorder_rate << ' ' << imp.reorder_delay.ns() << ' '
+        << imp.duplicate_rate << ' ' << imp.outage_per_s << ' '
+        << imp.outage_duration.ns() << '\n';
+  }
+  if (meta.churn.enabled()) {
+    const auto& churn = meta.churn;
+    out << "churn " << churn.probe_session_s << ' ' << churn.probe_downtime_s
+        << ' ' << churn.bg_session_s << ' ' << churn.bg_downtime_s << ' '
+        << churn.nat_connect_failure << ' ' << churn.firewall_connect_failure
+        << '\n';
+  }
   if (!out) fail(path, "short write");
 }
 
@@ -91,6 +105,23 @@ ExperimentMetadata read_metadata(const std::filesystem::path& path) {
       }
       meta.announcements.push_back(
           {*prefix, net::AsId{as_value}, net::CountryCode{cc_text}});
+    } else if (key == "impairment") {
+      auto& imp = meta.impairment;
+      std::int64_t reorder_delay_ns = -1, outage_duration_ns = -1;
+      tokens >> imp.loss_rate >> imp.loss_burst >> imp.reorder_rate >>
+          reorder_delay_ns >> imp.duplicate_rate >> imp.outage_per_s >>
+          outage_duration_ns;
+      if (!tokens || reorder_delay_ns < 0 || outage_duration_ns < 0) {
+        fail(path, "bad impairment line: " + line);
+      }
+      imp.reorder_delay = util::SimTime::nanos(reorder_delay_ns);
+      imp.outage_duration = util::SimTime::nanos(outage_duration_ns);
+    } else if (key == "churn") {
+      auto& churn = meta.churn;
+      tokens >> churn.probe_session_s >> churn.probe_downtime_s >>
+          churn.bg_session_s >> churn.bg_downtime_s >>
+          churn.nat_connect_failure >> churn.firewall_connect_failure;
+      if (!tokens) fail(path, "bad churn line: " + line);
     } else {
       fail(path, "unknown key: " + key);
     }

@@ -13,6 +13,8 @@
 
 #include "aware/experiment.hpp"
 #include "net/registry.hpp"
+#include "p2p/churn.hpp"
+#include "sim/impairment.hpp"
 #include "util/sim_time.hpp"
 
 namespace peerscope::exp {
@@ -22,6 +24,12 @@ struct ExperimentMetadata {
   util::SimTime duration{0};
   std::vector<aware::ProbeMeta> probes;
   std::vector<net::NetRegistry::Announcement> announcements;
+  /// Faults injected during the capture, if any. Written to the sidecar
+  /// only when enabled, so clean-run sidecars are byte-identical to
+  /// those of earlier versions; an analysis reading the traces can tell
+  /// measured degradation from injected degradation.
+  sim::ImpairmentSpec impairment;
+  p2p::ChurnSpec churn;
 
   /// Rebuilds the registry for offline IP joins.
   [[nodiscard]] net::NetRegistry build_registry() const;

@@ -34,6 +34,8 @@ RunResult run_experiment(const net::AsTopology& topo, const RunSpec& spec) {
   config.seed = spec.seed;
   config.duration = spec.duration;
   config.keep_records = spec.keep_records;
+  config.impairment = spec.impairment;
+  config.churn = spec.churn;
 
   p2p::Swarm swarm{topo, testbed.probes(), std::move(config)};
   swarm.run();

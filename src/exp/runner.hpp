@@ -21,6 +21,10 @@ struct RunSpec {
   std::uint64_t seed = 42;
   util::SimTime duration = util::SimTime::seconds(300);
   bool keep_records = false;
+  /// Fault injection (both disabled by default — the clean
+  /// reproduction runs are byte-identical with or without this field).
+  sim::ImpairmentSpec impairment;
+  p2p::ChurnSpec churn;
 };
 
 struct RunResult {

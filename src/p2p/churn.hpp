@@ -1,0 +1,61 @@
+// Peer churn and connection-failure injection for the swarm.
+//
+// The paper's captures were taken on the real Internet: probes crashed
+// and rejoined, the audience flapped in and out in minutes, NAT and
+// firewall traversal failed outright. The clean simulator made all of
+// that impossible; ChurnSpec turns each failure mode on explicitly.
+// Everything defaults to disabled — a default-constructed spec leaves
+// the swarm bit-identical to the un-impaired simulator.
+//
+// Recovery machinery (chunk-request retry with exponential backoff,
+// per-partner failure scoring, blacklisting after repeated timeouts)
+// activates whenever any fault injection — churn or link impairment —
+// is enabled, mirroring how the commercial clients must cope with the
+// same conditions.
+#pragma once
+
+#include "util/sim_time.hpp"
+
+namespace peerscope::p2p {
+
+struct ChurnSpec {
+  /// Mean probe online-session length in seconds (exponential); 0
+  /// disables probe crashes. A crashed probe drops its partners and
+  /// in-flight requests, then rejoins and re-bootstraps.
+  double probe_session_s = 0.0;
+  /// Mean probe downtime between crash and rejoin.
+  double probe_downtime_s = 5.0;
+  /// Mean background-peer online session in seconds; 0 keeps the
+  /// audience permanently online. Flapping is a deterministic per-peer
+  /// duty cycle (hash-phased), so it never perturbs the RNG stream:
+  /// requests sent to an offline peer simply never complete.
+  double bg_session_s = 0.0;
+  /// Mean background-peer downtime per flap.
+  double bg_downtime_s = 10.0;
+  /// Probability a discovery contact to a NAT'd peer fails outright
+  /// (the handshake goes out, nothing comes back).
+  double nat_connect_failure = 0.0;
+  /// Same for firewalled peers (additive when both apply).
+  double firewall_connect_failure = 0.0;
+
+  // --- recovery machinery (active whenever faults are injected) ---
+  /// Base retry backoff after a chunk-request timeout; doubles per
+  /// consecutive failure of the same chunk.
+  util::SimTime retry_backoff = util::SimTime::millis(400);
+  util::SimTime retry_backoff_max = util::SimTime::seconds(5);
+  /// Consecutive timeouts from one partner before it is blacklisted;
+  /// <= 0 disables blacklisting.
+  int blacklist_after = 4;
+  util::SimTime blacklist_duration = util::SimTime::seconds(30);
+
+  [[nodiscard]] bool probe_churn() const { return probe_session_s > 0.0; }
+  [[nodiscard]] bool bg_churn() const { return bg_session_s > 0.0; }
+  [[nodiscard]] bool connect_failures() const {
+    return nat_connect_failure > 0.0 || firewall_connect_failure > 0.0;
+  }
+  [[nodiscard]] bool enabled() const {
+    return probe_churn() || bg_churn() || connect_failures();
+  }
+};
+
+}  // namespace peerscope::p2p

@@ -19,6 +19,11 @@ Swarm::Swarm(const net::AsTopology& topo, std::span<const ProbeSpec> probes,
       population_(Population::build(topo, config_.profile.population, probes,
                                     config_.seed)),
       rng_(util::Rng{config_.seed}.fork(0xa11ce)),
+      churn_rng_(util::Rng{config_.seed}.fork(0xc4521)),
+      impairment_(config_.impairment.enabled()
+                      ? config_.impairment
+                      : sim::ImpairmentSpec::flat_loss(config_.loss_rate)),
+      faults_active_(config_.churn.enabled() || config_.impairment.enabled()),
       chunk_interval_(config_.profile.stream.chunk_interval()) {
   up_.resize(population_.size());
   down_.resize(population_.size());
@@ -59,6 +64,107 @@ double Swarm::bg_lag_s(const PeerInfo& peer, util::SimTime now) const {
                         std::cos(2.0 * 3.14159265358979323846 * u2);
   const double sample = std::exp(spec.lag_mu + spec.lag_sigma * normal);
   return spec.lag_floor_s + sample * peer.lag_scale;
+}
+
+bool Swarm::peer_online(PeerId id, util::SimTime now) const {
+  const PeerInfo& peer = population_.peer(id);
+  if (peer.is_source) return true;
+  if (peer.is_probe) return probes_[probe_by_peer_.at(id)]->online;
+  if (!config_.churn.bg_churn()) return true;
+  // Deterministic duty cycle with a per-peer hash phase: flapping never
+  // consumes RNG draws, so the audience schedule is a pure function of
+  // (seed, peer, time).
+  const double cycle =
+      config_.churn.bg_session_s + config_.churn.bg_downtime_s;
+  util::SplitMix64 mix{config_.seed ^ (0xf1a90ULL + peer.id)};
+  const double phase =
+      static_cast<double>(mix.next() >> 11) * 0x1.0p-53 * cycle;
+  const double pos = std::fmod(now.seconds() + phase, cycle);
+  return pos < config_.churn.bg_session_s;
+}
+
+sim::GilbertElliott* Swarm::channel_for(PeerId sender, PeerId receiver) {
+  if (!(impairment_.has_loss() && impairment_.loss_burst > 1.0)) {
+    return nullptr;  // memoryless loss needs no per-pair state
+  }
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(sender) << 32) | receiver;
+  return &channels_[key];
+}
+
+void Swarm::on_request_failed(ProbeState& ps, ChunkIndex chunk, PeerId from) {
+  const SimTime now = engine_.now();
+  for (auto it = ps.partners.begin(); it != ps.partners.end(); ++it) {
+    if (it->id != from) continue;
+    if (it->inflight > 0) --it->inflight;
+    ++it->consecutive_failures;
+    if (config_.churn.blacklist_after > 0 &&
+        it->consecutive_failures >= config_.churn.blacklist_after) {
+      // Repeated timeouts: the peer is gone or unreachable. Drop it and
+      // refuse to re-admit it for a while.
+      ps.blacklist_until[from] = now + config_.churn.blacklist_duration;
+      ps.belief_cache[from] = it->belief_mbps;
+      ps.partners.erase(it);
+      ++counters_.partners_blacklisted;
+    }
+    break;
+  }
+  // Exponential backoff before this chunk is retried: repeated failures
+  // on the same chunk usually mean the same root cause.
+  auto& failures = ps.chunk_failures[chunk];
+  ++failures;
+  std::int64_t backoff_ns = config_.churn.retry_backoff.ns();
+  for (int i = 1; i < failures && backoff_ns < config_.churn.retry_backoff_max.ns();
+       ++i) {
+    backoff_ns *= 2;
+  }
+  backoff_ns = std::min(backoff_ns, config_.churn.retry_backoff_max.ns());
+  ps.retry_after[chunk] = now + SimTime::nanos(backoff_ns);
+  ++counters_.chunks_retried;
+}
+
+void Swarm::schedule_probe_crash(std::size_t probe_index) {
+  const SimTime at =
+      engine_.now() + SimTime::from_seconds(churn_rng_.exponential(
+                          config_.churn.probe_session_s));
+  engine_.schedule_at(at,
+                      [this, probe_index] { crash_probe(probe_index); });
+}
+
+void Swarm::crash_probe(std::size_t probe_index) {
+  if (engine_.now() >= config_.duration) return;
+  ProbeState& ps = *probes_[probe_index];
+  if (ps.online) {
+    ps.online = false;
+    ++counters_.probe_crashes;
+    ++ps.tick_epoch;  // kills the scheduled tick chain
+    for (const Partner& partner : ps.partners) {
+      ps.belief_cache[partner.id] = partner.belief_mbps;
+    }
+    ps.partners.clear();
+    ps.inflight.clear();
+    ps.chunk_failures.clear();
+    ps.retry_after.clear();
+  }
+  const SimTime back =
+      engine_.now() + SimTime::from_seconds(churn_rng_.exponential(
+                          config_.churn.probe_downtime_s));
+  engine_.schedule_at(back,
+                      [this, probe_index] { rejoin_probe(probe_index); });
+}
+
+void Swarm::rejoin_probe(std::size_t probe_index) {
+  if (engine_.now() >= config_.duration) return;
+  ProbeState& ps = *probes_[probe_index];
+  ps.online = true;
+  ps.bootstrapped = false;  // restart from tracker, as a fresh client
+  const std::uint64_t epoch = ps.tick_epoch;
+  engine_.schedule_after(SimTime::millis(50), [this, probe_index, epoch] {
+    if (probes_[probe_index]->tick_epoch == epoch) {
+      tick(*probes_[probe_index]);
+    }
+  });
+  schedule_probe_crash(probe_index);
 }
 
 bool Swarm::peer_has_chunk(PeerId id, ChunkIndex chunk) const {
@@ -141,6 +247,28 @@ void Swarm::contact(ProbeState& ps, PeerId target) {
   const SimTime now = engine_.now();
   const auto bytes = config_.profile.signaling.handshake_bytes;
   trace::ProbeSink& sink = *sinks_[ps.index];
+
+  if (faults_active_) {
+    // A handshake to an offline peer — or one whose NAT/firewall
+    // traversal fails — goes out and is never answered: the sniffer
+    // records only our TX packets.
+    double fail_p = 0.0;
+    if (config_.churn.connect_failures()) {
+      if (other.access.nat) fail_p += config_.churn.nat_connect_failure;
+      if (other.access.firewall) {
+        fail_p += config_.churn.firewall_connect_failure;
+      }
+    }
+    const bool refused = !peer_online(target, now) ||
+                         (fail_p > 0.0 && rng_.chance(std::min(fail_p, 1.0)));
+    if (refused) {
+      for (int i = 0; i < config_.profile.signaling.handshake_packets; ++i) {
+        sink.signaling_tx(other.ep.addr, now + SimTime::millis(i), bytes);
+      }
+      ++counters_.contact_failures;
+      return;
+    }
+  }
 
   for (int i = 0; i < config_.profile.signaling.handshake_packets; ++i) {
     const SimTime tx = now + SimTime::millis(i);
@@ -280,6 +408,7 @@ void Swarm::maintain_partners(ProbeState& ps) {
   while (deficit > 0 && attempts-- > 0) {
     const PeerId pick = ps.known_list[rng_.below(ps.known_list.size())];
     if (pick == ps.id || population_.peer(pick).is_source) continue;
+    if (faults_active_ && ps.blacklist_until.contains(pick)) continue;
     const bool already =
         std::any_of(ps.partners.begin(), ps.partners.end(),
                     [pick](const Partner& p) { return p.id == pick; });
@@ -308,10 +437,23 @@ void Swarm::schedule_requests(ProbeState& ps) {
   for (auto it = ps.inflight.begin(); it != ps.inflight.end();) {
     if (it->second.deadline < now) {
       ++counters_.timeouts;
+      if (faults_active_) {
+        on_request_failed(ps, it->first, it->second.from);
+      }
       it = ps.inflight.erase(it);
     } else {
       ++it;
     }
+  }
+  if (faults_active_) {
+    // Garbage-collect recovery state that slid out of the window and
+    // blacklist entries that served their sentence.
+    std::erase_if(ps.chunk_failures,
+                  [lo](const auto& kv) { return kv.first < lo; });
+    std::erase_if(ps.retry_after,
+                  [lo](const auto& kv) { return kv.first < lo; });
+    std::erase_if(ps.blacklist_until,
+                  [now](const auto& kv) { return kv.second <= now; });
   }
 
   if (ps.partners.empty()) return;
@@ -325,6 +467,13 @@ void Swarm::schedule_requests(ProbeState& ps) {
     // Two-speed scheduling: chunks still young are pulled
     // opportunistically, overdue ones urgently.
     const bool urgent = newest - c >= sched.due_chunks;
+    if (faults_active_) {
+      // Honour the retry backoff set when this chunk last timed out.
+      if (const auto it = ps.retry_after.find(c);
+          it != ps.retry_after.end() && now < it->second) {
+        continue;
+      }
+    }
     if (!urgent && !rng_.chance(sched.eager_prob)) continue;
 
     candidates.clear();
@@ -333,6 +482,11 @@ void Swarm::schedule_requests(ProbeState& ps) {
     for (std::size_t slot = 0; slot < ps.partners.size(); ++slot) {
       Partner& partner = ps.partners[slot];
       if (partner.inflight >= 3) continue;
+      if (faults_active_ &&
+          (!peer_online(partner.id, now) ||
+           ps.blacklist_until.contains(partner.id))) {
+        continue;
+      }
       if (!peer_has_chunk(partner.id, c)) continue;
       const PeerInfo& other = population_.peer(partner.id);
       Candidate candidate{partner.id, partner.belief_mbps,
@@ -366,16 +520,28 @@ void Swarm::request_chunk(ProbeState& ps, Partner& partner, ChunkIndex chunk) {
 
   sink.signaling_tx(other.ep.addr, now, config_.profile.signaling.request_bytes);
 
+  if (faults_active_ && !peer_online(partner.id, now)) {
+    // Dead request: the partner crashed or flapped offline since it was
+    // admitted. The request packet is spent, nothing comes back, and
+    // the timeout path turns this into a retry.
+    ps.inflight.emplace(
+        chunk, ProbeState::Inflight{
+                   partner.id, now + config_.profile.sched.request_timeout});
+    ++partner.inflight;
+    return;
+  }
+
   const SimTime service_start =
       now + fwd.one_way_delay + SimTime::millis(2);
   sim::TrainSpec spec;
   spec.start = service_start;
   spec.packet_count = stream.packets_per_chunk();
   spec.packet_bytes = stream.packet_bytes;
-  spec.loss_rate = config_.loss_rate;
-  const sim::TrainResult train =
-      sim::transmit_train(spec, other.access, up_[partner.id], self.access,
-                          down_[ps.id], rev, rng_);
+  spec.impairment = impairment_;
+  spec.link_key = ps.id;  // outage schedule keyed on the receiver link
+  const sim::TrainResult train = sim::transmit_train(
+      spec, other.access, up_[partner.id], self.access, down_[ps.id], rev,
+      rng_, channel_for(partner.id, ps.id));
 
   sink.video_train_rx(other.ep.addr, train.arrivals, stream.packet_bytes,
                       sim::ttl_after(rev.hops));
@@ -421,9 +587,14 @@ void Swarm::request_chunk(ProbeState& ps, Partner& partner, ChunkIndex chunk) {
 void Swarm::complete_chunk(ProbeState& ps, PeerId from, ChunkIndex chunk,
                            util::SimTime /*requested*/, double train_rate_mbps,
                            std::uint64_t bytes) {
+  if (faults_active_ && !ps.online) return;  // crashed mid-delivery
   const auto it = ps.inflight.find(chunk);
   if (it != ps.inflight.end() && it->second.from == from) {
     ps.inflight.erase(it);
+  }
+  if (faults_active_) {
+    ps.chunk_failures.erase(chunk);
+    ps.retry_after.erase(chunk);
   }
   if (ps.buffer.mark(chunk)) {
     ++counters_.chunks_delivered;
@@ -435,6 +606,7 @@ void Swarm::complete_chunk(ProbeState& ps, PeerId from, ChunkIndex chunk,
     partner.belief_mbps = 0.7 * partner.belief_mbps + 0.3 * train_rate_mbps;
     partner.bytes_delivered += bytes;
     if (partner.inflight > 0) --partner.inflight;
+    partner.consecutive_failures = 0;
     return;
   }
   // Partner was dropped while the chunk was in flight; remember what we
@@ -446,7 +618,8 @@ void Swarm::spawn_requester(ProbeState& ps) {
   const auto& upload = config_.profile.upload;
   const PeerInfo& self = population_.peer(ps.id);
 
-  if (ps.active_requesters < upload.max_requesters) {
+  const bool accepting = !faults_active_ || ps.online;
+  if (accepting && ps.active_requesters < upload.max_requesters) {
     // Find a background peer that discovered this probe.
     PeerId pick = 0;
     bool found = false;
@@ -495,6 +668,11 @@ void Swarm::requester_loop(ProbeState& ps, std::shared_ptr<Requester> req) {
     --ps.active_requesters;
     return;
   }
+  if (faults_active_ && !ps.online) {
+    // Supplier crashed: the downloader's session is over.
+    --ps.active_requesters;
+    return;
+  }
   const auto& stream = config_.profile.stream;
   const auto& upload = config_.profile.upload;
   const PeerInfo& self = population_.peer(ps.id);
@@ -508,6 +686,9 @@ void Swarm::requester_loop(ProbeState& ps, std::shared_ptr<Requester> req) {
     requester_loop(*probes_[probe_index], req);
   });
 
+  if (faults_active_ && !peer_online(req->id, now)) {
+    return;  // downloader flapped offline; it may resume next period
+  }
   if (up_[ps.id].backlog(now) > upload.backlog_limit) {
     ++counters_.requests_refused;
     return;
@@ -532,9 +713,11 @@ void Swarm::requester_loop(ProbeState& ps, std::shared_ptr<Requester> req) {
   spec.start = now + SimTime::millis(1);
   spec.packet_count = stream.packets_per_chunk();
   spec.packet_bytes = stream.packet_bytes;
-  spec.loss_rate = config_.loss_rate;
+  spec.impairment = impairment_;
+  spec.link_key = req->id;
   const sim::TrainResult train = sim::transmit_train(
-      spec, self.access, up_[ps.id], other.access, down_[req->id], rev, rng_);
+      spec, self.access, up_[ps.id], other.access, down_[req->id], rev, rng_,
+      channel_for(ps.id, req->id));
   sink.video_train_tx(other.ep.addr, train.departures, stream.packet_bytes);
   ++counters_.chunks_uploaded;
 }
@@ -542,6 +725,7 @@ void Swarm::requester_loop(ProbeState& ps, std::shared_ptr<Requester> req) {
 void Swarm::tick(ProbeState& ps) {
   const SimTime now = engine_.now();
   if (now >= config_.duration) return;
+  if (faults_active_ && !ps.online) return;  // chain dies until rejoin
   if (!ps.bootstrapped) bootstrap(ps);
 
   run_discovery(ps);
@@ -549,8 +733,12 @@ void Swarm::tick(ProbeState& ps) {
   send_keepalives(ps);
 
   const std::size_t probe_index = ps.index;
-  engine_.schedule_after(config_.profile.sched.period, [this, probe_index] {
-    tick(*probes_[probe_index]);
+  const std::uint64_t epoch = ps.tick_epoch;
+  engine_.schedule_after(config_.profile.sched.period,
+                         [this, probe_index, epoch] {
+    ProbeState& next = *probes_[probe_index];
+    if (next.tick_epoch != epoch) return;  // crashed since scheduling
+    tick(next);
   });
 }
 
@@ -566,10 +754,22 @@ void Swarm::run() {
     engine_.schedule_at(start,
                         [this, probe_index] { tick(*probes_[probe_index]); });
 
+    // Probe crash/rejoin process rides alongside the protocol.
+    if (config_.churn.probe_churn()) {
+      schedule_probe_crash(probe_index);
+    }
+
     // Partner maintenance on its own slower cadence.
     struct Maintenance {
       static void fire(Swarm* swarm, std::size_t index) {
         if (swarm->engine_.now() >= swarm->config_.duration) return;
+        if (swarm->faults_active_ && !swarm->probes_[index]->online) {
+          // Crashed: keep the cadence alive, skip the work.
+          swarm->engine_.schedule_after(
+              swarm->config_.profile.sched.maintenance_period,
+              [swarm, index] { Maintenance::fire(swarm, index); });
+          return;
+        }
         swarm->maintain_partners(*swarm->probes_[index]);
         swarm->engine_.schedule_after(
             swarm->config_.profile.sched.maintenance_period,

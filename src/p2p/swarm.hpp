@@ -19,9 +19,11 @@
 
 #include "net/topology.hpp"
 #include "p2p/buffer.hpp"
+#include "p2p/churn.hpp"
 #include "p2p/population.hpp"
 #include "p2p/profile.hpp"
 #include "sim/engine.hpp"
+#include "sim/impairment.hpp"
 #include "sim/link.hpp"
 #include "trace/sink.hpp"
 #include "util/rng.hpp"
@@ -38,8 +40,16 @@ struct SwarmConfig {
   bool keep_records = false;
   /// Per-packet loss probability applied to every video train
   /// (failure injection; 0 reproduces the paper's lossless-enough
-  /// campus captures).
+  /// campus captures). Legacy flat-loss knob: equivalent to
+  /// `impairment = sim::ImpairmentSpec::flat_loss(loss_rate)` but does
+  /// NOT arm the recovery machinery, preserving the seed behaviour.
   double loss_rate = 0.0;
+  /// Full per-link impairment model (bursty loss, capture reordering
+  /// and duplication, transient outages). When enabled it supersedes
+  /// `loss_rate` and arms the swarm's failure-recovery machinery.
+  sim::ImpairmentSpec impairment;
+  /// Peer churn and connection-failure injection.
+  ChurnSpec churn;
 };
 
 class Swarm {
@@ -69,6 +79,11 @@ class Swarm {
     std::uint64_t requests_refused = 0;  // uplink backlog refusals
     std::uint64_t contacts = 0;          // discovery handshakes
     std::uint64_t timeouts = 0;
+    // --- fault-injection outcomes (all zero when faults disabled) ---
+    std::uint64_t contact_failures = 0;  // NAT/FW/offline handshakes lost
+    std::uint64_t probe_crashes = 0;
+    std::uint64_t chunks_retried = 0;    // re-requested after a timeout
+    std::uint64_t partners_blacklisted = 0;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -78,6 +93,8 @@ class Swarm {
     double belief_mbps = 1.0;
     std::uint64_t bytes_delivered = 0;
     int inflight = 0;
+    /// Consecutive request timeouts; reset on any completed chunk.
+    int consecutive_failures = 0;
   };
 
   struct Requester {
@@ -103,6 +120,15 @@ class Swarm {
     int active_requesters = 0;
     double discovery_credit = 0.0;
     bool bootstrapped = false;
+    // --- fault-recovery state (inert unless faults are active) ---
+    bool online = true;
+    /// Incremented on every crash; scheduled tick chains capture the
+    /// epoch at schedule time and die when it no longer matches, so a
+    /// rejoin never double-ticks.
+    std::uint64_t tick_epoch = 0;
+    std::unordered_map<ChunkIndex, int> chunk_failures;
+    std::unordered_map<ChunkIndex, util::SimTime> retry_after;
+    std::unordered_map<PeerId, util::SimTime> blacklist_until;
   };
 
   // --- protocol steps (each runs at engine-now) ---
@@ -119,6 +145,15 @@ class Swarm {
   void spawn_requester(ProbeState& ps);
   void requester_loop(ProbeState& ps, std::shared_ptr<Requester> req);
 
+  // --- fault injection (only called when faults_active_) ---
+  [[nodiscard]] bool peer_online(PeerId id, util::SimTime now) const;
+  void on_request_failed(ProbeState& ps, ChunkIndex chunk, PeerId from);
+  void crash_probe(std::size_t probe_index);
+  void rejoin_probe(std::size_t probe_index);
+  void schedule_probe_crash(std::size_t probe_index);
+  [[nodiscard]] sim::GilbertElliott* channel_for(PeerId sender,
+                                                PeerId receiver);
+
   // --- helpers ---
   [[nodiscard]] ChunkIndex source_newest() const;
   [[nodiscard]] double bg_lag_s(const PeerInfo& peer,
@@ -134,6 +169,18 @@ class Swarm {
   Population population_;
   sim::Engine engine_;
   util::Rng rng_;
+  /// Separate stream for churn event scheduling so enabling churn does
+  /// not shift the protocol's own draws.
+  util::Rng churn_rng_;
+  /// Effective per-train impairment: `config_.impairment` when enabled,
+  /// otherwise the legacy flat-loss mapping of `config_.loss_rate`.
+  sim::ImpairmentSpec impairment_;
+  /// True when churn or the full impairment model is on; every piece of
+  /// recovery machinery is gated on this so the default configuration
+  /// stays bit-identical to the clean simulator.
+  bool faults_active_ = false;
+  /// Gilbert–Elliott burst state per directed (sender, receiver) pair.
+  std::unordered_map<std::uint64_t, sim::GilbertElliott> channels_;
   std::vector<sim::LinkCursor> up_;
   std::vector<sim::LinkCursor> down_;
   std::vector<std::unique_ptr<trace::ProbeSink>> sinks_;

@@ -1,0 +1,46 @@
+#include "sim/impairment.hpp"
+
+#include <algorithm>
+
+namespace peerscope::sim {
+
+bool GilbertElliott::lose(const ImpairmentSpec& spec, util::Rng& rng) {
+  if (spec.loss_rate <= 0.0) return false;
+  if (spec.loss_burst <= 1.0) {
+    // Independent drops: the exact legacy flat-loss draw.
+    return rng.chance(spec.loss_rate);
+  }
+  // Stationary bad-state probability pi = loss_rate, mean bad sojourn
+  // loss_burst packets: P(bad->good) = 1/burst,
+  // P(good->bad) = pi / (burst * (1 - pi)).
+  const double pi = std::min(spec.loss_rate, 0.95);
+  const double leave_bad = 1.0 / spec.loss_burst;
+  const double enter_bad = leave_bad * pi / (1.0 - pi);
+  if (bad_) {
+    if (rng.chance(leave_bad)) bad_ = false;
+  } else {
+    bad_ = rng.chance(enter_bad);
+  }
+  return bad_;
+}
+
+bool in_outage(const ImpairmentSpec& spec, std::uint64_t link_key,
+               util::SimTime at) {
+  if (spec.outage_per_s <= 0.0 || at.ns() < 0) return false;
+  const auto epoch_ns = static_cast<std::int64_t>(1e9 / spec.outage_per_s);
+  if (epoch_ns <= 0) return true;  // absurd rate: permanently down
+  const std::int64_t duration_ns = spec.outage_duration.ns();
+  if (duration_ns >= epoch_ns) return true;
+  const std::int64_t epoch = at.ns() / epoch_ns;
+  const std::int64_t offset = at.ns() - epoch * epoch_ns;
+  // Hash-draw the outage start offset inside this epoch.
+  util::SplitMix64 mix{link_key ^
+                       (0x007a6eULL + static_cast<std::uint64_t>(epoch) *
+                                          0x9e3779b97f4a7c15ULL)};
+  const double u = static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+  const auto start = static_cast<std::int64_t>(
+      u * static_cast<double>(epoch_ns - duration_ns));
+  return offset >= start && offset < start + duration_ns;
+}
+
+}  // namespace peerscope::sim

@@ -1,5 +1,6 @@
 #include "sim/train.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace peerscope::sim {
@@ -9,17 +10,24 @@ TrainResult transmit_train(const TrainSpec& spec,
                            LinkCursor& sender_up,
                            const net::AccessLink& receiver,
                            LinkCursor& receiver_down,
-                           const net::PathInfo& path, util::Rng& rng) {
+                           const net::PathInfo& path, util::Rng& rng,
+                           GilbertElliott* channel) {
   if (spec.packet_count <= 0 || spec.packet_bytes <= 0) {
     throw std::invalid_argument("transmit_train: empty train");
   }
 
   const util::SimTime up_ser = sender.up_tx_time(spec.packet_bytes);
   const util::SimTime down_ser = receiver.down_tx_time(spec.packet_bytes);
+  const ImpairmentSpec& imp = spec.impairment;
+  GilbertElliott local_channel;
+  GilbertElliott& ge = channel ? *channel : local_channel;
 
   TrainResult result;
   result.arrivals.reserve(static_cast<std::size_t>(spec.packet_count));
   result.departures.reserve(static_cast<std::size_t>(spec.packet_count));
+  // Capture artifacts (reordered/duplicated records) land out of
+  // arrival order; collected here and merge-sorted at the end.
+  std::vector<util::SimTime> artifacts;
 
   // Uplink: the whole chunk is written to the socket at once, so its
   // packets occupy the link contiguously — concurrent chunks queue
@@ -36,7 +44,7 @@ TrainResult transmit_train(const TrainSpec& spec,
     release = departed;  // next packet right behind
     result.departures.push_back(departed);
 
-    if (spec.loss_rate > 0.0 && rng.chance(spec.loss_rate)) {
+    if (imp.has_loss() && ge.lose(imp, rng)) {
       continue;  // dropped in flight: no arrival, no receiver work
     }
 
@@ -45,13 +53,42 @@ TrainResult transmit_train(const TrainSpec& spec,
         rng.uniform01() * static_cast<double>(spec.jitter_max.ns())));
     const util::SimTime reached = departed + path.one_way_delay + jitter;
 
+    // Transient outage: the receiver link is down, the packet is gone.
+    if (imp.has_outage() && in_outage(imp, spec.link_key, reached)) {
+      continue;
+    }
+
     // Downlink: serialised through the receiver's access link; FIFO
     // order is preserved even if jitter reordered the wire arrival.
     const util::SimTime earliest = reached > last_arrival ? reached : last_arrival;
     const util::SimTime rx_start = receiver_down.reserve(earliest, down_ser);
     const util::SimTime arrival = rx_start + down_ser;
     last_arrival = arrival;
-    result.arrivals.push_back(arrival);
+
+    if (imp.reorder_rate > 0.0 && rng.chance(imp.reorder_rate)) {
+      // Capture-side reordering: the sniffer stamps this packet late,
+      // landing it among later arrivals. Link occupancy is unchanged —
+      // only the recorded timestamp moves.
+      artifacts.push_back(arrival +
+                          util::SimTime::nanos(static_cast<std::int64_t>(
+                              rng.uniform01() *
+                              static_cast<double>(imp.reorder_delay.ns()))));
+    } else {
+      result.arrivals.push_back(arrival);
+    }
+    if (imp.duplicate_rate > 0.0 && rng.chance(imp.duplicate_rate)) {
+      // Capture duplication: the same packet recorded twice a few
+      // microseconds apart — fabricates a near-zero inter-packet gap.
+      artifacts.push_back(arrival +
+                          util::SimTime::nanos(1'000 + static_cast<std::int64_t>(
+                                                           rng.uniform01() *
+                                                           14'000.0)));
+    }
+  }
+  if (!artifacts.empty()) {
+    result.arrivals.insert(result.arrivals.end(), artifacts.begin(),
+                           artifacts.end());
+    std::sort(result.arrivals.begin(), result.arrivals.end());
   }
   result.sender_done = release;
   return result;

@@ -14,6 +14,7 @@
 
 #include "net/access.hpp"
 #include "net/topology.hpp"
+#include "sim/impairment.hpp"
 #include "sim/link.hpp"
 #include "util/rng.hpp"
 #include "util/sim_time.hpp"
@@ -26,11 +27,16 @@ struct TrainSpec {
   std::int32_t packet_bytes = 0;
   /// Peak of the per-packet forward jitter (uniform in [0, max)).
   util::SimTime jitter_max = util::SimTime::micros(30);
-  /// Independent per-packet drop probability along the path. Lost
-  /// packets consume uplink capacity and appear in `departures` but
-  /// never arrive (no receiver record — exactly what a vantage-point
-  /// sniffer would miss).
-  double loss_rate = 0.0;
+  /// Path fault injection: bursty loss, capture reordering and
+  /// duplication, transient outages. Lost packets consume uplink
+  /// capacity and appear in `departures` but never arrive (no receiver
+  /// record — exactly what a vantage-point sniffer would miss). The
+  /// default spec is fully disabled and reproduces the clean path
+  /// bit-for-bit.
+  ImpairmentSpec impairment;
+  /// Identifies the receiver link for the deterministic outage
+  /// schedule (callers key it on the receiver host).
+  std::uint64_t link_key = 0;
 };
 
 struct TrainResult {
@@ -49,12 +55,16 @@ struct TrainResult {
 
 /// Simulates one burst from `sender` to `receiver` over `path`,
 /// advancing both link cursors. Deterministic given the RNG state.
+/// `channel` carries Gilbert–Elliott burst state across trains on the
+/// same directed pair; pass nullptr for a memoryless channel (always
+/// correct when impairment.loss_burst <= 1).
 [[nodiscard]] TrainResult transmit_train(const TrainSpec& spec,
                                          const net::AccessLink& sender,
                                          LinkCursor& sender_up,
                                          const net::AccessLink& receiver,
                                          LinkCursor& receiver_down,
                                          const net::PathInfo& path,
-                                         util::Rng& rng);
+                                         util::Rng& rng,
+                                         GilbertElliott* channel = nullptr);
 
 }  // namespace peerscope::sim

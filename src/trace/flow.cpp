@@ -4,6 +4,33 @@
 
 namespace peerscope::trace {
 
+std::int64_t robust_min_ipg(std::span<const std::int64_t> smallest,
+                            std::uint64_t samples, int discard) {
+  if (samples == 0 || smallest.empty()) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  if (discard < 0) discard = 0;
+  // Never discard the whole sample: with few gaps, fall back to the
+  // largest one we have rather than declaring the flow unmeasurable.
+  const auto last_valid = static_cast<std::size_t>(
+      std::min<std::uint64_t>(samples, smallest.size()) - 1);
+  const std::size_t idx =
+      std::min(static_cast<std::size_t>(discard), last_valid);
+  return smallest[idx];
+}
+
+std::uint8_t FlowStats::rx_ttl_mode() const {
+  std::uint8_t best = rx_ttl;
+  std::int32_t best_count = 0;
+  for (std::size_t i = 0; i < ttl_candidates.size(); ++i) {
+    if (ttl_counts[i] > best_count) {
+      best_count = ttl_counts[i];
+      best = ttl_candidates[i];
+    }
+  }
+  return best;
+}
+
 void FlowTable::add(const PacketRecord& record) {
   auto [it, inserted] = flows_.try_emplace(record.remote);
   FlowStats& f = it->second;
@@ -20,14 +47,46 @@ void FlowTable::add(const PacketRecord& record) {
     total_rx_bytes_ += bytes;
     f.rx_ttl = record.ttl;
     f.saw_rx = true;
+    // Misra–Gries update for the TTL mode.
+    {
+      bool placed = false;
+      for (std::size_t i = 0; i < f.ttl_candidates.size() && !placed; ++i) {
+        if (f.ttl_counts[i] > 0 && f.ttl_candidates[i] == record.ttl) {
+          ++f.ttl_counts[i];
+          placed = true;
+        }
+      }
+      for (std::size_t i = 0; i < f.ttl_candidates.size() && !placed; ++i) {
+        if (f.ttl_counts[i] == 0) {
+          f.ttl_candidates[i] = record.ttl;
+          f.ttl_counts[i] = 1;
+          placed = true;
+        }
+      }
+      if (!placed) {
+        for (auto& count : f.ttl_counts) --count;
+      }
+    }
     if (record.kind == sim::PacketKind::kVideo) {
       ++f.rx_video_pkts;
       f.rx_video_bytes += bytes;
       auto [lit, first] = last_rx_video_.try_emplace(record.remote, record.ts);
       if (!first) {
         const std::int64_t gap = record.ts.ns() - lit->second.ns();
-        if (gap >= 0 && gap < f.min_rx_video_ipg_ns) {
-          f.min_rx_video_ipg_ns = gap;
+        if (gap >= 0) {
+          if (gap < f.min_rx_video_ipg_ns) {
+            f.min_rx_video_ipg_ns = gap;
+          }
+          ++f.rx_ipg_samples;
+          // Insertion into the sorted k-smallest array.
+          auto& smallest = f.smallest_rx_ipgs;
+          if (gap < smallest.back()) {
+            smallest.back() = gap;
+            for (std::size_t i = smallest.size() - 1;
+                 i > 0 && smallest[i] < smallest[i - 1]; --i) {
+              std::swap(smallest[i], smallest[i - 1]);
+            }
+          }
         }
         lit->second = record.ts;
       }

@@ -12,6 +12,7 @@
 //     (the faithful "analyse the pcap" path, used by examples/tests).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -23,6 +24,16 @@
 #include "util/sim_time.hpp"
 
 namespace peerscope::trace {
+
+/// Quantile-style robust minimum: the smallest IPG after discarding the
+/// `discard` smallest samples (capture duplication and reordering
+/// fabricate a handful of near-zero gaps per flow; the discarded head
+/// absorbs them). `smallest` holds the k smallest observed gaps in
+/// ascending order with int64-max padding; `samples` is the total gap
+/// count. Returns int64 max when no gap survives.
+[[nodiscard]] std::int64_t robust_min_ipg(
+    std::span<const std::int64_t> smallest, std::uint64_t samples,
+    int discard);
 
 struct FlowStats {
   net::Ipv4Addr remote;
@@ -41,10 +52,37 @@ struct FlowStats {
   /// packet-pair bottleneck signal. int64 max when < 2 video packets.
   std::int64_t min_rx_video_ipg_ns = std::numeric_limits<std::int64_t>::max();
 
+  /// The k smallest RX video IPGs in ascending order (int64-max
+  /// padded), for the duplication/reordering-robust estimator.
+  static constexpr int kIpgTrack = 5;
+  std::array<std::int64_t, kIpgTrack> smallest_rx_ipgs{
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::max()};
+  /// Total RX video IPG samples observed (rx_video_pkts - 1 per
+  /// contiguous run).
+  std::uint64_t rx_ipg_samples = 0;
+  /// Robust min IPG: see robust_min_ipg(). With discard <= 0 this is
+  /// exactly min_rx_video_ipg_ns.
+  [[nodiscard]] std::int64_t min_ipg_after_discard(int discard) const {
+    if (discard <= 0) return min_rx_video_ipg_ns;
+    return robust_min_ipg(smallest_rx_ipgs, rx_ipg_samples, discard);
+  }
+
   /// TTL observed on received packets (stable per path in the model;
   /// the last observation is kept).
   std::uint8_t rx_ttl = 0;
   bool saw_rx = false;
+
+  /// Misra–Gries majority tracking over RX TTL values: under
+  /// corruption, a handful of flipped TTL bytes must not move the hop
+  /// estimate the way last-seen does. On a clean trace the mode equals
+  /// rx_ttl.
+  std::array<std::uint8_t, 3> ttl_candidates{};
+  std::array<std::int32_t, 3> ttl_counts{};
+  [[nodiscard]] std::uint8_t rx_ttl_mode() const;
 
   util::SimTime first_ts = util::SimTime::max();
   util::SimTime last_ts = util::SimTime::zero();

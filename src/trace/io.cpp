@@ -3,6 +3,7 @@
 #include <array>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
 namespace peerscope::trace {
@@ -38,6 +39,14 @@ T get(const char*& ptr) {
 
 void write_trace(const std::filesystem::path& path, net::Ipv4Addr probe,
                  const std::vector<PacketRecord>& records) {
+  if (records.size() >
+      std::numeric_limits<std::uint32_t>::max()) {
+    // The header stores the count as uint32; writing more would
+    // silently truncate the trace on the next read.
+    throw std::length_error(
+        "write_trace: record count exceeds the format's 32-bit limit (" +
+        std::to_string(records.size()) + " records)");
+  }
   std::string buf;
   buf.reserve(16 + records.size() * kRecordSize);
   put<std::uint32_t>(buf, kTraceMagic);
@@ -107,6 +116,87 @@ TraceFile read_trace(const std::filesystem::path& path) {
     r.ttl = get<std::uint8_t>(ptr);
     file.records.push_back(r);
   }
+  return file;
+}
+
+TraceFile read_trace_salvage(const std::filesystem::path& path,
+                             SalvageReport* report) {
+  SalvageReport local;
+  SalvageReport& rep = report ? *report : local;
+  rep = SalvageReport{};
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("read_trace_salvage: cannot open " +
+                             path.string());
+  }
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+
+  TraceFile file;
+  if (buf.size() < 16) {
+    rep.bytes_discarded = buf.size();
+    rep.note = "truncated header";
+    return file;
+  }
+  const char* ptr = buf.data();
+  if (get<std::uint32_t>(ptr) != kTraceMagic) {
+    rep.bytes_discarded = buf.size();
+    rep.note = "bad magic";
+    return file;
+  }
+  if (const auto version = get<std::uint16_t>(ptr);
+      version != kTraceVersion) {
+    rep.bytes_discarded = buf.size();
+    rep.note = "unsupported version " + std::to_string(version);
+    return file;
+  }
+  (void)get<std::uint16_t>(ptr);  // reserved
+  rep.header_valid = true;
+  file.probe = net::Ipv4Addr{get<std::uint32_t>(ptr)};
+  const auto declared = get<std::uint32_t>(ptr);
+
+  // Fixed-size records mean boundaries survive field corruption: a bad
+  // record is skipped and parsing resynchronises at the next one.
+  const std::size_t payload = buf.size() - 16;
+  const std::size_t present = payload / kRecordSize;
+  const std::size_t usable = std::min<std::size_t>(declared, present);
+  if (present < declared) {
+    rep.truncated = true;
+    rep.bytes_discarded = payload - present * kRecordSize;
+    if (rep.note.empty()) {
+      rep.note = "file ends " +
+                 std::to_string(declared - present) +
+                 " records short of the declared count";
+    }
+  } else if (payload > static_cast<std::size_t>(declared) * kRecordSize) {
+    rep.bytes_discarded =
+        payload - static_cast<std::size_t>(declared) * kRecordSize;
+    rep.note = "trailing garbage after declared records";
+  }
+
+  file.records.reserve(usable);
+  for (std::size_t i = 0; i < usable; ++i) {
+    const char* rp = buf.data() + 16 + i * kRecordSize;
+    PacketRecord r;
+    r.ts = util::SimTime{get<std::int64_t>(rp)};
+    r.remote = net::Ipv4Addr{get<std::uint32_t>(rp)};
+    r.bytes = get<std::int32_t>(rp);
+    const auto dir = get<std::uint8_t>(rp);
+    const auto kind = get<std::uint8_t>(rp);
+    if (dir > 1 || kind > 1 || r.bytes < 0) {
+      ++rep.records_skipped;
+      if (rep.note.empty()) {
+        rep.note = "corrupt record at index " + std::to_string(i);
+      }
+      continue;
+    }
+    r.dir = static_cast<Direction>(dir);
+    r.kind = static_cast<sim::PacketKind>(kind);
+    r.ttl = get<std::uint8_t>(rp);
+    file.records.push_back(r);
+  }
+  rep.records_recovered = file.records.size();
   return file;
 }
 

@@ -14,6 +14,7 @@
 
 #include "net/ipv4.hpp"
 #include "trace/record.hpp"
+#include "trace/salvage.hpp"
 
 namespace peerscope::trace {
 
@@ -25,12 +26,23 @@ struct TraceFile {
   std::vector<PacketRecord> records;
 };
 
-/// Writes one probe's records. Overwrites an existing file.
+/// Writes one probe's records. Overwrites an existing file. Throws
+/// std::length_error when `records` exceeds the format's 32-bit record
+/// count (a file that large would silently truncate on read).
 void write_trace(const std::filesystem::path& path, net::Ipv4Addr probe,
                  const std::vector<PacketRecord>& records);
 
 /// Reads a trace file; throws std::runtime_error on malformed input.
 [[nodiscard]] TraceFile read_trace(const std::filesystem::path& path);
+
+/// Salvage-mode reader: recovers every parseable record from a
+/// possibly-corrupt trace (truncated tail, bad records, trailing
+/// garbage) instead of throwing. Only failure to open the file throws.
+/// Fills `report` (if non-null) with what was recovered vs skipped; a
+/// clean file yields the same records as read_trace and a clean()
+/// report.
+[[nodiscard]] TraceFile read_trace_salvage(const std::filesystem::path& path,
+                                           SalvageReport* report = nullptr);
 
 /// CSV with header: ts_ns,remote,dir,kind,bytes,ttl
 void write_trace_csv(const std::filesystem::path& path, net::Ipv4Addr probe,

@@ -209,4 +209,103 @@ std::vector<PacketRecord> read_pcap(const std::filesystem::path& path,
   return records;
 }
 
+std::vector<PacketRecord> read_pcap_salvage(const std::filesystem::path& path,
+                                            net::Ipv4Addr probe,
+                                            SalvageReport* report) {
+  SalvageReport local;
+  SalvageReport& rep = report ? *report : local;
+  rep = SalvageReport{};
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("read_pcap_salvage: cannot open " +
+                             path.string());
+  }
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+
+  std::vector<PacketRecord> records;
+  if (buf.size() < 24) {
+    rep.bytes_discarded = buf.size();
+    rep.note = "truncated global header";
+    return records;
+  }
+  const char* p = buf.data();
+  const char* end = buf.data() + buf.size();
+  if (read_u32(p) != kPcapMagic) {
+    rep.bytes_discarded = buf.size();
+    rep.note = "bad magic";
+    return records;
+  }
+  (void)read_u16(p);  // version major
+  (void)read_u16(p);  // version minor
+  (void)read_u32(p);  // thiszone
+  (void)read_u32(p);  // sigfigs
+  (void)read_u32(p);  // snaplen
+  if (read_u32(p) != kLinkTypeRaw) {
+    rep.bytes_discarded = buf.size();
+    rep.note = "unexpected link type";
+    return records;
+  }
+  rep.header_valid = true;
+
+  while (p < end) {
+    if (end - p < 16) {
+      rep.truncated = true;
+      rep.bytes_discarded += static_cast<std::size_t>(end - p);
+      if (rep.note.empty()) rep.note = "truncated record header";
+      break;
+    }
+    const std::uint32_t sec = read_u32(p);
+    const std::uint32_t usec = read_u32(p);
+    const std::uint32_t incl = read_u32(p);
+    const std::uint32_t orig = read_u32(p);
+    if (end - p < incl) {
+      // The captured length points past EOF: the writer died
+      // mid-record. Nothing after this point is trustworthy.
+      rep.truncated = true;
+      rep.bytes_discarded += static_cast<std::size_t>(end - p) + 16;
+      if (rep.note.empty()) rep.note = "truncated packet";
+      break;
+    }
+    const char* ip = p;
+    p += incl;
+    if (incl < 28 || (static_cast<std::uint8_t>(ip[0]) >> 4) != 4) {
+      ++rep.records_skipped;  // headers unparseable or not IPv4
+      if (rep.note.empty()) rep.note = "unparseable packet";
+      continue;
+    }
+    const auto ttl = static_cast<std::uint8_t>(ip[8]);
+    const char* addr_ptr = ip + 12;
+    const net::Ipv4Addr src{read_be32(addr_ptr)};
+    const net::Ipv4Addr dst{read_be32(addr_ptr)};
+
+    PacketRecord r;
+    r.ts = util::SimTime::nanos(static_cast<std::int64_t>(sec) *
+                                    1'000'000'000 +
+                                static_cast<std::int64_t>(usec) * 1'000);
+    r.bytes = static_cast<std::int32_t>(orig);
+    if (dst == probe) {
+      r.dir = Direction::kRx;
+      r.remote = src;
+      r.ttl = ttl;
+    } else if (src == probe) {
+      r.dir = Direction::kTx;
+      r.remote = dst;
+      r.ttl = ttl;
+    } else {
+      // A sniffer on a shared segment records bystander traffic; it is
+      // not part of this probe's view.
+      ++rep.records_skipped;
+      if (rep.note.empty()) rep.note = "packet does not involve probe";
+      continue;
+    }
+    r.kind = r.bytes >= 1000 ? sim::PacketKind::kVideo
+                             : sim::PacketKind::kSignaling;
+    records.push_back(r);
+  }
+  rep.records_recovered = records.size();
+  return records;
+}
+
 }  // namespace peerscope::trace

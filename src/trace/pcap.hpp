@@ -10,6 +10,7 @@
 
 #include "net/ipv4.hpp"
 #include "trace/record.hpp"
+#include "trace/salvage.hpp"
 
 namespace peerscope::trace {
 
@@ -32,6 +33,14 @@ void write_pcap(const std::filesystem::path& path, net::Ipv4Addr probe,
 /// malformed input.
 [[nodiscard]] std::vector<PacketRecord> read_pcap(
     const std::filesystem::path& path, net::Ipv4Addr probe);
+
+/// Salvage-mode pcap reader: recovers every parseable packet involving
+/// `probe` instead of throwing. Non-IPv4 and foreign packets are
+/// counted and skipped; a truncated tail stops parsing with the valid
+/// prefix kept. Only failure to open the file throws.
+[[nodiscard]] std::vector<PacketRecord> read_pcap_salvage(
+    const std::filesystem::path& path, net::Ipv4Addr probe,
+    SalvageReport* report = nullptr);
 
 /// RFC 1071 checksum over a header (for tests and the writer).
 [[nodiscard]] std::uint16_t ipv4_header_checksum(

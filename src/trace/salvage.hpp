@@ -1,0 +1,41 @@
+// Salvage-mode trace reading.
+//
+// The strict readers (io.hpp, pcap.hpp) treat any corruption as fatal —
+// right for regression tests, wrong for a measurement campaign where a
+// probe host crashed mid-write or a disk flipped bits. Salvage mode
+// recovers the valid record prefix (and resynchronises past bad
+// records where the format's fixed record size allows it), never
+// throws on corrupt input, and accounts for everything it skipped so
+// the analysis can report how much data survived.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace peerscope::trace {
+
+struct SalvageReport {
+  std::size_t records_recovered = 0;
+  /// Records present in the byte stream but dropped (bad field values,
+  /// foreign packets, unparseable headers).
+  std::size_t records_skipped = 0;
+  /// Bytes that could not be attributed to any record (truncated tail,
+  /// trailing garbage, or the whole file when the header is bad).
+  std::size_t bytes_discarded = 0;
+  /// False when the file header itself was unusable; nothing can be
+  /// recovered in that case.
+  bool header_valid = false;
+  /// True when the file ended mid-record or short of the declared
+  /// record count.
+  bool truncated = false;
+  /// Human-readable description of the first problem found; empty for
+  /// a clean file.
+  std::string note;
+
+  [[nodiscard]] bool clean() const {
+    return header_valid && !truncated && records_skipped == 0 &&
+           bytes_discarded == 0;
+  }
+};
+
+}  // namespace peerscope::trace

@@ -1,0 +1,151 @@
+// Churn and fault-injection tests: crashes, flapping audiences,
+// connection failures and bursty loss must leave the swarm functional
+// (probes keep measuring) and deterministic (same seed, same outcome),
+// while a default-constructed ChurnSpec stays bit-identical to the
+// un-impaired simulator.
+#include <gtest/gtest.h>
+
+#include "exp/testbed.hpp"
+#include "p2p/swarm.hpp"
+
+namespace peerscope::p2p {
+namespace {
+
+using util::SimTime;
+
+const net::AsTopology& topo() {
+  static const net::AsTopology t = net::make_reference_topology();
+  return t;
+}
+
+SwarmConfig base_config() {
+  SwarmConfig cfg;
+  cfg.profile = SystemProfile::tvants();
+  cfg.profile.population.background_peers = 150;
+  cfg.seed = 77;
+  cfg.duration = SimTime::seconds(30);
+  return cfg;
+}
+
+std::uint64_t total_rx(const Swarm& swarm) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < swarm.probe_count(); ++i) {
+    total += swarm.sink(i).flows().total_rx_bytes();
+  }
+  return total;
+}
+
+TEST(SwarmChurn, DefaultSpecsAreBitIdenticalToLegacy) {
+  SwarmConfig plain = base_config();
+  SwarmConfig with_defaults = base_config();
+  with_defaults.churn = ChurnSpec{};
+  with_defaults.impairment = sim::ImpairmentSpec{};
+  Swarm a{topo(), table1_probes(), plain};
+  Swarm b{topo(), table1_probes(), with_defaults};
+  a.run();
+  b.run();
+  EXPECT_EQ(total_rx(a), total_rx(b));
+  EXPECT_EQ(a.counters().chunks_delivered, b.counters().chunks_delivered);
+  EXPECT_EQ(a.counters().probe_crashes, 0u);
+  EXPECT_EQ(a.counters().chunks_retried, 0u);
+  EXPECT_EQ(a.counters().contact_failures, 0u);
+}
+
+TEST(SwarmChurn, ProbeCrashesAndRecovers) {
+  SwarmConfig cfg = base_config();
+  cfg.churn.probe_session_s = 6.0;
+  cfg.churn.probe_downtime_s = 1.0;
+  Swarm swarm{topo(), table1_probes(), cfg};
+  swarm.run();
+  EXPECT_GT(swarm.counters().probe_crashes, 0u);
+  // Probes rejoin and keep measuring: every probe still received data.
+  for (std::size_t i = 0; i < swarm.probe_count(); ++i) {
+    EXPECT_GT(swarm.sink(i).flows().total_rx_bytes(), 0u) << "probe " << i;
+  }
+}
+
+TEST(SwarmChurn, ChurnIsDeterministicUnderFixedSeed) {
+  SwarmConfig cfg = base_config();
+  cfg.churn.probe_session_s = 6.0;
+  cfg.churn.bg_session_s = 20.0;
+  Swarm a{topo(), table1_probes(), cfg};
+  Swarm b{topo(), table1_probes(), cfg};
+  a.run();
+  b.run();
+  EXPECT_EQ(total_rx(a), total_rx(b));
+  EXPECT_EQ(a.counters().probe_crashes, b.counters().probe_crashes);
+  EXPECT_EQ(a.counters().chunks_retried, b.counters().chunks_retried);
+  EXPECT_EQ(a.counters().timeouts, b.counters().timeouts);
+}
+
+TEST(SwarmChurn, FlappingAudienceStillDelivers) {
+  SwarmConfig cfg = base_config();
+  cfg.churn.bg_session_s = 15.0;
+  cfg.churn.bg_downtime_s = 5.0;
+  Swarm swarm{topo(), table1_probes(), cfg};
+  swarm.run();
+  EXPECT_GT(swarm.counters().chunks_delivered, 0u);
+  // Offline peers cost timeouts, which the retry machinery absorbs.
+  EXPECT_GT(swarm.counters().chunks_delivered,
+            swarm.counters().timeouts);
+}
+
+TEST(SwarmChurn, ConnectionFailuresAreCountedAndSurvivable) {
+  SwarmConfig cfg = base_config();
+  cfg.churn.nat_connect_failure = 0.5;
+  cfg.churn.firewall_connect_failure = 0.5;
+  Swarm swarm{topo(), table1_probes(), cfg};
+  swarm.run();
+  EXPECT_GT(swarm.counters().contact_failures, 0u);
+  EXPECT_GT(swarm.counters().chunks_delivered, 0u);
+}
+
+TEST(SwarmChurn, BurstyLossTriggersRetriesAndBlacklisting) {
+  SwarmConfig cfg = base_config();
+  cfg.duration = SimTime::seconds(20);
+  cfg.impairment.loss_rate = 0.6;
+  cfg.impairment.loss_burst = 10.0;
+  cfg.churn.blacklist_after = 2;
+  Swarm swarm{topo(), table1_probes(), cfg};
+  swarm.run();
+  EXPECT_GT(swarm.counters().timeouts, 0u);
+  EXPECT_GT(swarm.counters().chunks_retried, 0u);
+  EXPECT_GT(swarm.counters().partners_blacklisted, 0u);
+}
+
+TEST(SwarmChurn, OutagesCauseTimeoutsButStreamSurvives) {
+  SwarmConfig cfg = base_config();
+  cfg.impairment.loss_rate = 0.01;
+  cfg.impairment.outage_per_s = 0.2;  // one 200 ms outage per 5 s link
+  Swarm swarm{topo(), table1_probes(), cfg};
+  swarm.run();
+  EXPECT_GT(swarm.counters().timeouts, 0u);
+  for (std::size_t i = 0; i < swarm.probe_count(); ++i) {
+    const double kbps =
+        static_cast<double>(swarm.sink(i).flows().total_rx_bytes()) * 8.0 /
+        swarm.duration().seconds() / 1e3;
+    EXPECT_GT(kbps, 150.0) << "probe " << i;
+  }
+}
+
+TEST(SwarmChurn, EverythingAtOnceTerminatesAndMeasures) {
+  // The harsh bench level in miniature: bursty loss, reordering,
+  // duplication, outages, probe and audience churn, NAT failures.
+  SwarmConfig cfg = base_config();
+  cfg.impairment.loss_rate = 0.05;
+  cfg.impairment.loss_burst = 4.0;
+  cfg.impairment.reorder_rate = 0.01;
+  cfg.impairment.duplicate_rate = 0.01;
+  cfg.impairment.outage_per_s = 0.05;
+  cfg.churn.probe_session_s = 10.0;
+  cfg.churn.bg_session_s = 15.0;
+  cfg.churn.nat_connect_failure = 0.3;
+  Swarm swarm{topo(), table1_probes(), cfg};
+  swarm.run();  // must not hang or throw
+  EXPECT_GT(swarm.counters().chunks_delivered, 0u);
+  EXPECT_GT(swarm.counters().probe_crashes, 0u);
+  EXPECT_GT(total_rx(swarm), 0u);
+}
+
+}  // namespace
+}  // namespace peerscope::p2p

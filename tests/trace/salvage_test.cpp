@@ -1,0 +1,236 @@
+// Trace-corruption tests: the strict readers must throw on every
+// corruption class; the salvage readers must never throw, recover the
+// valid prefix (resynchronising past bad records), and account exactly
+// for what was lost.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "trace/io.hpp"
+#include "trace/pcap.hpp"
+
+namespace peerscope::trace {
+namespace {
+
+using net::Ipv4Addr;
+using util::SimTime;
+
+class SalvageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("peerscope_salvage_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+std::vector<PacketRecord> sample_records(int n = 50) {
+  std::vector<PacketRecord> records;
+  for (int i = 0; i < n; ++i) {
+    PacketRecord r;
+    r.ts = SimTime::micros(i * 211);
+    r.remote = Ipv4Addr{30, 1, 0, static_cast<std::uint8_t>(i % 200 + 1)};
+    r.bytes = i % 2 ? 1250 : 96;
+    r.dir = i % 2 ? Direction::kRx : Direction::kTx;
+    r.kind = i % 2 ? sim::PacketKind::kVideo : sim::PacketKind::kSignaling;
+    r.ttl = 110;
+    records.push_back(r);
+  }
+  return records;
+}
+
+void patch_byte(const std::filesystem::path& path, std::streamoff offset,
+                char value) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(offset);
+  f.write(&value, 1);
+}
+
+// 16-byte header: magic(4) version(2) reserved(2) probe(4) count(4),
+// then 19-byte records: ts(8) remote(4) bytes(4) dir(1) kind(1) ttl(1).
+constexpr std::streamoff kRecordSize = 19;
+constexpr std::streamoff kFirstDirOffset = 16 + 8 + 4 + 4;
+
+TEST_F(SalvageTest, CleanFileMatchesStrictReader) {
+  const auto path = dir_ / "clean.psct";
+  const auto records = sample_records();
+  write_trace(path, Ipv4Addr{10, 0, 0, 1}, records);
+
+  SalvageReport report;
+  const TraceFile salvaged = read_trace_salvage(path, &report);
+  const TraceFile strict = read_trace(path);
+
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.records_recovered, records.size());
+  EXPECT_EQ(salvaged.probe, strict.probe);
+  ASSERT_EQ(salvaged.records.size(), strict.records.size());
+  for (std::size_t i = 0; i < strict.records.size(); ++i) {
+    EXPECT_EQ(salvaged.records[i].ts, strict.records[i].ts);
+    EXPECT_EQ(salvaged.records[i].remote, strict.records[i].remote);
+  }
+}
+
+TEST_F(SalvageTest, NullReportIsAccepted) {
+  const auto path = dir_ / "noreport.psct";
+  write_trace(path, Ipv4Addr{10, 0, 0, 1}, sample_records());
+  EXPECT_EQ(read_trace_salvage(path).records.size(), 50u);
+}
+
+TEST_F(SalvageTest, MissingFileStillThrows) {
+  EXPECT_THROW((void)read_trace_salvage(dir_ / "absent.psct"),
+               std::runtime_error);
+}
+
+TEST_F(SalvageTest, TruncatedHeaderRecoversNothing) {
+  const auto path = dir_ / "hdr.psct";
+  std::ofstream(path, std::ios::binary) << "PSC";
+  SalvageReport report;
+  const TraceFile file = read_trace_salvage(path, &report);
+  EXPECT_TRUE(file.records.empty());
+  EXPECT_FALSE(report.header_valid);
+  EXPECT_EQ(report.bytes_discarded, 3u);
+  EXPECT_FALSE(report.clean());
+  // Strict reader agrees this is fatal.
+  EXPECT_THROW((void)read_trace(path), std::runtime_error);
+}
+
+TEST_F(SalvageTest, BadMagicRecoversNothing) {
+  const auto path = dir_ / "magic.psct";
+  write_trace(path, Ipv4Addr{10, 0, 0, 1}, sample_records());
+  patch_byte(path, 0, 'X');
+  SalvageReport report;
+  const TraceFile file = read_trace_salvage(path, &report);
+  EXPECT_TRUE(file.records.empty());
+  EXPECT_FALSE(report.header_valid);
+  EXPECT_EQ(report.bytes_discarded, std::filesystem::file_size(path));
+  EXPECT_THROW((void)read_trace(path), std::runtime_error);
+}
+
+TEST_F(SalvageTest, WrongVersionRecoversNothing) {
+  const auto path = dir_ / "version.psct";
+  write_trace(path, Ipv4Addr{10, 0, 0, 1}, sample_records());
+  patch_byte(path, 4, 9);  // version field
+  SalvageReport report;
+  const TraceFile file = read_trace_salvage(path, &report);
+  EXPECT_TRUE(file.records.empty());
+  EXPECT_FALSE(report.header_valid);
+  EXPECT_NE(report.note.find("version"), std::string::npos);
+  EXPECT_THROW((void)read_trace(path), std::runtime_error);
+}
+
+TEST_F(SalvageTest, MidRecordTruncationKeepsValidPrefix) {
+  const auto path = dir_ / "trunc.psct";
+  const auto records = sample_records();
+  write_trace(path, Ipv4Addr{10, 0, 0, 1}, records);
+  // Chop off the last record and a half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - kRecordSize - 7);
+
+  SalvageReport report;
+  const TraceFile file = read_trace_salvage(path, &report);
+  ASSERT_EQ(file.records.size(), records.size() - 2);
+  EXPECT_TRUE(report.header_valid);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_EQ(report.bytes_discarded, kRecordSize - 7u);
+  EXPECT_EQ(file.records.back().ts, records[records.size() - 3].ts);
+  EXPECT_THROW((void)read_trace(path), std::runtime_error);
+}
+
+TEST_F(SalvageTest, CorruptRecordIsSkippedWithResync) {
+  const auto path = dir_ / "badrec.psct";
+  const auto records = sample_records();
+  write_trace(path, Ipv4Addr{10, 0, 0, 1}, records);
+  // Invalid direction byte in record 0 and record 3; fixed-size records
+  // let parsing resynchronise on the very next record.
+  patch_byte(path, kFirstDirOffset, 9);
+  patch_byte(path, kFirstDirOffset + 3 * kRecordSize, 9);
+
+  SalvageReport report;
+  const TraceFile file = read_trace_salvage(path, &report);
+  EXPECT_EQ(file.records.size(), records.size() - 2);
+  EXPECT_EQ(report.records_skipped, 2u);
+  EXPECT_EQ(report.records_recovered, records.size() - 2);
+  EXPECT_FALSE(report.clean());
+  // Neighbours of the corrupt records survived intact.
+  EXPECT_EQ(file.records.front().ts, records[1].ts);
+  EXPECT_THROW((void)read_trace(path), std::runtime_error);
+}
+
+TEST_F(SalvageTest, NegativeByteCountIsSkipped) {
+  const auto path = dir_ / "negbytes.psct";
+  write_trace(path, Ipv4Addr{10, 0, 0, 1}, sample_records());
+  // Set the sign bit of record 0's bytes field (offset 16 + 8 + 4 + 3).
+  patch_byte(path, 16 + 8 + 4 + 3, static_cast<char>(0x80));
+  SalvageReport report;
+  const TraceFile file = read_trace_salvage(path, &report);
+  EXPECT_EQ(report.records_skipped, 1u);
+  EXPECT_EQ(file.records.size(), 49u);
+}
+
+TEST_F(SalvageTest, TrailingGarbageIsCountedNotParsed) {
+  const auto path = dir_ / "garbage.psct";
+  write_trace(path, Ipv4Addr{10, 0, 0, 1}, sample_records());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "spurious tail bytes";
+  }
+  SalvageReport report;
+  const TraceFile file = read_trace_salvage(path, &report);
+  EXPECT_EQ(file.records.size(), 50u);
+  EXPECT_EQ(report.bytes_discarded, 19u);
+  EXPECT_FALSE(report.truncated);
+  EXPECT_NE(report.note.find("trailing"), std::string::npos);
+  EXPECT_THROW((void)read_trace(path), std::runtime_error);
+}
+
+TEST_F(SalvageTest, PcapSalvageMatchesStrictOnCleanFile) {
+  const auto path = dir_ / "clean.pcap";
+  const Ipv4Addr probe{10, 0, 0, 1};
+  const auto records = sample_records();
+  write_pcap(path, probe, records);
+
+  SalvageReport report;
+  const auto salvaged = read_pcap_salvage(path, probe, &report);
+  const auto strict = read_pcap(path, probe);
+  EXPECT_TRUE(report.clean());
+  ASSERT_EQ(salvaged.size(), strict.size());
+  for (std::size_t i = 0; i < strict.size(); ++i) {
+    EXPECT_EQ(salvaged[i].ts, strict[i].ts);
+    EXPECT_EQ(salvaged[i].remote, strict[i].remote);
+    EXPECT_EQ(salvaged[i].bytes, strict[i].bytes);
+  }
+}
+
+TEST_F(SalvageTest, PcapTruncatedTailKeepsPrefix) {
+  const auto path = dir_ / "trunc.pcap";
+  const Ipv4Addr probe{10, 0, 0, 1};
+  write_pcap(path, probe, sample_records());
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 11);
+
+  SalvageReport report;
+  const auto salvaged = read_pcap_salvage(path, probe, &report);
+  EXPECT_EQ(salvaged.size(), 49u);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_GT(report.bytes_discarded, 0u);
+  EXPECT_THROW((void)read_pcap(path, probe), std::runtime_error);
+}
+
+TEST_F(SalvageTest, PcapBadGlobalHeaderRecoversNothing) {
+  const auto path = dir_ / "hdr.pcap";
+  std::ofstream(path, std::ios::binary) << "not a pcap";
+  SalvageReport report;
+  const auto salvaged = read_pcap_salvage(path, Ipv4Addr{10, 0, 0, 1},
+                                          &report);
+  EXPECT_TRUE(salvaged.empty());
+  EXPECT_FALSE(report.header_valid);
+}
+
+}  // namespace
+}  // namespace peerscope::trace

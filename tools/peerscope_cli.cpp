@@ -3,21 +3,38 @@
 //   peerscope testbed
 //       Print the Table I testbed.
 //   peerscope run --app <name> [--seed N] [--duration S] --out DIR
-//                 [--pcap] [--csv]
+//                 [--pcap] [--csv] [fault flags]
 //       Run one experiment, store per-probe traces plus the experiment
-//       metadata sidecar needed for offline analysis.
-//   peerscope analyze DIR
+//       metadata sidecar needed for offline analysis. Injected faults
+//       are recorded in the sidecar.
+//   peerscope analyze DIR [--salvage]
 //       Reload stored traces + metadata and print the full analysis
 //       (summary, self-bias, awareness table) — the paper's pipeline
-//       applied to on-disk captures.
-//   peerscope report --app <name> [--seed N] [--duration S]
+//       applied to on-disk captures. --salvage recovers what it can
+//       from corrupt/truncated traces instead of aborting.
+//   peerscope report --app <name> [--seed N] [--duration S] [fault flags]
 //       Run and analyse in one step without storing traces.
 //   peerscope reproduce [--out FILE] [--seed N] [--duration S]
 //       Rerun every experiment and write a markdown report with
 //       paper-vs-measured rows for all tables and figures.
 //
+// Fault flags (run/report; all default to off):
+//   --loss P          per-packet loss probability (0..1)
+//   --loss-burst N    mean loss burst length in packets (Gilbert–Elliott)
+//   --reorder P       capture reordering probability
+//   --dup P           capture duplication probability
+//   --outage R        transient link outages per second (per receiver)
+//   --outage-ms MS    outage duration
+//   --churn S         mean probe online session (s); probes crash/rejoin
+//   --bg-churn S      mean background-peer online session (s)
+//   --nat-fail P      P(contact to NAT'd/firewalled peer fails)
+//
 // Apps: pplive | sopcast | tvants | pplive-popular | napawine-proto
+//
+// Exit codes: 0 success, 1 runtime error, 2 usage error,
+//             3 unknown application, 4 invalid flag value.
 
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
@@ -41,18 +58,29 @@ using namespace peerscope;
 
 namespace {
 
-int usage() {
+// Exit codes (documented in the header comment): every argument-error
+// path prints the usage text and returns a distinct nonzero code so
+// scripts can tell "you typed it wrong" (2) from "no such app" (3)
+// from "value out of range" (4); 1 is reserved for runtime failures.
+constexpr int kExitUsage = 2;
+constexpr int kExitUnknownApp = 3;
+constexpr int kExitBadValue = 4;
+
+int usage(int code = kExitUsage) {
   std::cerr <<
       R"(usage:
   peerscope testbed
-  peerscope run --app <name> [--seed N] [--duration S] --out DIR [--pcap] [--csv]
-  peerscope analyze DIR
-  peerscope report --app <name> [--seed N] [--duration S]
+  peerscope run --app <name> [--seed N] [--duration S] --out DIR [--pcap] [--csv] [fault flags]
+  peerscope analyze DIR [--salvage]
+  peerscope report --app <name> [--seed N] [--duration S] [fault flags]
   peerscope reproduce [--out FILE] [--seed N] [--duration S]
+
+fault flags: --loss P  --loss-burst N  --reorder P  --dup P
+             --outage R  --outage-ms MS  --churn S  --bg-churn S  --nat-fail P
 
 apps: pplive | sopcast | tvants | pplive-popular | napawine-proto
 )";
-  return 2;
+  return code;
 }
 
 std::optional<p2p::SystemProfile> profile_by_name(const std::string& name) {
@@ -73,43 +101,131 @@ struct RunArgs {
   std::filesystem::path out;
   bool pcap = false;
   bool csv = false;
+  sim::ImpairmentSpec impairment;
+  p2p::ChurnSpec churn;
 };
 
-std::optional<RunArgs> parse_run_args(int argc, char** argv, int first) {
+/// Strict numeric parse: the whole token must be a number in
+/// [lo, hi]. nullopt (-> exit 4) otherwise — a mistyped probability
+/// must not silently become 0.
+std::optional<double> parse_double(const char* text, double lo, double hi) {
+  if (!text || !*text) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || v < lo || v > hi) return std::nullopt;
+  return v;
+}
+
+/// Parses run/report arguments. On failure returns nullopt with `err`
+/// set to the exit code the caller should pass to usage().
+std::optional<RunArgs> parse_run_args(int argc, char** argv, int first,
+                                      int& err) {
   RunArgs args;
   bool have_app = false;
+  err = kExitUsage;
   for (int i = first; i < argc; ++i) {
     const std::string flag = argv[i];
     auto value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    // Numeric fault knobs share one code path: flag -> (target, range).
+    auto numeric = [&](double lo, double hi,
+                       double& target) -> bool {
+      const char* v = value();
+      if (!v) {
+        std::cerr << flag << " needs a value\n";
+        err = kExitUsage;
+        return false;
+      }
+      const auto parsed = parse_double(v, lo, hi);
+      if (!parsed) {
+        std::cerr << "invalid value for " << flag << ": " << v << '\n';
+        err = kExitBadValue;
+        return false;
+      }
+      target = *parsed;
+      return true;
+    };
     if (flag == "--app") {
       const char* name = value();
-      if (!name) return std::nullopt;
+      if (!name) {
+        std::cerr << "--app needs a value\n";
+        return std::nullopt;
+      }
       const auto profile = profile_by_name(name);
       if (!profile) {
         std::cerr << "unknown app: " << name << '\n';
+        err = kExitUnknownApp;
         return std::nullopt;
       }
       args.profile = *profile;
       have_app = true;
     } else if (flag == "--seed") {
       const char* v = value();
-      if (!v) return std::nullopt;
-      args.seed = std::strtoull(v, nullptr, 10);
+      if (!v) {
+        std::cerr << "--seed needs a value\n";
+        return std::nullopt;
+      }
+      char* end = nullptr;
+      args.seed = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::cerr << "invalid value for --seed: " << v << '\n';
+        err = kExitBadValue;
+        return std::nullopt;
+      }
     } else if (flag == "--duration") {
       const char* v = value();
-      if (!v) return std::nullopt;
+      if (!v) {
+        std::cerr << "--duration needs a value\n";
+        return std::nullopt;
+      }
       args.duration_s = std::atoll(v);
-      if (args.duration_s <= 0) return std::nullopt;
+      if (args.duration_s <= 0) {
+        std::cerr << "invalid value for --duration: " << v << '\n';
+        err = kExitBadValue;
+        return std::nullopt;
+      }
     } else if (flag == "--out") {
       const char* v = value();
-      if (!v) return std::nullopt;
+      if (!v) {
+        std::cerr << "--out needs a value\n";
+        return std::nullopt;
+      }
       args.out = v;
     } else if (flag == "--pcap") {
       args.pcap = true;
     } else if (flag == "--csv") {
       args.csv = true;
+    } else if (flag == "--loss") {
+      if (!numeric(0.0, 0.95, args.impairment.loss_rate)) return std::nullopt;
+    } else if (flag == "--loss-burst") {
+      if (!numeric(1.0, 1e6, args.impairment.loss_burst)) return std::nullopt;
+    } else if (flag == "--reorder") {
+      if (!numeric(0.0, 1.0, args.impairment.reorder_rate)) {
+        return std::nullopt;
+      }
+    } else if (flag == "--dup") {
+      if (!numeric(0.0, 1.0, args.impairment.duplicate_rate)) {
+        return std::nullopt;
+      }
+    } else if (flag == "--outage") {
+      if (!numeric(0.0, 1e3, args.impairment.outage_per_s)) {
+        return std::nullopt;
+      }
+    } else if (flag == "--outage-ms") {
+      double ms = 0;
+      if (!numeric(0.0, 60'000.0, ms)) return std::nullopt;
+      args.impairment.outage_duration =
+          util::SimTime::nanos(static_cast<std::int64_t>(ms * 1e6));
+    } else if (flag == "--churn") {
+      if (!numeric(0.0, 1e9, args.churn.probe_session_s)) return std::nullopt;
+    } else if (flag == "--bg-churn") {
+      if (!numeric(0.0, 1e9, args.churn.bg_session_s)) return std::nullopt;
+    } else if (flag == "--nat-fail") {
+      double p = 0;
+      if (!numeric(0.0, 1.0, p)) return std::nullopt;
+      args.churn.nat_connect_failure = p;
+      args.churn.firewall_connect_failure = p;
     } else {
       std::cerr << "unknown flag: " << flag << '\n';
       return std::nullopt;
@@ -177,10 +293,18 @@ int cmd_testbed() {
   return 0;
 }
 
+void print_fault_counters(const p2p::Swarm::Counters& counters) {
+  std::cerr << "faults: " << counters.timeouts << " timeouts, "
+            << counters.chunks_retried << " retries, "
+            << counters.contact_failures << " failed contacts, "
+            << counters.probe_crashes << " probe crashes, "
+            << counters.partners_blacklisted << " partners blacklisted\n";
+}
+
 int cmd_run(const RunArgs& args) {
   if (args.out.empty()) {
     std::cerr << "--out is required for run\n";
-    return 2;
+    return usage(kExitUsage);
   }
   std::filesystem::create_directories(args.out);
 
@@ -191,6 +315,8 @@ int cmd_run(const RunArgs& args) {
   config.seed = args.seed;
   config.duration = util::SimTime::seconds(args.duration_s);
   config.keep_records = true;
+  config.impairment = args.impairment;
+  config.churn = args.churn;
 
   std::cerr << "running " << config.profile.name << " (seed " << args.seed
             << ", " << args.duration_s << " s)...\n";
@@ -202,6 +328,8 @@ int cmd_run(const RunArgs& args) {
   meta.app = config.profile.name;
   meta.duration = config.duration;
   meta.announcements = population.registry().dump();
+  meta.impairment = args.impairment;
+  meta.churn = args.churn;
 
   std::uint64_t packets = 0;
   for (std::size_t i = 0; i < swarm.probe_count(); ++i) {
@@ -228,10 +356,13 @@ int cmd_run(const RunArgs& args) {
   std::cerr << "wrote " << swarm.probe_count() << " traces ("
             << util::TextTable::count(packets) << " packets) + metadata to "
             << args.out << '\n';
+  if (args.impairment.enabled() || args.churn.enabled()) {
+    print_fault_counters(swarm.counters());
+  }
   return 0;
 }
 
-int cmd_analyze(const std::filesystem::path& dir) {
+int cmd_analyze(const std::filesystem::path& dir, bool salvage) {
   const auto meta = exp::read_metadata(dir / "experiment.meta");
   const auto registry = meta.build_registry();
   const auto napa = meta.napa_set();
@@ -240,12 +371,31 @@ int cmd_analyze(const std::filesystem::path& dir) {
   data.app = meta.app;
   data.duration = meta.duration;
   data.probes = meta.probes;
+  std::size_t salvage_skipped = 0;
   for (const auto& probe : meta.probes) {
-    const auto file = trace::read_trace(
-        dir / exp::ExperimentMetadata::trace_filename(probe.label));
+    const auto path =
+        dir / exp::ExperimentMetadata::trace_filename(probe.label);
+    trace::TraceFile file;
+    if (salvage) {
+      trace::SalvageReport report;
+      file = trace::read_trace_salvage(path, &report);
+      if (!report.clean()) {
+        std::cerr << "salvage " << path.filename().string() << ": "
+                  << report.records_recovered << " recovered, "
+                  << report.records_skipped << " skipped, "
+                  << report.bytes_discarded << " bytes discarded ("
+                  << (report.note.empty() ? "ok" : report.note) << ")\n";
+      }
+      salvage_skipped += report.records_skipped;
+    } else {
+      file = trace::read_trace(path);
+    }
     data.per_probe.push_back(aware::extract_observations(
         trace::FlowTable::from_records(file.probe, file.records), registry,
         napa));
+  }
+  if (salvage && salvage_skipped > 0) {
+    std::cerr << "salvage: analysis continues on the recovered records\n";
   }
   print_analysis(data);
   return 0;
@@ -257,31 +407,50 @@ int cmd_report(const RunArgs& args) {
   spec.profile = args.profile;
   spec.seed = args.seed;
   spec.duration = util::SimTime::seconds(args.duration_s);
+  spec.impairment = args.impairment;
+  spec.churn = args.churn;
   std::cerr << "running " << spec.profile.name << " (seed " << args.seed
             << ", " << args.duration_s << " s)...\n";
   const auto result = exp::run_experiment(topo, spec);
   print_analysis(result.observations);
+  if (args.impairment.enabled() || args.churn.enabled()) {
+    print_fault_counters(result.counters);
+  }
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
+  if (argc < 2) return usage(kExitUsage);
   const std::string command = argv[1];
   try {
     if (command == "testbed") return cmd_testbed();
-    if (command == "run") {
-      const auto args = parse_run_args(argc, argv, 2);
-      return args ? cmd_run(*args) : usage();
+    if (command == "run" || command == "report") {
+      int err = kExitUsage;
+      const auto args = parse_run_args(argc, argv, 2, err);
+      if (!args) return usage(err);
+      return command == "run" ? cmd_run(*args) : cmd_report(*args);
     }
     if (command == "analyze") {
-      if (argc != 3) return usage();
-      return cmd_analyze(argv[2]);
-    }
-    if (command == "report") {
-      const auto args = parse_run_args(argc, argv, 2);
-      return args ? cmd_report(*args) : usage();
+      std::filesystem::path dir;
+      bool salvage = false;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--salvage") {
+          salvage = true;
+        } else if (!arg.empty() && arg[0] != '-' && dir.empty()) {
+          dir = arg;
+        } else {
+          std::cerr << "unknown flag: " << arg << '\n';
+          return usage(kExitUsage);
+        }
+      }
+      if (dir.empty()) {
+        std::cerr << "analyze needs a directory\n";
+        return usage(kExitUsage);
+      }
+      return cmd_analyze(dir, salvage);
     }
     if (command == "reproduce") {
       tools::ReproduceOptions options;
@@ -296,16 +465,22 @@ int main(int argc, char** argv) {
           ++i;
         } else if (flag == "--duration" && value) {
           options.seconds = std::atoll(value);
+          if (options.seconds <= 0) {
+            std::cerr << "invalid value for --duration: " << value << '\n';
+            return usage(kExitBadValue);
+          }
           ++i;
         } else {
-          return usage();
+          std::cerr << "unknown flag: " << flag << '\n';
+          return usage(kExitUsage);
         }
       }
       return tools::reproduce(options);
     }
+    std::cerr << "unknown command: " << command << '\n';
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;
   }
-  return usage();
+  return usage(kExitUsage);
 }
