@@ -31,6 +31,7 @@ void add_rows(util::TextTable& table, const PaperAwareness& paper,
 }  // namespace
 
 int main() {
+  bench::MetricsSession metrics_session;
   const BenchConfig cfg = BenchConfig::from_env();
   const net::AsTopology topo = net::make_reference_topology();
   std::cout << "=== Table IV: network awareness, peer-wise (P) and "

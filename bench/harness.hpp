@@ -3,9 +3,13 @@
 // so every binary prints paper-vs-measured rows.
 #pragma once
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -14,16 +18,49 @@
 #include "aware/report.hpp"
 #include "exp/runner.hpp"
 #include "net/topology.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
 namespace peerscope::bench {
 
+namespace detail {
+
+/// Strict positive-integer parse for environment knobs: the whole
+/// token must be a base-10 number in [1, max]. atoll-style silent
+/// acceptance of garbage ("30x" -> 30, "banana" -> 0, "-5" wrapping
+/// through strtoull) turned typos into surprising runs.
+inline std::uint64_t env_u64_or_die(const char* var, const char* text,
+                                    std::uint64_t max) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  const bool negative = [text] {
+    for (const char* p = text; *p != '\0'; ++p) {
+      if (*p == '-') return true;
+      if (*p != ' ' && *p != '\t') return false;
+    }
+    return false;
+  }();
+  if (end == text || *end != '\0' || negative || errno == ERANGE ||
+      v == 0 || v > max) {
+    std::cerr << "invalid " << var << "=\"" << text << "\"\n"
+              << "usage: " << var
+              << " must be a positive base-10 integer <= " << max << '\n';
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace detail
+
 /// Default reproduction scale (DESIGN.md §6): 300 simulated seconds,
 /// profile-default populations. Override via environment for quick
 /// runs: PEERSCOPE_BENCH_SECONDS, PEERSCOPE_BENCH_SEED; set
 /// PEERSCOPE_BENCH_OUTDIR to archive machine-readable CSVs of every
-/// regenerated table/figure.
+/// regenerated table/figure. Malformed values abort with a usage
+/// message (exit 2) instead of running at a silently-mangled scale.
 struct BenchConfig {
   std::int64_t seconds = 300;
   std::uint64_t seed = 42;
@@ -32,10 +69,14 @@ struct BenchConfig {
   static BenchConfig from_env() {
     BenchConfig cfg;
     if (const char* s = std::getenv("PEERSCOPE_BENCH_SECONDS")) {
-      cfg.seconds = std::atoll(s);
+      // A year of simulated time is already far past any useful run.
+      cfg.seconds = static_cast<std::int64_t>(detail::env_u64_or_die(
+          "PEERSCOPE_BENCH_SECONDS", s, 31'536'000ULL));
     }
     if (const char* s = std::getenv("PEERSCOPE_BENCH_SEED")) {
-      cfg.seed = std::strtoull(s, nullptr, 10);
+      cfg.seed = detail::env_u64_or_die(
+          "PEERSCOPE_BENCH_SEED", s,
+          std::numeric_limits<std::uint64_t>::max());
     }
     if (const char* s = std::getenv("PEERSCOPE_BENCH_OUTDIR")) {
       cfg.outdir = s;
@@ -43,6 +84,39 @@ struct BenchConfig {
     }
     return cfg;
   }
+};
+
+/// PEERSCOPE_BENCH_METRICS hook: construct one of these at the top of
+/// a bench main. When the variable names a path, a metrics registry is
+/// installed for the process lifetime and the full metrics.json is
+/// written there at scope exit; when unset this is inert and the bench
+/// output is byte-identical to an uninstrumented build.
+class MetricsSession {
+ public:
+  MetricsSession() {
+    if (const char* path = std::getenv("PEERSCOPE_BENCH_METRICS")) {
+      path_ = path;
+      registry_ = std::make_unique<obs::MetricsRegistry>();
+      obs::install(registry_.get());
+    }
+  }
+  ~MetricsSession() {
+    if (!registry_) return;
+    obs::install(nullptr);
+    try {
+      obs::write_metrics_json(path_, registry_->snapshot());
+      std::cerr << "metrics: wrote " << path_.string() << '\n';
+    } catch (const std::exception& error) {
+      std::cerr << "metrics: " << error.what() << '\n';
+    }
+  }
+
+  MetricsSession(const MetricsSession&) = delete;
+  MetricsSession& operator=(const MetricsSession&) = delete;
+
+ private:
+  std::filesystem::path path_;
+  std::unique_ptr<obs::MetricsRegistry> registry_;
 };
 
 /// Runs PPLive, SopCast and TVAnts concurrently; results ordered

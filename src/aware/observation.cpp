@@ -1,6 +1,7 @@
 #include "aware/observation.hpp"
 
 #include "net/prefix.hpp"
+#include "obs/metrics.hpp"
 #include "sim/packet.hpp"
 
 namespace peerscope::aware {
@@ -43,6 +44,13 @@ std::vector<PairObservation> extract_observations(
       obs.rx_hops = sim::kInitialTtl - static_cast<int>(f.rx_ttl_mode());
     }
     out.push_back(obs);
+  }
+  if (obs::enabled()) {
+    std::uint64_t ipg_samples = 0;
+    for (const auto& o : out) ipg_samples += o.rx_ipg_samples;
+    obs::counter("aware.flow_tables_joined").add();
+    obs::counter("aware.observations_extracted").add(out.size());
+    obs::counter("aware.ipg_samples").add(ipg_samples);
   }
   return out;
 }

@@ -7,6 +7,7 @@
 
 #include "net/prefix.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace peerscope::aware {
@@ -49,6 +50,15 @@ ExperimentSummary summarize(const ExperimentObservations& data,
   s.contrib_tx_mean = contrib_tx.mean();
   s.contrib_tx_max = static_cast<std::uint64_t>(contrib_tx.max());
   s.observed_total = observed.size();
+  if (obs::enabled()) {
+    // Classification work done, not distinct peers: repeated summarize
+    // calls over the same data count again (like packets, not gauges).
+    obs::counter("aware.contributors_rx_classified")
+        .add(static_cast<std::uint64_t>(contrib_rx.sum()));
+    obs::counter("aware.contributors_tx_classified")
+        .add(static_cast<std::uint64_t>(contrib_tx.sum()));
+    obs::counter("aware.peers_observed").add(s.observed_total);
+  }
   return s;
 }
 
@@ -119,6 +129,12 @@ AwarenessCell evaluate_cell(const ExperimentObservations& data,
   cell.b_pct = counts_byte_pct(all);
   cell.p_prime_pct = counts_peer_pct(non_napa);
   cell.b_prime_pct = counts_byte_pct(non_napa);
+  if (obs::enabled()) {
+    obs::counter("aware.cells_evaluated").add();
+    obs::counter("aware.partition_preferred").add(all.peers_pref);
+    obs::counter("aware.partition_other").add(all.peers_nonpref);
+    obs::counter("aware.partition_unevaluable").add(all.peers_unevaluable);
+  }
   return cell;
 }
 

@@ -4,10 +4,13 @@
 
 #include "aware/observation.hpp"
 #include "exp/testbed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace peerscope::exp {
 
 aware::ExperimentObservations extract_observations(const p2p::Swarm& swarm) {
+  PEERSCOPE_SPAN("extract");
   aware::ExperimentObservations data;
   data.app = swarm.profile().name;
   data.duration = swarm.duration();
@@ -28,6 +31,9 @@ aware::ExperimentObservations extract_observations(const p2p::Swarm& swarm) {
 }
 
 RunResult run_experiment(const net::AsTopology& topo, const RunSpec& spec) {
+  // Per-application root span: every stage below lands under
+  // "run.<app>/..." in the metrics sidecar.
+  obs::Span run_span{"run." + spec.profile.name};
   const Testbed testbed = Testbed::table1();
   p2p::SwarmConfig config;
   config.profile = spec.profile;
@@ -38,13 +44,22 @@ RunResult run_experiment(const net::AsTopology& topo, const RunSpec& spec) {
   config.churn = spec.churn;
 
   p2p::Swarm swarm{topo, testbed.probes(), std::move(config)};
-  swarm.run();
+  {
+    PEERSCOPE_SPAN("simulate");
+    swarm.run();
+  }
+  if (obs::enabled()) obs::counter("exp.experiments_run").add();
   return {extract_observations(swarm), swarm.counters()};
 }
 
 std::vector<RunResult> run_experiments(const net::AsTopology& topo,
                                        std::span<const RunSpec> specs,
                                        util::ThreadPool& pool) {
+  // Workers is a configuration fact, not a counter: it lands in the
+  // gauges section, which the deterministic export excludes (results
+  // must not depend on it).
+  obs::set_gauge("exp.pool_workers",
+                 static_cast<double>(pool.worker_count()));
   std::vector<std::future<RunResult>> futures;
   futures.reserve(specs.size());
   for (const RunSpec& spec : specs) {

@@ -1,0 +1,159 @@
+#include "obs/json.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace peerscope::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_number(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+void append_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+template <typename Map, typename Fn>
+void append_object(std::string& out, const char* key, const Map& map,
+                   Fn&& value_fn) {
+  out += "  ";
+  append_escaped(out, key);
+  out += ": {";
+  bool first = true;
+  for (const auto& [name, value] : map) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    ";
+    append_escaped(out, name);
+    out += ": ";
+    value_fn(out, value);
+  }
+  if (!first) out += "\n  ";
+  out += '}';
+}
+
+template <typename T>
+void append_array(std::string& out, const std::vector<T>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    append_number(out, values[i]);
+  }
+  out += ']';
+}
+
+std::string render(const MetricsSnapshot& snapshot, bool deterministic) {
+  std::string out;
+  out += "{\n  \"schema\": \"peerscope.metrics/1\",\n";
+  append_object(out, "counters", snapshot.counters,
+                [](std::string& o, std::uint64_t v) { append_number(o, v); });
+  out += ",\n";
+  if (!deterministic) {
+    append_object(out, "gauges", snapshot.gauges,
+                  [](std::string& o, double v) { append_number(o, v); });
+    out += ",\n";
+  }
+  append_object(
+      out, "histograms", snapshot.histograms,
+      [deterministic](std::string& o, const HistogramSnapshot& h) {
+        if (deterministic && h.timing) {
+          // Wall-clock samples: the key documents the histogram ran,
+          // the contents would not be reproducible.
+          o += "{\"timing\": true}";
+          return;
+        }
+        o += "{\"bounds\": ";
+        append_array(o, h.bounds);
+        o += ", \"buckets\": ";
+        append_array(o, h.buckets);
+        o += ", \"count\": ";
+        append_number(o, h.count);
+        o += ", \"sum\": ";
+        append_number(o, h.sum);
+        if (h.timing) o += ", \"timing\": true";
+        o += '}';
+      });
+  out += ",\n";
+  append_object(out, "spans", snapshot.spans,
+                [deterministic](std::string& o, const SpanStats& s) {
+                  o += "{\"count\": ";
+                  append_number(o, s.count);
+                  if (!deterministic) {
+                    o += ", \"total_ns\": ";
+                    append_number(o, s.total_ns);
+                    o += ", \"min_ns\": ";
+                    append_number(o, s.min_ns);
+                    o += ", \"max_ns\": ";
+                    append_number(o, s.max_ns);
+                  }
+                  o += '}';
+                });
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  return render(snapshot, false);
+}
+
+std::string deterministic_json(const MetricsSnapshot& snapshot) {
+  return render(snapshot, true);
+}
+
+void write_metrics_json(const std::filesystem::path& path,
+                        const MetricsSnapshot& snapshot, bool deterministic) {
+  const std::string text =
+      deterministic ? deterministic_json(snapshot) : to_json(snapshot);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("write_metrics_json: cannot open " +
+                             path.string());
+  }
+  out << text;
+  if (!out) {
+    throw std::runtime_error("write_metrics_json: short write to " +
+                             path.string());
+  }
+}
+
+}  // namespace peerscope::obs

@@ -1,0 +1,34 @@
+// metrics.json export.
+//
+// Two renderings of one snapshot:
+//   - to_json: the full sidecar (counters, gauges, histograms, spans
+//     with durations) written next to experiment.meta;
+//   - deterministic_json: the subset that is a pure function of
+//     (seed, configuration) — counters, value histograms, and span
+//     call counts. Two fixed-seed runs, at any thread-pool size,
+//     produce byte-identical deterministic_json; the golden tests and
+//     CI diff exactly this.
+//
+// Formatting is canonical: keys sorted (std::map iteration), no
+// locale-dependent number formatting, '\n' line ends, two-space
+// indent.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace peerscope::obs {
+
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
+[[nodiscard]] std::string deterministic_json(const MetricsSnapshot& snapshot);
+
+/// Writes to_json (or deterministic_json when `deterministic`) to
+/// `path`. Throws std::runtime_error on I/O failure.
+void write_metrics_json(const std::filesystem::path& path,
+                        const MetricsSnapshot& snapshot,
+                        bool deterministic = false);
+
+}  // namespace peerscope::obs

@@ -1,0 +1,124 @@
+#include "obs/metrics.hpp"
+
+namespace peerscope::obs {
+
+namespace {
+
+std::atomic<MetricsRegistry*> g_registry{nullptr};
+
+}  // namespace
+
+void install(MetricsRegistry* registry) noexcept {
+  g_registry.store(registry, std::memory_order_release);
+}
+
+MetricsRegistry* registry() noexcept {
+  return g_registry.load(std::memory_order_acquire);
+}
+
+MetricsRegistry::CounterCell* MetricsRegistry::counter_cell(
+    std::string_view name) {
+  std::lock_guard lock{mutex_};
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  CounterCell* cell = &counter_storage_.emplace_back();
+  counters_.emplace(std::string{name}, cell);
+  return cell;
+}
+
+MetricsRegistry::HistogramCell* MetricsRegistry::histogram_cell(
+    std::string_view name, std::span<const std::int64_t> bounds,
+    bool timing) {
+  std::lock_guard lock{mutex_};
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  HistogramCell* cell = &histogram_storage_.emplace_back(
+      std::vector<std::int64_t>{bounds.begin(), bounds.end()}, timing);
+  histograms_.emplace(std::string{name}, cell);
+  return cell;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  std::lock_guard lock{mutex_};
+  gauges_.insert_or_assign(std::string{name}, value);
+}
+
+void MetricsRegistry::record_span(const std::string& path, std::int64_t ns) {
+  std::lock_guard lock{mutex_};
+  SpanStats& stats = spans_[path];
+  if (stats.count == 0 || ns < stats.min_ns) stats.min_ns = ns;
+  if (stats.count == 0 || ns > stats.max_ns) stats.max_ns = ns;
+  ++stats.count;
+  stats.total_ns += ns;
+}
+
+HistogramSnapshot MetricsRegistry::HistogramCell::merged() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.timing = timing_;
+  snap.buckets.assign(bounds_.size() + 1, 0);
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      snap.buckets[b] += buckets_[shard * (bounds_.size() + 1) + b].load(
+          std::memory_order_relaxed);
+    }
+    snap.count += counts_[shard].value.load(std::memory_order_relaxed);
+    snap.sum += static_cast<std::int64_t>(
+        sums_[shard].value.load(std::memory_order_relaxed));
+  }
+  return snap;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock{mutex_};
+  for (const auto& [name, cell] : counters_) {
+    snap.counters.emplace(name, cell->total());
+  }
+  for (const auto& [name, value] : gauges_) {
+    snap.gauges.emplace(name, value);
+  }
+  for (const auto& [name, cell] : histograms_) {
+    snap.histograms.emplace(name, cell->merged());
+  }
+  for (const auto& [name, stats] : spans_) {
+    snap.spans.emplace(name, stats);
+  }
+  return snap;
+}
+
+Counter counter(std::string_view name) {
+  MetricsRegistry* reg = registry();
+  return reg != nullptr ? Counter{reg->counter_cell(name)} : Counter{};
+}
+
+Histogram histogram(std::string_view name,
+                    std::span<const std::int64_t> bounds, bool timing) {
+  MetricsRegistry* reg = registry();
+  return reg != nullptr
+             ? Histogram{reg->histogram_cell(name, bounds, timing)}
+             : Histogram{};
+}
+
+void set_gauge(std::string_view name, double value) {
+  if (MetricsRegistry* reg = registry()) reg->set_gauge(name, value);
+}
+
+std::span<const std::int64_t> timing_bounds() noexcept {
+  // 1 µs .. 1 s, half-decade steps (ns).
+  static constexpr std::int64_t kBounds[] = {
+      1'000,      3'000,      10'000,      30'000,      100'000,
+      300'000,    1'000'000,  3'000'000,   10'000'000,  30'000'000,
+      100'000'000, 300'000'000, 1'000'000'000};
+  return kBounds;
+}
+
+std::span<const std::int64_t> size_bounds() noexcept {
+  // 64 B .. 16 MiB, factor-4 steps.
+  static constexpr std::int64_t kBounds[] = {
+      64,      256,      1'024,     4'096,      16'384,
+      65'536,  262'144,  1'048'576, 4'194'304,  16'777'216};
+  return kBounds;
+}
+
+}  // namespace peerscope::obs

@@ -1,0 +1,237 @@
+// Observability layer: a lock-cheap metrics registry.
+//
+// The measurement pipeline instruments itself the same way it measures
+// the swarm from the outside (DESIGN.md §9): monotonic counters,
+// gauges, and fixed-bucket integer histograms, all shard-and-merge so
+// aggregation is associative — results are identical at any
+// ThreadPool worker count, mirroring the §5.6 reduction contract.
+//
+// Cost contract: nothing is recorded unless a registry is installed
+// (obs::install). Every inline hook first checks the installed-
+// registry pointer and degenerates to a single relaxed load + branch,
+// so uninstrumented runs stay byte-identical to builds that predate
+// this layer. Hot paths resolve Counter/Histogram handles once per
+// scope and batch their adds; handles must not outlive the registry
+// they were resolved against.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace peerscope::obs {
+
+/// Aggregated wall-time of one span path ("parent/child" nesting).
+/// Counts are deterministic for a fixed seed; durations are not.
+struct SpanStats {
+  std::uint64_t count = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t min_ns = 0;
+  std::int64_t max_ns = 0;
+};
+
+/// Merged view of one histogram: `buckets[i]` counts observations
+/// <= bounds[i]; the final bucket is the overflow (> bounds.back()).
+struct HistogramSnapshot {
+  std::vector<std::int64_t> bounds;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  /// Timing histograms hold wall-clock samples and are excluded from
+  /// the deterministic export (see json.hpp).
+  bool timing = false;
+};
+
+/// Point-in-time merge of every shard, keyed by metric name. std::map
+/// so iteration (and therefore the JSON export) is deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, SpanStats> spans;
+};
+
+class MetricsRegistry {
+ public:
+  /// Shard count for contended writers. Threads map onto shards by
+  /// identity hash; collisions only cost cache-line sharing, never
+  /// correctness (merge is a plain sum).
+  static constexpr std::size_t kShards = 16;
+
+  /// One monotonic counter, one cache line per shard. Stable address
+  /// for the registry's lifetime.
+  class CounterCell {
+   public:
+    void add(std::uint64_t delta, std::size_t shard) noexcept {
+      shards_[shard].value.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t total() const noexcept {
+      std::uint64_t sum = 0;
+      for (const auto& slot : shards_) {
+        sum += slot.value.load(std::memory_order_relaxed);
+      }
+      return sum;
+    }
+
+   private:
+    struct alignas(64) Slot {
+      std::atomic<std::uint64_t> value{0};
+    };
+    std::array<Slot, kShards> shards_{};
+  };
+
+  /// Fixed-bucket integer histogram (values are ns, bytes, counts —
+  /// integer domains keep the merged sums associative and therefore
+  /// worker-count independent). Bucket layout is fixed at
+  /// registration, so observes never race a resize.
+  class HistogramCell {
+   public:
+    HistogramCell(std::vector<std::int64_t> bounds, bool timing)
+        : bounds_(std::move(bounds)),
+          timing_(timing),
+          buckets_(kShards * (bounds_.size() + 1)) {}
+
+    void observe(std::int64_t value, std::size_t shard) noexcept {
+      std::size_t bucket = 0;
+      while (bucket < bounds_.size() && value > bounds_[bucket]) ++bucket;
+      buckets_[shard * (bounds_.size() + 1) + bucket].fetch_add(
+          1, std::memory_order_relaxed);
+      counts_[shard].value.fetch_add(1, std::memory_order_relaxed);
+      sums_[shard].value.fetch_add(static_cast<std::uint64_t>(value),
+                                   std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] HistogramSnapshot merged() const;
+    [[nodiscard]] bool timing() const noexcept { return timing_; }
+
+   private:
+    struct alignas(64) Slot {
+      std::atomic<std::uint64_t> value{0};
+    };
+    std::vector<std::int64_t> bounds_;
+    bool timing_;
+    std::vector<std::atomic<std::uint64_t>> buckets_;
+    std::array<Slot, kShards> counts_{};
+    std::array<Slot, kShards> sums_{};
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds) a counter; the returned cell stays valid for
+  /// the registry's lifetime.
+  [[nodiscard]] CounterCell* counter_cell(std::string_view name);
+
+  /// Registers (or finds) a histogram. The first registration fixes
+  /// the bucket bounds; later calls with different bounds get the
+  /// original cell.
+  [[nodiscard]] HistogramCell* histogram_cell(
+      std::string_view name, std::span<const std::int64_t> bounds,
+      bool timing);
+
+  /// Gauges are rare (configuration facts set once per run), so they
+  /// live centrally under the registration mutex.
+  void set_gauge(std::string_view name, double value);
+
+  /// Called by Span on scope exit; `path` is the "/"-joined nesting.
+  void record_span(const std::string& path, std::int64_t ns);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// The calling thread's shard index.
+  [[nodiscard]] static std::size_t this_shard() noexcept {
+    return std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, CounterCell*, std::less<>> counters_;
+  std::deque<CounterCell> counter_storage_;
+  std::map<std::string, HistogramCell*, std::less<>> histograms_;
+  std::deque<HistogramCell> histogram_storage_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, SpanStats, std::less<>> spans_;
+};
+
+/// Installs `registry` as the process-wide recording target (nullptr
+/// uninstalls). The caller keeps ownership and must uninstall before
+/// destroying it. Not reference-counted on purpose: one registry per
+/// run is the model.
+void install(MetricsRegistry* registry) noexcept;
+
+/// The installed registry, or nullptr (the no-op fast path).
+[[nodiscard]] MetricsRegistry* registry() noexcept;
+
+[[nodiscard]] inline bool enabled() noexcept { return registry() != nullptr; }
+
+/// Lightweight counter handle: null when no registry was installed at
+/// resolve time, in which case add() is a no-op.
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(MetricsRegistry::CounterCell* cell) : cell_(cell) {}
+  void add(std::uint64_t delta = 1) const noexcept {
+    if (cell_ != nullptr && delta != 0) {
+      cell_->add(delta, MetricsRegistry::this_shard());
+    }
+  }
+  explicit operator bool() const noexcept { return cell_ != nullptr; }
+
+ private:
+  MetricsRegistry::CounterCell* cell_ = nullptr;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(MetricsRegistry::HistogramCell* cell) : cell_(cell) {}
+  void observe(std::int64_t value) const noexcept {
+    if (cell_ != nullptr) {
+      cell_->observe(value, MetricsRegistry::this_shard());
+    }
+  }
+  explicit operator bool() const noexcept { return cell_ != nullptr; }
+
+ private:
+  MetricsRegistry::HistogramCell* cell_ = nullptr;
+};
+
+/// Resolves a counter against the installed registry (null handle when
+/// none). Registration takes the registry mutex; add() never does.
+[[nodiscard]] Counter counter(std::string_view name);
+
+/// Log-spaced default bounds for wall-time histograms: 1 µs .. 1 s.
+[[nodiscard]] std::span<const std::int64_t> timing_bounds() noexcept;
+
+/// Log-spaced default bounds for byte-size histograms: 64 B .. 16 MiB.
+[[nodiscard]] std::span<const std::int64_t> size_bounds() noexcept;
+
+[[nodiscard]] Histogram histogram(std::string_view name,
+                                  std::span<const std::int64_t> bounds,
+                                  bool timing = false);
+
+/// Convenience: no-op when no registry is installed.
+void set_gauge(std::string_view name, double value);
+
+}  // namespace peerscope::obs
+
+/// Counter bump through the installed registry; a relaxed load and a
+/// branch when metrics are off.
+#define PEERSCOPE_METRIC_ADD(name, delta)              \
+  do {                                                 \
+    if (::peerscope::obs::enabled()) {                 \
+      ::peerscope::obs::counter(name).add(delta);      \
+    }                                                  \
+  } while (0)
+
+#define PEERSCOPE_METRIC_INC(name) PEERSCOPE_METRIC_ADD(name, 1)

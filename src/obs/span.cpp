@@ -1,0 +1,37 @@
+#include "obs/span.hpp"
+
+#include <vector>
+
+namespace peerscope::obs {
+
+namespace {
+
+// Per-thread stack of open span names; path = "/"-join. A pool task
+// runs on one thread start to finish and closes every span it opens,
+// so the stack is empty between tasks and paths never leak across
+// experiments.
+thread_local std::vector<std::string> t_span_stack;
+
+}  // namespace
+
+Span::Span(std::string_view name) : registry_(registry()) {
+  if (registry_ == nullptr) return;
+  t_span_stack.emplace_back(name);
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (registry_ == nullptr) return;
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+  std::string path;
+  for (const std::string& name : t_span_stack) {
+    if (!path.empty()) path += '/';
+    path += name;
+  }
+  t_span_stack.pop_back();
+  registry_->record_span(path, ns);
+}
+
+}  // namespace peerscope::obs

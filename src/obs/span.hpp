@@ -1,0 +1,64 @@
+// RAII phase spans: wall-time per pipeline stage, with nesting.
+//
+//   obs::Span span{"simulate"};          // inside Span{"run.pplive"}
+//
+// records one sample under the path "run.pplive/simulate" when the
+// scope exits. Nesting is tracked per thread (a pool task never
+// migrates mid-span), so span paths — and their counts — are
+// deterministic for a fixed seed at any worker count; only the
+// recorded durations vary run to run. With no registry installed a
+// Span costs one relaxed load and records nothing.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace peerscope::obs {
+
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  MetricsRegistry* registry_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulates scope wall-time into a timing histogram — the per-call
+/// sibling of Span for hot stages (train expansion) where a mutexed
+/// span record per call would be too heavy.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram histogram) : histogram_(histogram) {
+    if (histogram_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (histogram_) {
+      histogram_.observe(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count());
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace peerscope::obs
+
+#define PEERSCOPE_SPAN_CONCAT2(a, b) a##b
+#define PEERSCOPE_SPAN_CONCAT(a, b) PEERSCOPE_SPAN_CONCAT2(a, b)
+/// Named RAII span for the rest of the enclosing scope.
+#define PEERSCOPE_SPAN(name) \
+  ::peerscope::obs::Span PEERSCOPE_SPAN_CONCAT(ps_span_, __LINE__) { name }

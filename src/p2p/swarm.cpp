@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "p2p/selection.hpp"
 #include "sim/packet.hpp"
 #include "sim/train.hpp"
@@ -745,6 +747,7 @@ void Swarm::tick(ProbeState& ps) {
 void Swarm::run() {
   if (ran_) throw std::logic_error("Swarm::run called twice");
   ran_ = true;
+  PEERSCOPE_SPAN("swarm_run");
 
   for (const auto& ps : probes_) {
     const std::size_t probe_index = ps->index;
@@ -789,6 +792,32 @@ void Swarm::run() {
   }
 
   engine_.run_until(config_.duration);
+
+  // Publish the run's ground-truth counters once, after the event loop
+  // drains — the protocol steps themselves stay metrics-free.
+  if (obs::enabled()) {
+    obs::counter("p2p.swarms_run").add();
+    obs::counter("p2p.chunks_delivered").add(counters_.chunks_delivered);
+    obs::counter("p2p.chunks_duplicate").add(counters_.chunks_duplicate);
+    obs::counter("p2p.chunks_uploaded").add(counters_.chunks_uploaded);
+    obs::counter("p2p.chunks_retried").add(counters_.chunks_retried);
+    obs::counter("p2p.requests_refused").add(counters_.requests_refused);
+    obs::counter("p2p.contacts").add(counters_.contacts);
+    obs::counter("p2p.contact_failures").add(counters_.contact_failures);
+    obs::counter("p2p.timeouts").add(counters_.timeouts);
+    obs::counter("p2p.churn_probe_crashes").add(counters_.probe_crashes);
+    obs::counter("p2p.partners_blacklisted")
+        .add(counters_.partners_blacklisted);
+    std::uint64_t captured_pkts = 0, captured_bytes = 0;
+    for (const auto& sink : sinks_) {
+      captured_pkts +=
+          sink->flows().total_rx_pkts() + sink->flows().total_tx_pkts();
+      captured_bytes +=
+          sink->flows().total_rx_bytes() + sink->flows().total_tx_bytes();
+    }
+    obs::counter("trace.packets_captured").add(captured_pkts);
+    obs::counter("trace.bytes_captured").add(captured_bytes);
+  }
 }
 
 }  // namespace peerscope::p2p

@@ -1,7 +1,10 @@
 #include "sim/train.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
 
 namespace peerscope::sim {
 
@@ -15,6 +18,13 @@ TrainResult transmit_train(const TrainSpec& spec,
   if (spec.packet_count <= 0 || spec.packet_bytes <= 0) {
     throw std::invalid_argument("transmit_train: empty train");
   }
+
+  // Local tallies, published once per train: the per-packet loop stays
+  // free of shared writes even with metrics on.
+  const bool metrics = obs::enabled();
+  const auto wall_start = metrics ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
+  std::uint64_t lost = 0, outage_dropped = 0, reordered = 0, duplicated = 0;
 
   const util::SimTime up_ser = sender.up_tx_time(spec.packet_bytes);
   const util::SimTime down_ser = receiver.down_tx_time(spec.packet_bytes);
@@ -45,6 +55,7 @@ TrainResult transmit_train(const TrainSpec& spec,
     result.departures.push_back(departed);
 
     if (imp.has_loss() && ge.lose(imp, rng)) {
+      ++lost;
       continue;  // dropped in flight: no arrival, no receiver work
     }
 
@@ -55,6 +66,7 @@ TrainResult transmit_train(const TrainSpec& spec,
 
     // Transient outage: the receiver link is down, the packet is gone.
     if (imp.has_outage() && in_outage(imp, spec.link_key, reached)) {
+      ++outage_dropped;
       continue;
     }
 
@@ -69,6 +81,7 @@ TrainResult transmit_train(const TrainSpec& spec,
       // Capture-side reordering: the sniffer stamps this packet late,
       // landing it among later arrivals. Link occupancy is unchanged —
       // only the recorded timestamp moves.
+      ++reordered;
       artifacts.push_back(arrival +
                           util::SimTime::nanos(static_cast<std::int64_t>(
                               rng.uniform01() *
@@ -79,6 +92,7 @@ TrainResult transmit_train(const TrainSpec& spec,
     if (imp.duplicate_rate > 0.0 && rng.chance(imp.duplicate_rate)) {
       // Capture duplication: the same packet recorded twice a few
       // microseconds apart — fabricates a near-zero inter-packet gap.
+      ++duplicated;
       artifacts.push_back(arrival +
                           util::SimTime::nanos(1'000 + static_cast<std::int64_t>(
                                                            rng.uniform01() *
@@ -91,6 +105,19 @@ TrainResult transmit_train(const TrainSpec& spec,
     std::sort(result.arrivals.begin(), result.arrivals.end());
   }
   result.sender_done = release;
+  if (metrics) {
+    obs::counter("sim.trains_expanded").add();
+    obs::counter("sim.packets_generated")
+        .add(static_cast<std::uint64_t>(spec.packet_count));
+    obs::counter("sim.packets_lost").add(lost);
+    obs::counter("sim.packets_dropped_outage").add(outage_dropped);
+    obs::counter("sim.packets_reordered").add(reordered);
+    obs::counter("sim.packets_duplicated").add(duplicated);
+    obs::histogram("sim.train_expand_ns", obs::timing_bounds(), true)
+        .observe(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - wall_start)
+                     .count());
+  }
   return result;
 }
 

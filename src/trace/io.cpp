@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace peerscope::trace {
 
 namespace {
@@ -71,6 +73,11 @@ void write_trace(const std::filesystem::path& path, net::Ipv4Addr probe,
   if (!out) {
     throw std::runtime_error("write_trace: short write to " + path.string());
   }
+  if (obs::enabled()) {
+    obs::counter("trace.files_written").add();
+    obs::counter("trace.records_written").add(records.size());
+    obs::counter("trace.bytes_written").add(buf.size());
+  }
 }
 
 TraceFile read_trace(const std::filesystem::path& path) {
@@ -115,6 +122,11 @@ TraceFile read_trace(const std::filesystem::path& path) {
     r.kind = static_cast<sim::PacketKind>(kind);
     r.ttl = get<std::uint8_t>(ptr);
     file.records.push_back(r);
+  }
+  if (obs::enabled()) {
+    obs::counter("trace.files_read").add();
+    obs::counter("trace.records_read").add(file.records.size());
+    obs::counter("trace.bytes_read").add(buf.size());
   }
   return file;
 }
@@ -197,6 +209,13 @@ TraceFile read_trace_salvage(const std::filesystem::path& path,
     file.records.push_back(r);
   }
   rep.records_recovered = file.records.size();
+  if (obs::enabled()) {
+    obs::counter("trace.files_salvaged").add();
+    obs::counter("trace.records_salvaged").add(rep.records_recovered);
+    obs::counter("trace.records_skipped").add(rep.records_skipped);
+    obs::counter("trace.bytes_read").add(buf.size());
+    obs::counter("trace.bytes_discarded").add(rep.bytes_discarded);
+  }
   return file;
 }
 

@@ -1,0 +1,99 @@
+// Golden determinism tests for the metrics sidecar: the deterministic
+// rendering of a fixed-seed run must be byte-identical across repeated
+// invocations and across thread-pool sizes (DESIGN.md §9).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "net/topology.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace peerscope::obs {
+namespace {
+
+const net::AsTopology& topo() {
+  static const net::AsTopology t = net::make_reference_topology();
+  return t;
+}
+
+std::vector<exp::RunSpec> fixed_specs() {
+  std::vector<exp::RunSpec> specs;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    exp::RunSpec spec;
+    spec.profile = p2p::SystemProfile::tvants();
+    spec.profile.population.background_peers = 120;
+    spec.seed = seed;
+    spec.duration = util::SimTime::seconds(15);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+/// Runs the fixed-seed experiment set under a fresh registry and
+/// returns the deterministic sidecar rendering.
+std::string run_and_render(std::size_t workers) {
+  MetricsRegistry reg;
+  install(&reg);
+  const auto specs = fixed_specs();
+  util::ThreadPool pool{workers};
+  const auto results = exp::run_experiments(topo(), specs, pool);
+  install(nullptr);
+  EXPECT_EQ(results.size(), specs.size());
+  return deterministic_json(reg.snapshot());
+}
+
+TEST(MetricsGolden, StableAcrossRepeatedInvocations) {
+  const std::string first = run_and_render(2);
+  const std::string second = run_and_render(2);
+  EXPECT_EQ(first, second);
+}
+
+TEST(MetricsGolden, IndependentOfWorkerCount) {
+  const std::string serial = run_and_render(1);
+  const std::string parallel = run_and_render(3);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(MetricsGolden, SidecarCoversTheWholePipeline) {
+  const std::string json = run_and_render(2);
+  // One representative counter per instrumented subsystem: the sidecar
+  // is end-to-end or it is not a run summary.
+  for (const char* key :
+       {"\"sim.packets_generated\"", "\"sim.trains_expanded\"",
+        "\"sim.events_executed\"", "\"p2p.chunks_delivered\"",
+        "\"p2p.contacts\"", "\"trace.packets_captured\"",
+        "\"aware.observations_extracted\"", "\"aware.ipg_samples\"",
+        "\"exp.experiments_run\"", "\"run.TVAnts\"",
+        "\"run.TVAnts/simulate\"", "\"run.TVAnts/extract\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  // Gauges are configuration facts and must stay out.
+  EXPECT_EQ(json.find("exp.pool_workers"), std::string::npos);
+}
+
+TEST(MetricsGolden, WrittenFileMatchesRendering) {
+  MetricsRegistry reg;
+  install(&reg);
+  counter("file.counter").add(7);
+  install(nullptr);
+
+  const auto path = std::filesystem::path{::testing::TempDir()} /
+                    "peerscope_metrics_golden.json";
+  write_metrics_json(path, reg.snapshot(), /*deterministic=*/true);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::filesystem::remove(path);
+  EXPECT_EQ(buf.str(), deterministic_json(reg.snapshot()));
+}
+
+}  // namespace
+}  // namespace peerscope::obs

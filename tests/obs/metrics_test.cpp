@@ -1,0 +1,175 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace peerscope::obs {
+namespace {
+
+/// Installs a fresh registry for each test and guarantees uninstall
+/// even when an assertion fails mid-test.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { install(&registry_); }
+  void TearDown() override { install(nullptr); }
+
+  MetricsRegistry registry_;
+};
+
+TEST_F(MetricsTest, CounterAccumulates) {
+  counter("a").add();
+  counter("a").add(41);
+  const auto snap = registry_.snapshot();
+  ASSERT_TRUE(snap.counters.contains("a"));
+  EXPECT_EQ(snap.counters.at("a"), 42u);
+}
+
+TEST_F(MetricsTest, RegistrationAloneCreatesZeroKey) {
+  // Resolving a handle must create the key even if nothing is added:
+  // the sidecar's key set depends on which code paths ran, not on
+  // whether they had work.
+  (void)counter("touched_but_zero");
+  const auto snap = registry_.snapshot();
+  ASSERT_TRUE(snap.counters.contains("touched_but_zero"));
+  EXPECT_EQ(snap.counters.at("touched_but_zero"), 0u);
+}
+
+// The shard-and-merge contract: the merged total is a pure function of
+// the deltas added, independent of how many threads added them.
+TEST_F(MetricsTest, CounterMergeIsWriterCountIndependent) {
+  constexpr std::uint64_t kTotal = 96'000;
+
+  counter("one_writer").add(kTotal);
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      const Counter c = counter("many_writers");
+      for (std::uint64_t i = 0; i < kTotal / kThreads; ++i) c.add();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto snap = registry_.snapshot();
+  EXPECT_EQ(snap.counters.at("one_writer"), kTotal);
+  EXPECT_EQ(snap.counters.at("many_writers"), kTotal);
+}
+
+TEST_F(MetricsTest, HistogramBucketsCountAndSum) {
+  const std::int64_t bounds[] = {10, 100, 1000};
+  const Histogram h = histogram("h", bounds);
+  for (std::int64_t v : {5, 10, 11, 100, 500, 5000}) h.observe(v);
+
+  const auto snap = registry_.snapshot();
+  const auto& hs = snap.histograms.at("h");
+  ASSERT_EQ(hs.bounds, (std::vector<std::int64_t>{10, 100, 1000}));
+  // <=10: {5,10}; <=100: {11,100}; <=1000: {500}; overflow: {5000}.
+  ASSERT_EQ(hs.buckets, (std::vector<std::uint64_t>{2, 2, 1, 1}));
+  EXPECT_EQ(hs.count, 6u);
+  EXPECT_EQ(hs.sum, 5 + 10 + 11 + 100 + 500 + 5000);
+  EXPECT_FALSE(hs.timing);
+}
+
+TEST_F(MetricsTest, HistogramMergeIsWriterCountIndependent) {
+  static constexpr std::int64_t kBounds[] = {8, 64, 512};
+  constexpr std::int64_t kThreads = 6;
+  constexpr std::int64_t kPerThread = 4000;
+
+  const Histogram serial_h = histogram("serial", kBounds);
+  for (std::int64_t i = 0; i < kThreads * kPerThread; ++i) {
+    serial_h.observe(i % 700);
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::int64_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      const Histogram h = histogram("sharded", kBounds);
+      for (std::int64_t i = 0; i < kPerThread; ++i) {
+        h.observe((t * kPerThread + i) % 700);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto snap = registry_.snapshot();
+  const auto& serial = snap.histograms.at("serial");
+  const auto& sharded = snap.histograms.at("sharded");
+  EXPECT_EQ(serial.buckets, sharded.buckets);
+  EXPECT_EQ(serial.count, sharded.count);
+  EXPECT_EQ(serial.sum, sharded.sum);
+}
+
+TEST_F(MetricsTest, HistogramBoundsFixedAtFirstRegistration) {
+  const std::int64_t first[] = {1, 2};
+  const std::int64_t other[] = {7, 8, 9};
+  (void)histogram("fixed", first);
+  histogram("fixed", other).observe(5);
+  const auto snap = registry_.snapshot();
+  EXPECT_EQ(snap.histograms.at("fixed").bounds,
+            (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastValue) {
+  set_gauge("g", 1.0);
+  set_gauge("g", 4.5);
+  const auto snap = registry_.snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 4.5);
+}
+
+TEST_F(MetricsTest, MacroRecordsThroughInstalledRegistry) {
+  PEERSCOPE_METRIC_INC("macro");
+  PEERSCOPE_METRIC_ADD("macro", 2);
+  EXPECT_EQ(registry_.snapshot().counters.at("macro"), 3u);
+}
+
+TEST(MetricsNoRegistry, EverythingIsANoOp) {
+  ASSERT_EQ(registry(), nullptr);
+  EXPECT_FALSE(enabled());
+  const Counter c = counter("ignored");
+  EXPECT_FALSE(static_cast<bool>(c));
+  c.add(7);  // must not crash
+  const std::int64_t bounds[] = {1};
+  const Histogram h = histogram("ignored", bounds);
+  EXPECT_FALSE(static_cast<bool>(h));
+  h.observe(3);  // must not crash
+  set_gauge("ignored", 1.0);
+  PEERSCOPE_METRIC_INC("ignored");
+}
+
+TEST(MetricsNoRegistry, DefaultBoundsAreSortedAndNonEmpty) {
+  for (auto bounds : {timing_bounds(), size_bounds()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
+TEST_F(MetricsTest, DeterministicJsonExcludesGaugesAndTimingValues) {
+  counter("c").add(3);
+  set_gauge("workers", 8.0);
+  histogram("wall_ns", timing_bounds(), /*timing=*/true).observe(1234);
+  const std::int64_t bounds[] = {10};
+  histogram("sizes", bounds).observe(4);
+
+  const std::string det = deterministic_json(registry_.snapshot());
+  EXPECT_EQ(det.find("workers"), std::string::npos);
+  EXPECT_EQ(det.find("1234"), std::string::npos);
+  EXPECT_NE(det.find("\"c\""), std::string::npos);
+  EXPECT_NE(det.find("\"sizes\""), std::string::npos);
+  // Timing histograms keep their key (stable key set) but no values.
+  EXPECT_NE(det.find("\"wall_ns\""), std::string::npos);
+
+  const std::string full = to_json(registry_.snapshot());
+  EXPECT_NE(full.find("workers"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace peerscope::obs

@@ -1,0 +1,107 @@
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace peerscope::obs {
+namespace {
+
+class SpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override { install(&registry_); }
+  void TearDown() override { install(nullptr); }
+
+  MetricsRegistry registry_;
+};
+
+TEST_F(SpanTest, NestingJoinsPathsWithSlash) {
+  {
+    Span outer{"outer"};
+    Span inner{"inner"};
+  }
+  const auto snap = registry_.snapshot();
+  ASSERT_TRUE(snap.spans.contains("outer"));
+  ASSERT_TRUE(snap.spans.contains("outer/inner"));
+  EXPECT_FALSE(snap.spans.contains("inner"));
+  EXPECT_EQ(snap.spans.at("outer").count, 1u);
+  EXPECT_EQ(snap.spans.at("outer/inner").count, 1u);
+}
+
+TEST_F(SpanTest, RepeatedSpansAccumulateCount) {
+  for (int i = 0; i < 5; ++i) {
+    PEERSCOPE_SPAN("loop");
+  }
+  EXPECT_EQ(registry_.snapshot().spans.at("loop").count, 5u);
+}
+
+TEST_F(SpanTest, StatsAreInternallyConsistent) {
+  for (int i = 0; i < 3; ++i) {
+    Span span{"timed"};
+  }
+  const SpanStats s = registry_.snapshot().spans.at("timed");
+  ASSERT_EQ(s.count, 3u);
+  EXPECT_GE(s.min_ns, 0);
+  EXPECT_LE(s.min_ns, s.max_ns);
+  EXPECT_GE(s.total_ns, static_cast<std::int64_t>(s.count) * s.min_ns);
+  EXPECT_LE(s.total_ns, static_cast<std::int64_t>(s.count) * s.max_ns);
+}
+
+TEST_F(SpanTest, ParentDurationCoversChild) {
+  // Parent starts before and ends after the child on the same clock,
+  // so its recorded duration can never be smaller.
+  {
+    Span parent{"p"};
+    Span child{"c"};
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto snap = registry_.snapshot();
+  EXPECT_GE(snap.spans.at("p").total_ns, snap.spans.at("p/c").total_ns);
+  EXPECT_GT(snap.spans.at("p/c").total_ns, 0);
+}
+
+TEST_F(SpanTest, ThreadsKeepIndependentStacks) {
+  Span outer{"main_outer"};
+  std::thread worker([] {
+    Span span{"worker_span"};
+  });
+  worker.join();
+  const auto snap = registry_.snapshot();
+  // The worker's span must not pick up this thread's nesting.
+  EXPECT_TRUE(snap.spans.contains("worker_span"));
+  EXPECT_FALSE(snap.spans.contains("main_outer/worker_span"));
+}
+
+TEST(SpanNoRegistry, RecordsNothing) {
+  ASSERT_EQ(registry(), nullptr);
+  {
+    Span span{"nobody_listening"};
+    PEERSCOPE_SPAN("also_ignored");
+  }
+  // Installing afterwards must show an empty span table: the spans
+  // above resolved the registry at construction time.
+  MetricsRegistry reg;
+  install(&reg);
+  const auto snap = reg.snapshot();
+  install(nullptr);
+  EXPECT_TRUE(snap.spans.empty());
+}
+
+TEST(SpanNoRegistry, RegistryInstalledMidSpanIsIgnored) {
+  MetricsRegistry reg;
+  {
+    Span span{"started_before_install"};
+    install(&reg);
+  }
+  const auto snap = reg.snapshot();
+  install(nullptr);
+  // The span bound to the (null) registry at construction; recording
+  // into a registry it never pushed a stack entry for would corrupt
+  // the nesting.
+  EXPECT_TRUE(snap.spans.empty());
+}
+
+}  // namespace
+}  // namespace peerscope::obs

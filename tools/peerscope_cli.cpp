@@ -31,6 +31,13 @@
 //
 // Apps: pplive | sopcast | tvants | pplive-popular | napawine-proto
 //
+// Global flags (any command):
+//   --metrics PATH    write the observability sidecar (metrics.json) to
+//                     PATH at exit; e.g. `--metrics traces/metrics.json`
+//                     next to experiment.meta. Without the flag no
+//                     registry is installed and instrumentation is
+//                     no-op (DESIGN.md §9).
+//
 // Exit codes: 0 success, 1 runtime error, 2 usage error,
 //             3 unknown application, 4 invalid flag value.
 
@@ -48,6 +55,8 @@
 #include "exp/runner.hpp"
 #include "exp/testbed.hpp"
 #include "net/topology.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "p2p/swarm.hpp"
 #include "tools/reproduce.hpp"
 #include "trace/io.hpp"
@@ -77,6 +86,7 @@ int usage(int code = kExitUsage) {
 
 fault flags: --loss P  --loss-burst N  --reorder P  --dup P
              --outage R  --outage-ms MS  --churn S  --bg-churn S  --nat-fail P
+global flags: --metrics PATH   (write metrics.json sidecar at exit)
 
 apps: pplive | sopcast | tvants | pplive-popular | napawine-proto
 )";
@@ -419,9 +429,7 @@ int cmd_report(const RunArgs& args) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int dispatch(int argc, char** argv) {
   if (argc < 2) return usage(kExitUsage);
   const std::string command = argv[1];
   try {
@@ -483,4 +491,43 @@ int main(int argc, char** argv) {
     return 1;
   }
   return usage(kExitUsage);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Global --metrics flag, extracted before dispatch so subcommand
+  // parsers never see it. When present, a registry covers the whole
+  // invocation and the full sidecar is written at exit — even after a
+  // runtime error, so a failing run still leaves its partial counters.
+  std::filesystem::path metrics_path;
+  std::vector<char*> filtered;
+  filtered.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--metrics needs a value\n";
+        return usage(kExitUsage);
+      }
+      metrics_path = argv[++i];
+    } else {
+      filtered.push_back(argv[i]);
+    }
+  }
+
+  obs::MetricsRegistry registry;
+  if (!metrics_path.empty()) obs::install(&registry);
+  const int code =
+      dispatch(static_cast<int>(filtered.size()), filtered.data());
+  if (!metrics_path.empty()) {
+    obs::install(nullptr);
+    try {
+      obs::write_metrics_json(metrics_path, registry.snapshot());
+      std::cerr << "metrics: wrote " << metrics_path.string() << '\n';
+    } catch (const std::exception& error) {
+      std::cerr << "metrics: " << error.what() << '\n';
+      return code == 0 ? 1 : code;
+    }
+  }
+  return code;
 }
