@@ -1,25 +1,19 @@
 #include "aware/export.hpp"
 
-#include <fstream>
-#include <stdexcept>
+#include <sstream>
+
+#include "util/atomic_file.hpp"
 
 namespace peerscope::aware {
 
 namespace {
 
-std::ofstream open_csv(const std::filesystem::path& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("export: cannot open " + path.string());
-  }
-  return out;
-}
-
-void finish(std::ofstream& out, const std::filesystem::path& path) {
-  out.flush();
-  if (!out) {
-    throw std::runtime_error("export: short write to " + path.string());
-  }
+// Every exporter builds the full CSV in memory and publishes it with a
+// temp-file + atomic rename, so a crashed or killed batch never leaves
+// a half-written CSV behind for analyze/report to trip over.
+void publish(const std::filesystem::path& path,
+             const std::ostringstream& out) {
+  util::write_file_atomic(path, out.str());
 }
 
 std::string cell(const std::optional<double>& v) {
@@ -31,7 +25,7 @@ std::string cell(const std::optional<double>& v) {
 void write_awareness_csv(const std::filesystem::path& path,
                          const std::string& app,
                          const std::vector<AwarenessRow>& rows) {
-  auto out = open_csv(path);
+  std::ostringstream out;
   out << "app,metric,direction,b_prime_pct,p_prime_pct,b_pct,p_pct\n";
   for (const auto& row : rows) {
     out << app << ',' << to_string(row.metric) << ",download,"
@@ -43,12 +37,12 @@ void write_awareness_csv(const std::filesystem::path& path,
         << cell(row.upload.p_prime_pct) << ',' << cell(row.upload.b_pct)
         << ',' << cell(row.upload.p_pct) << '\n';
   }
-  finish(out, path);
+  publish(path, out);
 }
 
 void write_summary_csv(const std::filesystem::path& path,
                        const std::string& app, const ExperimentSummary& s) {
-  auto out = open_csv(path);
+  std::ostringstream out;
   out << "app,rx_kbps_mean,rx_kbps_max,tx_kbps_mean,tx_kbps_max,"
          "all_peers_mean,all_peers_max,contrib_rx_mean,contrib_rx_max,"
          "contrib_tx_mean,contrib_tx_max,observed_total\n";
@@ -57,12 +51,12 @@ void write_summary_csv(const std::filesystem::path& path,
       << ',' << s.all_peers_max << ',' << s.contrib_rx_mean << ','
       << s.contrib_rx_max << ',' << s.contrib_tx_mean << ','
       << s.contrib_tx_max << ',' << s.observed_total << '\n';
-  finish(out, path);
+  publish(path, out);
 }
 
 void write_geo_csv(const std::filesystem::path& path, const std::string& app,
                    const std::vector<GeoShare>& shares) {
-  auto out = open_csv(path);
+  std::ostringstream out;
   out << "app,country,peer_pct,rx_bytes_pct,tx_bytes_pct\n";
   for (const auto& share : shares) {
     out << app << ','
@@ -70,12 +64,12 @@ void write_geo_csv(const std::filesystem::path& path, const std::string& app,
         << ',' << share.peer_pct << ',' << share.rx_bytes_pct << ','
         << share.tx_bytes_pct << '\n';
   }
-  finish(out, path);
+  publish(path, out);
 }
 
 void write_matrix_csv(const std::filesystem::path& path,
                       const std::string& app, const AsMatrix& matrix) {
-  auto out = open_csv(path);
+  std::ostringstream out;
   out << "app,from_as,to_as,mean_bytes,intra\n";
   for (std::size_t i = 0; i < matrix.ases.size(); ++i) {
     for (std::size_t j = 0; j < matrix.ases.size(); ++j) {
@@ -84,19 +78,19 @@ void write_matrix_csv(const std::filesystem::path& path,
           << (i == j ? 1 : 0) << '\n';
     }
   }
-  finish(out, path);
+  publish(path, out);
 }
 
 void write_timeseries_csv(const std::filesystem::path& path,
                           const std::vector<IntervalStats>& series) {
-  auto out = open_csv(path);
+  std::ostringstream out;
   out << "t_s,rx_kbps,tx_kbps,active_peers,new_peers,new_rx_contributors\n";
   for (const auto& point : series) {
     out << point.start.seconds() << ',' << point.rx_kbps << ','
         << point.tx_kbps << ',' << point.active_peers << ','
         << point.new_peers << ',' << point.new_rx_contributors << '\n';
   }
-  finish(out, path);
+  publish(path, out);
 }
 
 }  // namespace peerscope::aware

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_file.hpp"
+
 namespace peerscope::exp {
 
 namespace {
@@ -31,8 +33,7 @@ std::unordered_set<net::Ipv4Addr> ExperimentMetadata::napa_set() const {
 
 void write_metadata(const std::filesystem::path& path,
                     const ExperimentMetadata& meta) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) fail(path, "cannot open for writing");
+  std::ostringstream out;
   out << kHeader << '\n';
   out << "app " << meta.app << '\n';
   out << "duration_ns " << meta.duration.ns() << '\n';
@@ -59,7 +60,9 @@ void write_metadata(const std::filesystem::path& path,
         << churn.nat_connect_failure << ' ' << churn.firewall_connect_failure
         << '\n';
   }
-  if (!out) fail(path, "short write");
+  // Atomic + durable: an analyze (or a resumed run) can never observe
+  // a torn sidecar, only the previous complete one or this one.
+  util::write_file_atomic(path, out.str());
 }
 
 ExperimentMetadata read_metadata(const std::filesystem::path& path) {

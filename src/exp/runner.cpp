@@ -1,6 +1,7 @@
 #include "exp/runner.hpp"
 
 #include <future>
+#include <stdexcept>
 
 #include "aware/observation.hpp"
 #include "exp/testbed.hpp"
@@ -31,6 +32,9 @@ aware::ExperimentObservations extract_observations(const p2p::Swarm& swarm) {
 }
 
 RunResult run_experiment(const net::AsTopology& topo, const RunSpec& spec) {
+  if (spec.duration <= util::SimTime::zero()) {
+    throw std::invalid_argument("run_experiment: duration must be positive");
+  }
   // Per-application root span: every stage below lands under
   // "run.<app>/..." in the metrics sidecar.
   obs::Span run_span{"run." + spec.profile.name};
@@ -42,6 +46,7 @@ RunResult run_experiment(const net::AsTopology& topo, const RunSpec& spec) {
   config.keep_records = spec.keep_records;
   config.impairment = spec.impairment;
   config.churn = spec.churn;
+  config.cancel = spec.cancel;
 
   p2p::Swarm swarm{topo, testbed.probes(), std::move(config)};
   {
@@ -68,7 +73,18 @@ std::vector<RunResult> run_experiments(const net::AsTopology& topo,
   }
   std::vector<RunResult> results;
   results.reserve(specs.size());
-  for (auto& f : futures) results.push_back(f.get());
+  // Drain every future before surfacing any failure: letting the first
+  // get() rethrow would return with sibling runs still executing and
+  // discard their results (the original first-exception abort bug).
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      results.push_back(f.get());
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 

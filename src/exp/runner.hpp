@@ -25,6 +25,11 @@ struct RunSpec {
   /// reproduction runs are byte-identical with or without this field).
   sim::ImpairmentSpec impairment;
   p2p::ChurnSpec churn;
+  /// Cooperative cancellation token, polled between simulation events;
+  /// run_experiment throws util::Cancelled when it trips. The
+  /// supervisor arms one per attempt to enforce --deadline. nullptr =
+  /// uncancellable. Must outlive the run.
+  const util::CancelToken* cancel = nullptr;
 };
 
 struct RunResult {
@@ -33,7 +38,9 @@ struct RunResult {
 };
 
 /// Runs one experiment on the given (finalized) topology with the
-/// Table I testbed and returns the extracted observations.
+/// Table I testbed and returns the extracted observations. Throws
+/// std::invalid_argument for a malformed spec (non-positive duration)
+/// and util::Cancelled when the spec's cancellation token trips.
 [[nodiscard]] RunResult run_experiment(const net::AsTopology& topo,
                                        const RunSpec& spec);
 
@@ -43,6 +50,12 @@ struct RunResult {
     const p2p::Swarm& swarm);
 
 /// Runs several experiments concurrently; results align with `specs`.
+/// Every future is drained before control returns: a throwing spec
+/// never abandons its siblings mid-flight (their work completes and
+/// their counters/sidecar entries land), then the first exception in
+/// spec order is rethrown. Callers who need the surviving results
+/// rather than all-or-nothing semantics use supervise_runs
+/// (exp/supervisor.hpp).
 [[nodiscard]] std::vector<RunResult> run_experiments(
     const net::AsTopology& topo, std::span<const RunSpec> specs,
     util::ThreadPool& pool);

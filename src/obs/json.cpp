@@ -2,8 +2,9 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <fstream>
 #include <stdexcept>
+
+#include "util/atomic_file.hpp"
 
 namespace peerscope::obs {
 
@@ -144,16 +145,9 @@ void write_metrics_json(const std::filesystem::path& path,
                         const MetricsSnapshot& snapshot, bool deterministic) {
   const std::string text =
       deterministic ? deterministic_json(snapshot) : to_json(snapshot);
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("write_metrics_json: cannot open " +
-                             path.string());
-  }
-  out << text;
-  if (!out) {
-    throw std::runtime_error("write_metrics_json: short write to " +
-                             path.string());
-  }
+  // Atomic rename so a sidecar scraped mid-run (or left by a killed
+  // process) is always a complete JSON document.
+  util::write_file_atomic(path, text);
 }
 
 }  // namespace peerscope::obs

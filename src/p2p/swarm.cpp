@@ -748,6 +748,7 @@ void Swarm::run() {
   if (ran_) throw std::logic_error("Swarm::run called twice");
   ran_ = true;
   PEERSCOPE_SPAN("swarm_run");
+  engine_.set_cancel(config_.cancel);
 
   for (const auto& ps : probes_) {
     const std::size_t probe_index = ps->index;

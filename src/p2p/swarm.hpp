@@ -26,6 +26,7 @@
 #include "sim/impairment.hpp"
 #include "sim/link.hpp"
 #include "trace/sink.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 #include "util/sim_time.hpp"
 
@@ -50,6 +51,11 @@ struct SwarmConfig {
   sim::ImpairmentSpec impairment;
   /// Peer churn and connection-failure injection.
   ChurnSpec churn;
+  /// Cooperative cancellation: polled between simulation events (see
+  /// sim::Engine::set_cancel); Swarm::run throws util::Cancelled when
+  /// it trips. nullptr = uncancellable (the default fast path). The
+  /// token must outlive the run.
+  const util::CancelToken* cancel = nullptr;
 };
 
 class Swarm {

@@ -34,6 +34,17 @@ bool Engine::cancel(Handle handle) {
 void Engine::run_until(util::SimTime horizon) {
   const std::uint64_t executed_before = executed_;
   while (!queue_.empty()) {
+    if (cancel_ != nullptr && executed_ % kCancelStride == 0 &&
+        cancel_->cancelled()) {
+      // Publish the work done so far before unwinding: a timed-out
+      // run's partial counters still land in the sidecar.
+      if (obs::enabled()) {
+        obs::counter("sim.events_executed").add(executed_ - executed_before);
+      }
+      throw util::Cancelled("simulation cancelled at t=" +
+                            std::to_string(now_.seconds()) + "s after " +
+                            std::to_string(executed_) + " events");
+    }
     const Item item = queue_.top();
     if (item.at > horizon) break;
     queue_.pop();

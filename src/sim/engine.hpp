@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/cancel.hpp"
 #include "util/sim_time.hpp"
 
 namespace peerscope::sim {
@@ -52,10 +53,26 @@ class Engine {
   /// was already cancelled, or the handle is null.
   bool cancel(Handle handle);
 
+  /// Installs a cancellation token polled between events (every
+  /// kCancelStride executed events, so a deadline lands at simulation-
+  /// event granularity); run_until throws util::Cancelled when it
+  /// trips. nullptr (the default) disables polling entirely — the
+  /// uncancellable fast path is byte-identical to builds without this
+  /// hook. The token must outlive the run.
+  void set_cancel(const util::CancelToken* token) noexcept {
+    cancel_ = token;
+  }
+
+  /// Poll stride for the cancellation token: coarse enough that the
+  /// steady-clock read in deadline checks never shows up in profiles,
+  /// fine enough that a deadline cuts a run off within microseconds.
+  static constexpr std::uint64_t kCancelStride = 256;
+
   /// Runs events until the queue drains or the next event would fire
   /// after `horizon`; `now()` ends at the later of its old value and
   /// the last executed event time (never past the horizon). Events
-  /// scheduled exactly at the horizon still run.
+  /// scheduled exactly at the horizon still run. Throws
+  /// util::Cancelled when an installed cancellation token trips.
   void run_until(util::SimTime horizon);
 
   /// Runs until the queue drains.
@@ -76,6 +93,7 @@ class Engine {
   util::SimTime now_{0};
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  const util::CancelToken* cancel_ = nullptr;
   std::priority_queue<Item> queue_;
   // Callbacks live out-of-line so heap items stay 16 bytes; erasing
   // from `live_` doubles as cancellation.

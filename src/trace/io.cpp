@@ -4,9 +4,11 @@
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "util/atomic_file.hpp"
 
 namespace peerscope::trace {
 
@@ -65,14 +67,9 @@ void write_trace(const std::filesystem::path& path, net::Ipv4Addr probe,
     put<std::uint8_t>(buf, r.ttl);
   }
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("write_trace: cannot open " + path.string());
-  }
-  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-  if (!out) {
-    throw std::runtime_error("write_trace: short write to " + path.string());
-  }
+  // Atomic + durable: readers (and crash-resumed batches) only ever see
+  // a complete trace or no trace, never a torn one.
+  util::write_file_atomic(path, buf);
   if (obs::enabled()) {
     obs::counter("trace.files_written").add();
     obs::counter("trace.records_written").add(records.size());
@@ -221,10 +218,7 @@ TraceFile read_trace_salvage(const std::filesystem::path& path,
 
 void write_trace_csv(const std::filesystem::path& path, net::Ipv4Addr probe,
                      const std::vector<PacketRecord>& records) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("write_trace_csv: cannot open " + path.string());
-  }
+  std::ostringstream out;
   out << "# probe=" << probe.to_string() << '\n';
   out << "ts_ns,remote,dir,kind,bytes,ttl\n";
   for (const auto& r : records) {
@@ -233,10 +227,7 @@ void write_trace_csv(const std::filesystem::path& path, net::Ipv4Addr probe,
         << (r.kind == sim::PacketKind::kVideo ? "video" : "sig") << ','
         << r.bytes << ',' << static_cast<int>(r.ttl) << '\n';
   }
-  if (!out) {
-    throw std::runtime_error("write_trace_csv: short write to " +
-                             path.string());
-  }
+  util::write_file_atomic(path, out.str());
 }
 
 }  // namespace peerscope::trace

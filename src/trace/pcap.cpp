@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "sim/packet.hpp"
+#include "util/atomic_file.hpp"
 
 namespace peerscope::trace {
 
@@ -126,14 +127,7 @@ void write_pcap(const std::filesystem::path& path, net::Ipv4Addr probe,
     out += pkt;
   }
 
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) {
-    throw std::runtime_error("write_pcap: cannot open " + path.string());
-  }
-  file.write(out.data(), static_cast<std::streamsize>(out.size()));
-  if (!file) {
-    throw std::runtime_error("write_pcap: short write to " + path.string());
-  }
+  util::write_file_atomic(path, out);
 }
 
 std::vector<PacketRecord> read_pcap(const std::filesystem::path& path,

@@ -1,0 +1,104 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace peerscope::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& op,
+                       const std::filesystem::path& path) {
+  throw std::runtime_error(op + " " + path.string() + ": " +
+                           std::strerror(errno));
+}
+
+void write_all(int fd, std::string_view contents, const std::string& op,
+               const std::filesystem::path& path) {
+  const char* data = contents.data();
+  std::size_t left = contents.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(op, path);
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+/// fsync on the directory so the rename (or the new directory entry)
+/// itself is durable, not just the file contents.
+void sync_parent_dir(const std::filesystem::path& path) {
+  std::filesystem::path dir = path.parent_path();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) fail("atomic write: cannot open directory", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) fail("atomic write: fsync directory", dir);
+}
+
+}  // namespace
+
+void write_file_atomic(const std::filesystem::path& path,
+                       std::string_view contents, bool durable) {
+  // The temp name embeds the pid so concurrent writers of *different*
+  // runs never collide; two writers of the same path race benignly
+  // (last rename wins with a complete file either way).
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail("atomic write: cannot create", tmp);
+  try {
+    write_all(fd, contents, "atomic write: short write to", tmp);
+    if (durable && ::fsync(fd) != 0) {
+      fail("atomic write: fsync", tmp);
+    }
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail("atomic write: close", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("atomic write: rename to", path);
+  }
+  if (durable) sync_parent_dir(path);
+}
+
+void append_line_durable(const std::filesystem::path& path,
+                         std::string_view line) {
+  const bool existed = std::filesystem::exists(path);
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) fail("journal append: cannot open", path);
+  std::string buf;
+  buf.reserve(line.size() + 1);
+  buf.append(line);
+  buf.push_back('\n');
+  try {
+    write_all(fd, buf, "journal append: short write to", path);
+    if (::fsync(fd) != 0) fail("journal append: fsync", path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  if (::close(fd) != 0) fail("journal append: close", path);
+  // A freshly created journal also needs its directory entry on disk.
+  if (!existed) sync_parent_dir(path);
+}
+
+}  // namespace peerscope::util

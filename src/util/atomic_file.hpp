@@ -1,0 +1,37 @@
+// Crash-safe file persistence.
+//
+// Every artifact the pipeline leaves on disk (traces, sidecars, CSV
+// exports, reports, journal result blobs) goes through
+// write_file_atomic: the bytes land in a sibling temp file which is
+// fsync'd and renamed over the destination, so a reader — including a
+// resumed run after SIGKILL — only ever sees the old complete file or
+// the new complete file, never a torn one. The experiment journal uses
+// append_line_durable instead: an append-only log cannot be renamed
+// per entry, so each line is appended and fsync'd individually and
+// readers tolerate a torn final line (DESIGN.md §10).
+#pragma once
+
+#include <filesystem>
+#include <string_view>
+
+namespace peerscope::util {
+
+/// Writes `contents` to `path` via temp-file + fsync + atomic rename.
+/// The temp file lives next to the destination (same filesystem, so
+/// rename(2) is atomic) and is removed on failure. When `durable` is
+/// true the data and the containing directory are fsync'd before and
+/// after the rename; pass false for scratch output where tearing is
+/// acceptable but a half-written visible file still is not.
+/// Throws std::runtime_error on any I/O failure.
+void write_file_atomic(const std::filesystem::path& path,
+                       std::string_view contents, bool durable = true);
+
+/// Appends `line` plus a trailing '\n' to `path` (creating it when
+/// missing) and fsyncs before returning: once this call returns, the
+/// line survives a crash of the process or the machine. `line` must
+/// not itself contain '\n' — one call, one journal record.
+/// Throws std::runtime_error on any I/O failure.
+void append_line_durable(const std::filesystem::path& path,
+                         std::string_view line);
+
+}  // namespace peerscope::util

@@ -15,6 +15,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 }
 
 ThreadPool::~ThreadPool() {
+  shutdown_.request();
   {
     std::lock_guard lock{mutex_};
     stopping_ = true;

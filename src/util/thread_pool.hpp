@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancel.hpp"
+
 namespace peerscope::util {
 
 class ThreadPool {
@@ -28,6 +30,15 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
+
+  /// Cancellation hook for long-running tasks: requested the moment
+  /// pool teardown begins, before any worker is joined. Queued tasks
+  /// still run to completion (drain semantics) — a cooperative task
+  /// polls this token to cut its own work short so the destructor does
+  /// not wait out, say, a half-finished five-minute simulation.
+  [[nodiscard]] const CancelToken& shutdown_token() const {
+    return shutdown_;
+  }
 
   /// Enqueues a task; the future resolves with its result (or exception).
   template <typename F>
@@ -54,6 +65,7 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> threads_;
+  CancelToken shutdown_;
   bool stopping_ = false;
 };
 

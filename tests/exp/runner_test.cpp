@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "aware/report.hpp"
+#include "obs/metrics.hpp"
 
 namespace peerscope::exp {
 namespace {
@@ -82,6 +85,36 @@ TEST(Runner, ParallelMatchesSerial) {
   };
   EXPECT_EQ(sum_rx(parallel[0]), sum_rx(serial0));
   EXPECT_EQ(sum_rx(parallel[1]), sum_rx(serial1));
+}
+
+TEST(Runner, InvalidDurationThrows) {
+  RunSpec spec = tiny_spec();
+  spec.duration = SimTime::zero();
+  EXPECT_THROW((void)run_experiment(topo(), spec), std::invalid_argument);
+}
+
+TEST(Runner, PoisonedSpecDoesNotAbandonSiblings) {
+  // Regression: run_experiments used to rethrow at the FIRST failing
+  // future, leaving later specs running (or queued) with no way to
+  // observe their completion. The poisoned spec sits first so the old
+  // behavior would abandon the valid sibling mid-flight.
+  RunSpec poison = tiny_spec(1);
+  poison.duration = SimTime::zero();
+  const RunSpec specs[] = {poison, tiny_spec(2)};
+
+  obs::MetricsRegistry registry;
+  obs::install(&registry);
+  util::ThreadPool pool{2};
+  EXPECT_THROW((void)run_experiments(topo(), specs, pool),
+               std::invalid_argument);
+  obs::install(nullptr);
+
+  // All futures were drained before the rethrow, so the sibling's
+  // swarm ran to completion and published its counters.
+  const auto snapshot = registry.snapshot();
+  const auto it = snapshot.counters.find("p2p.swarms_run");
+  ASSERT_NE(it, snapshot.counters.end());
+  EXPECT_EQ(it->second, 1u);
 }
 
 TEST(Runner, SummaryIsComputableFromResult) {

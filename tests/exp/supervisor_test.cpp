@@ -1,0 +1,338 @@
+#include "exp/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unistd.h>
+
+#include "exp/journal.hpp"
+#include "obs/metrics.hpp"
+
+namespace peerscope::exp {
+namespace {
+
+using util::SimTime;
+
+const net::AsTopology& topo() {
+  static const net::AsTopology t = net::make_reference_topology();
+  return t;
+}
+
+RunSpec tiny_spec(std::uint64_t seed = 1) {
+  RunSpec spec;
+  spec.profile = p2p::SystemProfile::tvants();
+  spec.profile.population.background_peers = 120;
+  spec.seed = seed;
+  spec.duration = SimTime::seconds(25);
+  return spec;
+}
+
+/// Cheap stand-in result for run_fn hooks: loadable from a journal
+/// blob (non-empty app, aligned probe/vantage counts) and
+/// distinguishable by the marker.
+RunResult fake_result(std::uint64_t marker) {
+  RunResult result;
+  result.observations.app = "FakeApp";
+  result.observations.duration = SimTime::seconds(1);
+  result.counters.chunks_delivered = marker;
+  return result;
+}
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("peerscope_supervisor_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(SupervisorTest, FailureIsCapturedNotThrown) {
+  const RunSpec specs[] = {tiny_spec(1), tiny_spec(2), tiny_spec(3)};
+  SupervisorConfig config;
+  config.run_fn = [](const net::AsTopology&, const RunSpec& spec) {
+    if (spec.seed == 2) throw std::runtime_error("injected fault");
+    return fake_result(spec.seed);
+  };
+  util::ThreadPool pool{2};
+  const auto outcome = supervise_runs(topo(), specs, pool, config);
+
+  ASSERT_EQ(outcome.runs.size(), 3u);
+  EXPECT_EQ(outcome.runs[0].state, RunState::kOk);
+  EXPECT_EQ(outcome.runs[1].state, RunState::kFailed);
+  EXPECT_EQ(outcome.runs[1].error, "injected fault");
+  EXPECT_FALSE(outcome.runs[1].result.has_value());
+  EXPECT_EQ(outcome.runs[2].state, RunState::kOk);
+  EXPECT_EQ(outcome.runs[2].result->counters.chunks_delivered, 3u);
+  EXPECT_EQ(outcome.succeeded(), 2u);
+  EXPECT_EQ(outcome.failed(), 1u);
+  EXPECT_FALSE(outcome.complete());
+}
+
+TEST_F(SupervisorTest, RetriesUntilSuccess) {
+  const RunSpec specs[] = {tiny_spec(7)};
+  std::atomic<int> calls{0};
+  SupervisorConfig config;
+  config.retries = 3;
+  config.backoff_base = std::chrono::milliseconds{1};
+  config.run_fn = [&calls](const net::AsTopology&, const RunSpec& spec) {
+    if (++calls < 3) throw std::runtime_error("transient");
+    return fake_result(spec.seed);
+  };
+
+  obs::MetricsRegistry registry;
+  obs::install(&registry);
+  util::ThreadPool pool{1};
+  const auto outcome = supervise_runs(topo(), specs, pool, config);
+  obs::install(nullptr);
+
+  EXPECT_EQ(outcome.runs[0].state, RunState::kOk);
+  EXPECT_EQ(outcome.runs[0].attempts, 3);
+  EXPECT_TRUE(outcome.runs[0].error.empty());
+  const auto counters = registry.snapshot().counters;
+  EXPECT_EQ(counters.at("exp.run_retries"), 2u);
+  EXPECT_EQ(counters.at("exp.runs_ok"), 1u);
+  EXPECT_EQ(counters.count("exp.runs_failed"), 0u);
+}
+
+TEST_F(SupervisorTest, PermanentFailureExhaustsRetries) {
+  const RunSpec specs[] = {tiny_spec(9)};
+  SupervisorConfig config;
+  config.retries = 2;
+  config.backoff_base = std::chrono::milliseconds{1};
+  config.run_fn = [](const net::AsTopology&,
+                     const RunSpec&) -> RunResult {
+    throw std::runtime_error("permanent");
+  };
+
+  obs::MetricsRegistry registry;
+  obs::install(&registry);
+  util::ThreadPool pool{1};
+  const auto outcome = supervise_runs(topo(), specs, pool, config);
+  obs::install(nullptr);
+
+  EXPECT_EQ(outcome.runs[0].state, RunState::kFailed);
+  EXPECT_EQ(outcome.runs[0].attempts, 3);
+  EXPECT_EQ(outcome.runs[0].error, "permanent");
+  EXPECT_EQ(outcome.succeeded(), 0u);
+  const auto counters = registry.snapshot().counters;
+  EXPECT_EQ(counters.at("exp.runs_failed"), 1u);
+  EXPECT_EQ(counters.at("exp.run_retries"), 2u);
+}
+
+TEST_F(SupervisorTest, DeadlineCutsOffRealRunWithoutRetry) {
+  // A real simulation against a deadline far shorter than its runtime:
+  // the engine's cancellation poll must unwind it, and a timeout must
+  // NOT burn the retry budget (same spec, same deadline, same result).
+  const RunSpec specs[] = {tiny_spec(1)};
+  SupervisorConfig config;
+  config.retries = 2;
+  config.deadline_s = 0.02;
+
+  obs::MetricsRegistry registry;
+  obs::install(&registry);
+  util::ThreadPool pool{1};
+  const auto outcome = supervise_runs(topo(), specs, pool, config);
+  obs::install(nullptr);
+
+  EXPECT_EQ(outcome.runs[0].state, RunState::kTimedOut);
+  EXPECT_EQ(outcome.runs[0].attempts, 1);
+  EXPECT_NE(outcome.runs[0].error.find("cancelled"), std::string::npos);
+  EXPECT_EQ(registry.snapshot().counters.at("exp.runs_timed_out"), 1u);
+}
+
+TEST_F(SupervisorTest, JournalRecordsTerminalStates) {
+  const RunSpec specs[] = {tiny_spec(1), tiny_spec(2)};
+  SupervisorConfig config;
+  config.journal = dir_ / "experiment.journal";
+  config.run_fn = [](const net::AsTopology&, const RunSpec& spec) {
+    if (spec.seed == 2) throw std::runtime_error("boom");
+    return fake_result(spec.seed);
+  };
+  util::ThreadPool pool{2};
+  (void)supervise_runs(topo(), specs, pool, config);
+
+  const auto entries = journal_replay(config.journal);
+  ASSERT_EQ(entries.size(), 2u);
+  const auto& ok = entries.at(spec_id(specs[0]));
+  EXPECT_EQ(ok.state, "ok");
+  EXPECT_FALSE(ok.artifact.empty());
+  EXPECT_TRUE(
+      std::filesystem::exists(dir_ / "experiment.journal.d" / ok.artifact));
+  const auto& failed = entries.at(spec_id(specs[1]));
+  EXPECT_EQ(failed.state, "failed");
+  EXPECT_EQ(failed.error, "boom");
+  EXPECT_TRUE(failed.artifact.empty());
+}
+
+TEST_F(SupervisorTest, ResumeSkipsFinishedSpecsWithIdenticalResults) {
+  const RunSpec specs[] = {tiny_spec(1), tiny_spec(2)};
+  SupervisorConfig config;
+  config.journal = dir_ / "experiment.journal";
+  std::atomic<int> calls{0};
+  config.run_fn = [&calls](const net::AsTopology&, const RunSpec& spec) {
+    ++calls;
+    return fake_result(spec.seed * 100);
+  };
+  util::ThreadPool pool{2};
+  const auto first = supervise_runs(topo(), specs, pool, config);
+  ASSERT_TRUE(first.complete());
+  EXPECT_EQ(calls.load(), 2);
+
+  config.resume = true;
+  const auto second = supervise_runs(topo(), specs, pool, config);
+  EXPECT_EQ(calls.load(), 2);  // nothing re-executed
+  ASSERT_TRUE(second.complete());
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(second.runs[i].state, RunState::kSkipped);
+    EXPECT_EQ(second.runs[i].attempts, 0);
+    ASSERT_TRUE(second.runs[i].result.has_value());
+    EXPECT_EQ(second.runs[i].result->counters.chunks_delivered,
+              first.runs[i].result->counters.chunks_delivered);
+  }
+}
+
+TEST_F(SupervisorTest, ResumeRerunsFailedAndMissingBlobEntries) {
+  const RunSpec specs[] = {tiny_spec(1), tiny_spec(2)};
+  SupervisorConfig config;
+  config.journal = dir_ / "experiment.journal";
+  config.run_fn = [](const net::AsTopology&, const RunSpec& spec) {
+    if (spec.seed == 2) throw std::runtime_error("first pass fails");
+    return fake_result(spec.seed);
+  };
+  util::ThreadPool pool{2};
+  (void)supervise_runs(topo(), specs, pool, config);
+
+  // Sabotage spec 1's blob: an "ok" journal line whose artifact is
+  // gone must be treated as unfinished, not trusted blindly.
+  const auto entries = journal_replay(config.journal);
+  std::filesystem::remove(dir_ / "experiment.journal.d" /
+                          entries.at(spec_id(specs[0])).artifact);
+
+  std::atomic<int> calls{0};
+  config.resume = true;
+  config.run_fn = [&calls](const net::AsTopology&, const RunSpec& spec) {
+    ++calls;
+    return fake_result(spec.seed);
+  };
+  const auto second = supervise_runs(topo(), specs, pool, config);
+  EXPECT_EQ(calls.load(), 2);  // both re-executed
+  EXPECT_EQ(second.runs[0].state, RunState::kOk);
+  EXPECT_EQ(second.runs[1].state, RunState::kOk);
+  EXPECT_TRUE(second.complete());
+}
+
+TEST_F(SupervisorTest, TornTrailingJournalLineIsIgnoredOnResume) {
+  const RunSpec specs[] = {tiny_spec(1)};
+  SupervisorConfig config;
+  config.journal = dir_ / "experiment.journal";
+  config.run_fn = [](const net::AsTopology&, const RunSpec& spec) {
+    return fake_result(spec.seed);
+  };
+  util::ThreadPool pool{1};
+  (void)supervise_runs(topo(), specs, pool, config);
+
+  {  // simulate a crash mid-append: no trailing newline, no brace
+    std::ofstream out(config.journal, std::ios::app);
+    out << "{\"spec\":\"torn#seed";
+  }
+
+  std::atomic<int> calls{0};
+  config.resume = true;
+  config.run_fn = [&calls](const net::AsTopology&, const RunSpec& spec) {
+    ++calls;
+    return fake_result(spec.seed);
+  };
+  const auto second = supervise_runs(topo(), specs, pool, config);
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(second.runs[0].state, RunState::kSkipped);
+}
+
+TEST_F(SupervisorTest, ReplayRejectsForeignFile) {
+  const auto path = dir_ / "not_a_journal";
+  std::ofstream(path) << "{\"schema\":\"someone.elses/9\"}\n";
+  EXPECT_THROW((void)journal_replay(path), std::runtime_error);
+}
+
+TEST_F(SupervisorTest, ReplayOfMissingJournalIsEmpty) {
+  EXPECT_TRUE(journal_replay(dir_ / "absent.journal").empty());
+}
+
+TEST(Journal, SpecIdEncodesIdentityAndFaults) {
+  RunSpec a = tiny_spec(3);
+  const std::string base = spec_id(a);
+  EXPECT_NE(base.find("TVAnts"), std::string::npos);
+  EXPECT_NE(base.find("seed=3"), std::string::npos);
+
+  RunSpec b = a;
+  b.impairment.loss_rate = 0.05;
+  EXPECT_NE(spec_id(b), base);
+  RunSpec c = a;
+  c.keep_records = true;
+  EXPECT_NE(spec_id(c), base);
+  EXPECT_EQ(spec_id(a), base);  // stable
+
+  const std::string artifact = spec_artifact_name(spec_id(b));
+  for (const char ch : artifact) {
+    EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+                ch == '-' || ch == '.')
+        << "unsafe char in artifact name: " << artifact;
+  }
+}
+
+TEST(Journal, RunResultBlobRoundTripsByteIdentically) {
+  // Real simulation output through the blob: the reloaded result must
+  // serialize to the exact same bytes, which is the property --resume
+  // byte-identity rests on.
+  const RunResult original = run_experiment(topo(), tiny_spec(5));
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("peerscope_blob_test_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  write_run_result(dir / "a.result", original);
+  const auto reloaded = read_run_result(dir / "a.result");
+  ASSERT_TRUE(reloaded.has_value());
+  write_run_result(dir / "b.result", *reloaded);
+
+  const auto slurp = [](const std::filesystem::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  const std::string first = slurp(dir / "a.result");
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, slurp(dir / "b.result"));
+
+  EXPECT_EQ(reloaded->observations.probes.size(),
+            original.observations.probes.size());
+  EXPECT_EQ(reloaded->counters.chunks_delivered,
+            original.counters.chunks_delivered);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Journal, CorruptBlobReadsAsNullopt) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("peerscope_blob_corrupt_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  EXPECT_FALSE(read_run_result(dir / "missing.result").has_value());
+
+  std::ofstream(dir / "bad_header.result") << "not-a-result 1\n";
+  EXPECT_FALSE(read_run_result(dir / "bad_header.result").has_value());
+
+  // Truncated: header but no "end" sentinel.
+  std::ofstream(dir / "torn.result")
+      << "peerscope-runresult 1\napp X\nduration_ns 5\n";
+  EXPECT_FALSE(read_run_result(dir / "torn.result").has_value());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace peerscope::exp

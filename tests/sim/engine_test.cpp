@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <vector>
 
 namespace peerscope::sim {
@@ -153,6 +154,54 @@ TEST(Engine, CancelFromWithinEarlierEvent) {
   });
   engine.run();
   EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, PreCancelledTokenStopsBeforeFirstEvent) {
+  Engine engine;
+  util::CancelToken token;
+  token.request();
+  engine.set_cancel(&token);
+  int fired = 0;
+  engine.schedule_at(SimTime::millis(1), [&fired] { ++fired; });
+  EXPECT_THROW(engine.run(), util::Cancelled);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, CancellationLandsOnStrideBoundary) {
+  Engine engine;
+  util::CancelToken token;
+  engine.set_cancel(&token);
+  int fired = 0;
+  for (int i = 0; i < 600; ++i) {
+    engine.schedule_at(SimTime::micros(i + 1), [&fired, &token] {
+      if (++fired == 10) token.request();
+    });
+  }
+  // The poll runs every kCancelStride events, so the request at event
+  // 10 unwinds exactly when `executed_` reaches the next multiple.
+  EXPECT_THROW(engine.run(), util::Cancelled);
+  EXPECT_EQ(fired, static_cast<int>(Engine::kCancelStride));
+  EXPECT_EQ(engine.executed(), Engine::kCancelStride);
+}
+
+TEST(Engine, ExpiredDeadlineTripsToken) {
+  Engine engine;
+  util::CancelToken token;
+  token.set_deadline_after(std::chrono::nanoseconds{0});
+  engine.set_cancel(&token);
+  engine.schedule_at(SimTime::millis(1), [] {});
+  EXPECT_THROW(engine.run(), util::Cancelled);
+}
+
+TEST(Engine, NullTokenNeverCancels) {
+  Engine engine;
+  engine.set_cancel(nullptr);
+  int fired = 0;
+  for (int i = 0; i < 300; ++i) {
+    engine.schedule_at(SimTime::micros(i + 1), [&fired] { ++fired; });
+  }
+  engine.run();
+  EXPECT_EQ(fired, 300);
 }
 
 }  // namespace

@@ -3,20 +3,40 @@
 //   peerscope testbed
 //       Print the Table I testbed.
 //   peerscope run --app <name> [--seed N] [--duration S] --out DIR
-//                 [--pcap] [--csv] [fault flags]
+//                 [--pcap] [--csv] [supervision flags] [fault flags]
 //       Run one experiment, store per-probe traces plus the experiment
 //       metadata sidecar needed for offline analysis. Injected faults
-//       are recorded in the sidecar.
+//       are recorded in the sidecar. The run is supervised: failures
+//       are retried per --retries, --deadline cuts off an overlong
+//       simulation, and completion is journaled in
+//       DIR/experiment.journal so --resume skips an already-finished
+//       run after a crash.
 //   peerscope analyze DIR [--salvage]
 //       Reload stored traces + metadata and print the full analysis
 //       (summary, self-bias, awareness table) — the paper's pipeline
 //       applied to on-disk captures. --salvage recovers what it can
-//       from corrupt/truncated traces instead of aborting.
-//   peerscope report --app <name> [--seed N] [--duration S] [fault flags]
+//       from corrupt/truncated traces instead of aborting. A missing,
+//       empty, or un-analyzable capture directory exits with code 6.
+//   peerscope report --app <name> [--seed N] [--duration S]
+//                    [supervision flags] [fault flags]
 //       Run and analyse in one step without storing traces.
 //   peerscope reproduce [--out FILE] [--seed N] [--duration S]
+//                       [supervision flags]
 //       Rerun every experiment and write a markdown report with
-//       paper-vs-measured rows for all tables and figures.
+//       paper-vs-measured rows for all tables and figures. Supervised:
+//       an application that fails or times out is marked in the report
+//       instead of aborting the batch, and the process exits 5
+//       (partial success). The journal lands next to the report file;
+//       --resume skips finished applications and the resumed report is
+//       byte-identical to an uninterrupted one.
+//
+// Supervision flags (run/report/reproduce; all default to off):
+//   --retries N       extra attempts after a failed run (not after a
+//                     deadline timeout), exponential backoff + jitter
+//   --deadline S      per-attempt wall-clock deadline in seconds,
+//                     enforced cooperatively between simulation events
+//   --resume          replay the journal; skip runs whose results are
+//                     already durably recorded (run/reproduce only)
 //
 // Fault flags (run/report; all default to off):
 //   --loss P          per-packet loss probability (0..1)
@@ -39,20 +59,26 @@
 //                     no-op (DESIGN.md §9).
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage error,
-//             3 unknown application, 4 invalid flag value.
+//             3 unknown application, 4 invalid flag value,
+//             5 partial success (some supervised runs produced no
+//               result; the report marks them), 6 bad capture
+//               directory (analyze).
 
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "aware/observation.hpp"
 #include "aware/report.hpp"
+#include "exp/capture.hpp"
 #include "exp/metadata.hpp"
 #include "exp/runner.hpp"
+#include "exp/supervisor.hpp"
 #include "exp/testbed.hpp"
 #include "net/topology.hpp"
 #include "obs/json.hpp"
@@ -74,19 +100,25 @@ namespace {
 constexpr int kExitUsage = 2;
 constexpr int kExitUnknownApp = 3;
 constexpr int kExitBadValue = 4;
+constexpr int kExitPartial = tools::kExitPartialSuccess;  // 5
+constexpr int kExitBadCapture = 6;
 
 int usage(int code = kExitUsage) {
   std::cerr <<
       R"(usage:
   peerscope testbed
-  peerscope run --app <name> [--seed N] [--duration S] --out DIR [--pcap] [--csv] [fault flags]
+  peerscope run --app <name> [--seed N] [--duration S] --out DIR [--pcap] [--csv] [supervision] [fault flags]
   peerscope analyze DIR [--salvage]
-  peerscope report --app <name> [--seed N] [--duration S] [fault flags]
-  peerscope reproduce [--out FILE] [--seed N] [--duration S]
+  peerscope report --app <name> [--seed N] [--duration S] [supervision] [fault flags]
+  peerscope reproduce [--out FILE] [--seed N] [--duration S] [supervision]
 
+supervision: --retries N  --deadline S  --resume
 fault flags: --loss P  --loss-burst N  --reorder P  --dup P
              --outage R  --outage-ms MS  --churn S  --bg-churn S  --nat-fail P
 global flags: --metrics PATH   (write metrics.json sidecar at exit)
+
+exit codes: 0 ok, 1 runtime error, 2 usage, 3 unknown app, 4 bad value,
+            5 partial success, 6 bad capture directory
 
 apps: pplive | sopcast | tvants | pplive-popular | napawine-proto
 )";
@@ -111,6 +143,9 @@ struct RunArgs {
   std::filesystem::path out;
   bool pcap = false;
   bool csv = false;
+  int retries = 0;
+  double deadline_s = 0.0;
+  bool resume = false;
   sim::ImpairmentSpec impairment;
   p2p::ChurnSpec churn;
 };
@@ -206,6 +241,25 @@ std::optional<RunArgs> parse_run_args(int argc, char** argv, int first,
       args.pcap = true;
     } else if (flag == "--csv") {
       args.csv = true;
+    } else if (flag == "--retries") {
+      const char* v = value();
+      if (!v) {
+        std::cerr << "--retries needs a value\n";
+        return std::nullopt;
+      }
+      const auto parsed = parse_double(v, 0, 100);
+      if (!parsed || *parsed != static_cast<int>(*parsed)) {
+        std::cerr << "invalid value for --retries: " << v << '\n';
+        err = kExitBadValue;
+        return std::nullopt;
+      }
+      args.retries = static_cast<int>(*parsed);
+    } else if (flag == "--deadline") {
+      double s = 0;
+      if (!numeric(0.0, 86'400.0, s)) return std::nullopt;
+      args.deadline_s = s;
+    } else if (flag == "--resume") {
+      args.resume = true;
     } else if (flag == "--loss") {
       if (!numeric(0.0, 0.95, args.impairment.loss_rate)) return std::nullopt;
     } else if (flag == "--loss-burst") {
@@ -320,94 +374,120 @@ int cmd_run(const RunArgs& args) {
 
   const net::AsTopology topo = net::make_reference_topology();
   const exp::Testbed testbed = exp::Testbed::table1();
-  p2p::SwarmConfig config;
-  config.profile = args.profile;
-  config.seed = args.seed;
-  config.duration = util::SimTime::seconds(args.duration_s);
-  config.keep_records = true;
-  config.impairment = args.impairment;
-  config.churn = args.churn;
 
-  std::cerr << "running " << config.profile.name << " (seed " << args.seed
+  exp::RunSpec spec;
+  spec.profile = args.profile;
+  spec.seed = args.seed;
+  spec.duration = util::SimTime::seconds(args.duration_s);
+  spec.keep_records = true;
+  spec.impairment = args.impairment;
+  spec.churn = args.churn;
+
+  exp::SupervisorConfig supervision;
+  supervision.retries = args.retries;
+  supervision.deadline_s = args.deadline_s;
+  supervision.resume = args.resume;
+  supervision.journal = args.out / "experiment.journal";
+  // Capture-producing run body: each attempt simulates, exports every
+  // trace atomically, then writes the metadata sidecar last — so a
+  // directory containing experiment.meta is always analyzable. The
+  // returned RunResult lands in the journal blob, which is what lets
+  // --resume skip a finished run outright.
+  supervision.run_fn = [&args, &testbed](const net::AsTopology& t,
+                                         const exp::RunSpec& s) {
+    p2p::SwarmConfig config;
+    config.profile = s.profile;
+    config.seed = s.seed;
+    config.duration = s.duration;
+    config.keep_records = true;
+    config.impairment = s.impairment;
+    config.churn = s.churn;
+    config.cancel = s.cancel;
+
+    p2p::Swarm swarm{t, testbed.probes(), config};
+    swarm.run();
+
+    const auto& population = swarm.population();
+    exp::ExperimentMetadata meta;
+    meta.app = config.profile.name;
+    meta.duration = config.duration;
+    meta.announcements = population.registry().dump();
+    meta.impairment = s.impairment;
+    meta.churn = s.churn;
+
+    std::uint64_t packets = 0;
+    for (std::size_t i = 0; i < swarm.probe_count(); ++i) {
+      const auto& info = population.peer(population.probe_ids()[i]);
+      const auto label = population.probe_specs()[i].label();
+      meta.probes.push_back({info.ep.addr, info.ep.as, info.ep.country,
+                             info.access.is_high_bandwidth(), label});
+      auto records = swarm.sink(i).records();
+      std::sort(records.begin(), records.end(), trace::record_before);
+      trace::write_trace(
+          args.out / exp::ExperimentMetadata::trace_filename(label),
+          swarm.sink(i).probe(), records);
+      if (args.pcap) {
+        trace::write_pcap(args.out / (label + ".pcap"),
+                          swarm.sink(i).probe(), records);
+      }
+      if (args.csv) {
+        trace::write_trace_csv(args.out / (label + ".csv"),
+                               swarm.sink(i).probe(), records);
+      }
+      packets += records.size();
+    }
+    write_metadata(args.out / "experiment.meta", meta);
+    std::cerr << "wrote " << swarm.probe_count() << " traces ("
+              << util::TextTable::count(packets)
+              << " packets) + metadata to " << args.out << '\n';
+
+    exp::RunResult result;
+    result.observations = exp::extract_observations(swarm);
+    result.counters = swarm.counters();
+    return result;
+  };
+
+  std::cerr << "running " << args.profile.name << " (seed " << args.seed
             << ", " << args.duration_s << " s)...\n";
-  p2p::Swarm swarm{topo, testbed.probes(), config};
-  swarm.run();
-
-  const auto& population = swarm.population();
-  exp::ExperimentMetadata meta;
-  meta.app = config.profile.name;
-  meta.duration = config.duration;
-  meta.announcements = population.registry().dump();
-  meta.impairment = args.impairment;
-  meta.churn = args.churn;
-
-  std::uint64_t packets = 0;
-  for (std::size_t i = 0; i < swarm.probe_count(); ++i) {
-    const auto& info = population.peer(population.probe_ids()[i]);
-    const auto label = population.probe_specs()[i].label();
-    meta.probes.push_back({info.ep.addr, info.ep.as, info.ep.country,
-                           info.access.is_high_bandwidth(), label});
-    auto records = swarm.sink(i).records();
-    std::sort(records.begin(), records.end(), trace::record_before);
-    trace::write_trace(
-        args.out / exp::ExperimentMetadata::trace_filename(label),
-        swarm.sink(i).probe(), records);
-    if (args.pcap) {
-      trace::write_pcap(args.out / (label + ".pcap"), swarm.sink(i).probe(),
-                        records);
-    }
-    if (args.csv) {
-      trace::write_trace_csv(args.out / (label + ".csv"),
-                             swarm.sink(i).probe(), records);
-    }
-    packets += records.size();
+  util::ThreadPool pool{1};
+  const auto outcome = exp::supervise_runs(
+      topo, std::span<const exp::RunSpec>{&spec, 1}, pool, supervision);
+  const auto& run = outcome.runs.front();
+  if (run.state == exp::RunState::kSkipped) {
+    std::cerr << "resume: " << run.spec
+              << " already complete, nothing to do\n";
+    return 0;
   }
-  write_metadata(args.out / "experiment.meta", meta);
-  std::cerr << "wrote " << swarm.probe_count() << " traces ("
-            << util::TextTable::count(packets) << " packets) + metadata to "
-            << args.out << '\n';
+  if (!run.ok()) {
+    std::cerr << "run " << exp::to_string(run.state) << " after "
+              << run.attempts << " attempt(s): " << run.error << '\n';
+    return 1;
+  }
+  if (run.attempts > 1) {
+    std::cerr << "run succeeded on attempt " << run.attempts << '\n';
+  }
   if (args.impairment.enabled() || args.churn.enabled()) {
-    print_fault_counters(swarm.counters());
+    print_fault_counters(run.result->counters);
   }
   return 0;
 }
 
 int cmd_analyze(const std::filesystem::path& dir, bool salvage) {
-  const auto meta = exp::read_metadata(dir / "experiment.meta");
-  const auto registry = meta.build_registry();
-  const auto napa = meta.napa_set();
-
-  aware::ExperimentObservations data;
-  data.app = meta.app;
-  data.duration = meta.duration;
-  data.probes = meta.probes;
-  std::size_t salvage_skipped = 0;
-  for (const auto& probe : meta.probes) {
-    const auto path =
-        dir / exp::ExperimentMetadata::trace_filename(probe.label);
-    trace::TraceFile file;
-    if (salvage) {
-      trace::SalvageReport report;
-      file = trace::read_trace_salvage(path, &report);
-      if (!report.clean()) {
-        std::cerr << "salvage " << path.filename().string() << ": "
-                  << report.records_recovered << " recovered, "
-                  << report.records_skipped << " skipped, "
-                  << report.bytes_discarded << " bytes discarded ("
-                  << (report.note.empty() ? "ok" : report.note) << ")\n";
-      }
-      salvage_skipped += report.records_skipped;
-    } else {
-      file = trace::read_trace(path);
-    }
-    data.per_probe.push_back(aware::extract_observations(
-        trace::FlowTable::from_records(file.probe, file.records), registry,
-        napa));
+  exp::CaptureLoad load;
+  try {
+    load = exp::load_capture(dir, salvage);
+  } catch (const exp::CaptureError& error) {
+    // Every "this is not an analyzable capture" condition lands here:
+    // distinct exit code so scripts can tell a bad directory (6) from
+    // a genuine runtime failure (1).
+    std::cerr << "analyze: " << error.what() << '\n';
+    return kExitBadCapture;
   }
-  if (salvage && salvage_skipped > 0) {
+  for (const auto& note : load.notes) std::cerr << note << '\n';
+  if (salvage && !load.clean()) {
     std::cerr << "salvage: analysis continues on the recovered records\n";
   }
-  print_analysis(data);
+  print_analysis(load.data);
   return 0;
 }
 
@@ -421,10 +501,24 @@ int cmd_report(const RunArgs& args) {
   spec.churn = args.churn;
   std::cerr << "running " << spec.profile.name << " (seed " << args.seed
             << ", " << args.duration_s << " s)...\n";
-  const auto result = exp::run_experiment(topo, spec);
-  print_analysis(result.observations);
+
+  // Supervised but unjournaled: report stores nothing, so there is
+  // nothing to resume — but --retries/--deadline still apply.
+  exp::SupervisorConfig supervision;
+  supervision.retries = args.retries;
+  supervision.deadline_s = args.deadline_s;
+  util::ThreadPool pool{1};
+  const auto outcome = exp::supervise_runs(
+      topo, std::span<const exp::RunSpec>{&spec, 1}, pool, supervision);
+  const auto& run = outcome.runs.front();
+  if (!run.ok()) {
+    std::cerr << "run " << exp::to_string(run.state) << " after "
+              << run.attempts << " attempt(s): " << run.error << '\n';
+    return 1;
+  }
+  print_analysis(run.result->observations);
   if (args.impairment.enabled() || args.churn.enabled()) {
-    print_fault_counters(result.counters);
+    print_fault_counters(run.result->counters);
   }
   return 0;
 }
@@ -478,6 +572,24 @@ int dispatch(int argc, char** argv) {
             return usage(kExitBadValue);
           }
           ++i;
+        } else if (flag == "--retries" && value) {
+          const auto parsed = parse_double(value, 0, 100);
+          if (!parsed || *parsed != static_cast<int>(*parsed)) {
+            std::cerr << "invalid value for --retries: " << value << '\n';
+            return usage(kExitBadValue);
+          }
+          options.retries = static_cast<int>(*parsed);
+          ++i;
+        } else if (flag == "--deadline" && value) {
+          const auto parsed = parse_double(value, 0.0, 86'400.0);
+          if (!parsed) {
+            std::cerr << "invalid value for --deadline: " << value << '\n';
+            return usage(kExitBadValue);
+          }
+          options.deadline_s = *parsed;
+          ++i;
+        } else if (flag == "--resume") {
+          options.resume = true;
         } else {
           std::cerr << "unknown flag: " << flag << '\n';
           return usage(kExitUsage);

@@ -1,10 +1,11 @@
 #include "tools/reproduce.hpp"
 
-#include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "bench/harness.hpp"
+#include "exp/supervisor.hpp"
+#include "util/atomic_file.hpp"
 
 namespace peerscope::tools {
 
@@ -24,6 +25,14 @@ std::string md_paper(double v) {
   return v < 0 ? std::string{"–"} : md(v);
 }
 
+/// Dash row fragment for an application whose run produced no data:
+/// `cells` dash cells joined in table syntax.
+std::string missing_cells(int cells) {
+  std::string out;
+  for (int i = 0; i < cells; ++i) out += " – |";
+  return out;
+}
+
 }  // namespace
 
 int reproduce(const ReproduceOptions& options) {
@@ -32,15 +41,50 @@ int reproduce(const ReproduceOptions& options) {
   cfg.seconds = options.seconds;
   cfg.seed = options.seed;
 
-  std::cerr << "reproduce: running PPLive, SopCast, TVAnts ("
-            << cfg.seconds << " s each, seed " << cfg.seed << ")...\n";
-  const auto results = run_three_apps(topo, cfg);
-  std::cerr << "reproduce: running PPLive-Popular (Fig. 2 panel)...\n";
-  exp::RunSpec popular;
-  popular.profile = p2p::SystemProfile::pplive_popular();
-  popular.seed = cfg.seed;
-  popular.duration = util::SimTime::seconds(cfg.seconds);
-  const auto popular_result = exp::run_experiment(topo, popular);
+  // Specs [0..2] are the paper's three applications (report row order),
+  // [3] the PPLive-Popular panel for Figure 2.
+  std::vector<exp::RunSpec> specs;
+  for (auto profile :
+       {p2p::SystemProfile::pplive(), p2p::SystemProfile::sopcast(),
+        p2p::SystemProfile::tvants(), p2p::SystemProfile::pplive_popular()}) {
+    exp::RunSpec spec;
+    spec.profile = std::move(profile);
+    spec.seed = cfg.seed;
+    spec.duration = util::SimTime::seconds(cfg.seconds);
+    specs.push_back(std::move(spec));
+  }
+
+  exp::SupervisorConfig supervision;
+  supervision.retries = options.retries;
+  supervision.deadline_s = options.deadline_s;
+  supervision.resume = options.resume;
+  supervision.journal =
+      options.output.parent_path() / "experiment.journal";
+
+  std::cerr << "reproduce: running PPLive, SopCast, TVAnts, "
+               "PPLive-Popular ("
+            << cfg.seconds << " s each, seed " << cfg.seed
+            << (options.resume ? ", resuming" : "") << ")...\n";
+  util::ThreadPool pool;
+  const auto outcome = supervise_runs(topo, specs, pool, supervision);
+  for (std::size_t i = 0; i < outcome.runs.size(); ++i) {
+    const auto& run = outcome.runs[i];
+    std::cerr << "reproduce: " << specs[i].profile.name << ": "
+              << exp::to_string(run.state);
+    if (run.attempts > 1) std::cerr << " (" << run.attempts << " attempts)";
+    if (!run.error.empty()) std::cerr << " — " << run.error;
+    std::cerr << '\n';
+  }
+  if (outcome.succeeded() == 0) {
+    std::cerr << "reproduce: no run produced results; no report written\n";
+    return 1;
+  }
+
+  const auto* main_runs = outcome.runs.data();  // [0..2]
+  const auto& popular_run = outcome.runs[3];
+  const auto app_name = [&](std::size_t i) {
+    return specs[i].profile.name;
+  };
 
   std::ostringstream out;
   out << "# PeerScope reproduction report\n\n"
@@ -51,20 +95,36 @@ int reproduce(const ReproduceOptions& options) {
       << "scaled (see DESIGN.md §6); percentages and ratios compare "
       << "directly.\n";
 
+  if (!outcome.complete()) {
+    out << "\n> **Partial results.** ";
+    for (const auto& run : outcome.runs) {
+      if (run.ok()) continue;
+      out << run.spec << " " << exp::to_string(run.state)
+          << (run.error.empty() ? std::string{}
+                                : " (" + run.error + ")")
+          << "; ";
+    }
+    out << "affected rows are dashed below.\n";
+  }
+
   // ------------------------------------------------------------ Table II
   out << "\n## Table II — experiment summary\n\n"
       << "| App | src | RX kbps (mean/max) | TX kbps (mean/max) | peers "
          "(mean/max) | contrib RX | contrib TX | observed |\n"
       << "|---|---|---|---|---|---|---|---|\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
+  for (std::size_t i = 0; i < 3; ++i) {
     const auto& paper = kPaperTable2[i];
-    const auto s = aware::summarize(results[i].observations);
     out << "| " << paper.app << " | paper | " << md(paper.rx_mean, 0) << " / "
         << md(paper.rx_max, 0) << " | " << md(paper.tx_mean, 0) << " / "
         << md(paper.tx_max, 0) << " | " << md(paper.peers_mean, 0) << " / "
         << md(paper.peers_max, 0) << " | " << md(paper.contrib_rx_mean, 0)
         << " | " << md(paper.contrib_tx_mean, 0) << " | "
         << md(paper.observed_total, 0) << " |\n";
+    if (!main_runs[i].ok()) {
+      out << "| | ours |" << missing_cells(6) << '\n';
+      continue;
+    }
+    const auto s = aware::summarize(main_runs[i].result->observations);
     out << "| | ours | " << md(s.rx_kbps_mean, 0) << " / "
         << md(s.rx_kbps_max, 0) << " | " << md(s.tx_kbps_mean, 0) << " / "
         << md(s.tx_kbps_max, 0) << " | " << md(s.all_peers_mean, 0) << " / "
@@ -77,13 +137,17 @@ int reproduce(const ReproduceOptions& options) {
   out << "\n## Table III — self-induced bias\n\n"
       << "| App | src | contrib peer % | contrib bytes % | all peer % | "
          "all bytes % |\n|---|---|---|---|---|---|\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
+  for (std::size_t i = 0; i < 3; ++i) {
     const auto& paper = kPaperTable3[i];
-    const auto bias = aware::self_bias(results[i].observations);
     out << "| " << paper.app << " | paper | " << md(paper.contrib_peer_pct, 2)
         << " | " << md(paper.contrib_bytes_pct, 2) << " | "
         << md(paper.all_peer_pct, 2) << " | " << md(paper.all_bytes_pct, 2)
         << " |\n";
+    if (!main_runs[i].ok()) {
+      out << "| | ours |" << missing_cells(4) << '\n';
+      continue;
+    }
+    const auto bias = aware::self_bias(main_runs[i].result->observations);
     out << "| | ours | " << md(bias.contributors_peer_pct, 2) << " | "
         << md(bias.contributors_bytes_pct, 2) << " | "
         << md(bias.all_peers_peer_pct, 2) << " | "
@@ -94,18 +158,28 @@ int reproduce(const ReproduceOptions& options) {
   out << "\n## Table IV — network awareness\n\n"
       << "| Net | App | src | B′D | P′D | BD | PD | B′U | P′U | BU | PU |\n"
       << "|---|---|---|---|---|---|---|---|---|---|---|\n";
-  std::vector<std::vector<aware::AwarenessRow>> tables;
-  for (const auto& result : results) {
-    tables.push_back(aware::awareness_table(result.observations));
+  std::vector<std::optional<std::vector<aware::AwarenessRow>>> tables;
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (main_runs[i].ok()) {
+      tables.emplace_back(
+          aware::awareness_table(main_runs[i].result->observations));
+    } else {
+      tables.emplace_back(std::nullopt);
+    }
   }
   for (std::size_t entry = 0; entry < std::size(kPaperTable4); ++entry) {
     const auto& paper = kPaperTable4[entry];
-    const auto& measured = tables[entry % 3][entry / 3];
     out << "| " << paper.metric << " | " << paper.app << " | paper | "
         << md_paper(paper.bpd) << " | " << md_paper(paper.ppd) << " | "
         << md_paper(paper.bd) << " | " << md_paper(paper.pd) << " | "
         << md_paper(paper.bpu) << " | " << md_paper(paper.ppu) << " | "
         << md_paper(paper.bu) << " | " << md_paper(paper.pu) << " |\n";
+    const auto& table = tables[entry % 3];
+    if (!table) {
+      out << "| | | ours |" << missing_cells(8) << '\n';
+      continue;
+    }
+    const auto& measured = (*table)[entry / 3];
     out << "| | | ours | " << md_opt(measured.download.b_prime_pct) << " | "
         << md_opt(measured.download.p_prime_pct) << " | "
         << md_opt(measured.download.b_pct) << " | "
@@ -119,9 +193,14 @@ int reproduce(const ReproduceOptions& options) {
   // ------------------------------------------------------------ Figure 1
   out << "\n## Figure 1 — geographical breakdown (percent)\n\n"
       << "| App | CC | peers | RX bytes | TX bytes |\n|---|---|---|---|---|\n";
-  for (const auto& result : results) {
-    for (const auto& share : aware::geo_breakdown(result.observations)) {
-      out << "| " << result.observations.app << " | "
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (!main_runs[i].ok()) {
+      out << "| " << app_name(i) << " |" << missing_cells(4) << '\n';
+      continue;
+    }
+    const auto& observations = main_runs[i].result->observations;
+    for (const auto& share : aware::geo_breakdown(observations)) {
+      out << "| " << observations.app << " | "
           << (share.cc.known() ? share.cc.to_string() : std::string{"*"})
           << " | " << md(share.peer_pct) << " | " << md(share.rx_bytes_pct)
           << " | " << md(share.tx_bytes_pct) << " |\n";
@@ -136,31 +215,41 @@ int reproduce(const ReproduceOptions& options) {
       << "|---|---|---|---|\n";
   const char* fig2_apps[] = {"PPLive", "SopCast", "TVAnts"};
   const double fig2_paper[] = {0.98, 0.2, 1.93};
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto matrix = aware::as_traffic_matrix(results[i].observations);
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (!main_runs[i].ok()) {
+      out << "| " << fig2_apps[i] << " | " << md(fig2_paper[i], 2) << " |"
+          << missing_cells(2) << '\n';
+      continue;
+    }
+    const auto matrix =
+        aware::as_traffic_matrix(main_runs[i].result->observations);
     out << "| " << fig2_apps[i] << " | " << md(fig2_paper[i], 2) << " | "
         << md(matrix.intra_inter_ratio, 2) << " | "
         << md(matrix.intra_inter_ratio_with_lan, 2) << " |\n";
   }
-  {
+  if (popular_run.ok()) {
     const auto matrix =
-        aware::as_traffic_matrix(popular_result.observations);
+        aware::as_traffic_matrix(popular_run.result->observations);
     out << "| PPLive-Popular | (strongest locality) | "
         << md(matrix.intra_inter_ratio, 2) << " | "
         << md(matrix.intra_inter_ratio_with_lan, 2) << " |\n";
+  } else {
+    out << "| PPLive-Popular | (strongest locality) |" << missing_cells(2)
+        << '\n';
   }
 
   out << "\n---\nGenerated by `peerscope reproduce`. Every number above is "
          "deterministic for the given seed.\n";
 
-  std::ofstream file(options.output, std::ios::trunc);
-  if (!file) {
-    std::cerr << "reproduce: cannot write " << options.output << '\n';
+  try {
+    util::write_file_atomic(options.output, out.str());
+  } catch (const std::exception& error) {
+    std::cerr << "reproduce: cannot write " << options.output << ": "
+              << error.what() << '\n';
     return 1;
   }
-  file << out.str();
   std::cerr << "reproduce: wrote " << options.output << '\n';
-  return 0;
+  return outcome.complete() ? 0 : kExitPartialSuccess;
 }
 
 }  // namespace peerscope::tools
