@@ -1,0 +1,4 @@
+// Clean fixture header.
+#pragma once
+
+void work();

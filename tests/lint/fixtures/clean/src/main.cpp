@@ -1,0 +1,6 @@
+// Clean fixture: uses every registry entry, writes nothing raw.
+#include "clean.hpp"
+
+const char* kSchema = "peerscope.clean/1";
+
+void work() { obs::counter("clean.counter").add(); }

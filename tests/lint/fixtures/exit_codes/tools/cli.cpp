@@ -1,0 +1,5 @@
+// Fixture: exit-code constants for the exit-code-uniqueness rule.
+constexpr int kExitUsage = 2;       // documented, unique: clean
+constexpr int kExitUnknownApp = 3;  // documented, unique: clean
+constexpr int kExitDuplicate = 3;   // finding: reuses 3
+constexpr int kExitSecret = 9;      // finding: not in README table

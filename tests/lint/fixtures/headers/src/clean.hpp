@@ -1,0 +1,7 @@
+// Fixture: hygienic header — no findings. A using-namespace inside a
+// string literal is not a violation.
+#pragma once
+
+#include <string>
+
+inline std::string hygiene_doc() { return "using namespace std;"; }

@@ -1,0 +1,4 @@
+// Fixture: header with no #pragma once -> one finding. The directive
+// appearing in this comment — #pragma once — must not satisfy the
+// rule, because the scan runs on the comment-stripped code view.
+int missing_guard();

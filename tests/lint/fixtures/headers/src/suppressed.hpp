@@ -1,0 +1,4 @@
+// Fixture: file-wide opt-out.
+// peerscope-lint: allow-file(header-hygiene)
+// No #pragma once on purpose; the allow-file covers it.
+int suppressed_header();

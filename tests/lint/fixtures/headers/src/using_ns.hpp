@@ -1,0 +1,8 @@
+// Fixture: using-namespace in a header -> one finding.
+#pragma once
+
+#include <string>
+
+using namespace std;  // finding: leaks into every includer
+
+inline string shout(const string& s) { return s + "!"; }

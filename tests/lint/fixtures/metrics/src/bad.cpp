@@ -1,0 +1,6 @@
+// Fixture: unregistered names and a kind mismatch.
+void all_bad() {
+  obs::counter("rogue.counter").add();              // finding: unregistered
+  obs::histogram("good.counter", bounds).observe(1);  // finding: kind
+  PEERSCOPE_SPAN("rogue_span");                     // finding: unregistered
+}

@@ -1,0 +1,13 @@
+// Fixture: every registered-name usage pattern the scanner accepts.
+#include <string>
+
+void all_good(const std::string& app) {
+  obs::counter("good.counter").add();
+  PEERSCOPE_METRIC_INC("good.counter");
+  obs::histogram("good.hist", obs::size_bounds()).observe(1);
+  obs::set_gauge("good.gauge", 1.0);
+  PEERSCOPE_SPAN("simulate");
+  // Dynamic name: the "run." literal concatenates onto a runtime app
+  // name and must match the registry's `span run.<app>` entry.
+  obs::Span run_span{"run." + app};
+}

@@ -1,0 +1,5 @@
+// Fixture: a rogue name under an explicit allow is not a finding.
+void quiet() {
+  // peerscope-lint: allow(metric-name-registry): synthetic test name
+  obs::counter("synthetic.name").add();
+}

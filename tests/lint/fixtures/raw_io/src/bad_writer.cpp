@@ -1,0 +1,22 @@
+// Fixture: every banned write primitive, unsuppressed. The linter
+// must flag each one with its own file:line diagnostic.
+#include <cstdio>
+#include <fstream>
+
+void bad_ofstream() {
+  std::ofstream out{"artifact.json"};  // finding: std::ofstream
+  out << "{}";
+}
+
+void bad_fstream() {
+  std::fstream f{"artifact.bin"};  // finding: std::fstream
+}
+
+void bad_fopen() {
+  std::FILE* f = fopen("artifact.csv", "w");  // finding: fopen()
+  if (f != nullptr) fclose(f);
+}
+
+int bad_syscall(const char* path) {
+  return ::open(path, 0);  // finding: open(2)
+}

@@ -1,0 +1,11 @@
+// Fixture: reads and string/comment mentions must not fire. A token
+// like std::ofstream in a comment, or "fopen(" in a string, is not a
+// write.
+#include <fstream>
+#include <string>
+
+std::string read_back(const char* path) {
+  std::ifstream in{path};
+  std::string text{"std::ofstream fopen( ::open("};
+  return text;
+}

@@ -1,0 +1,15 @@
+// Fixture: both suppression placements for no-raw-artifact-io.
+#include <fstream>
+
+void trailing_allow() {
+  std::ofstream out{"x"};  // peerscope-lint: allow(no-raw-artifact-io)
+}
+
+void own_line_allow() {
+  // peerscope-lint: allow(no-raw-artifact-io): fixture writer
+  std::ofstream out{"y"};
+}
+
+void wrong_rule_named() {
+  std::ofstream out{"z"};  // peerscope-lint: allow(header-hygiene)
+}

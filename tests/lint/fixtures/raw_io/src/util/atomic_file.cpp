@@ -1,0 +1,3 @@
+// Fixture: the one allowlisted file. Raw open(2) here is the point —
+// this path implements util::write_file_atomic.
+int allowlisted(const char* path) { return ::open(path, 0); }

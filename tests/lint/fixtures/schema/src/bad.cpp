@@ -1,0 +1,7 @@
+// Fixture: a version bump that skipped the registry.
+const char* kBumped = "peerscope.metrics/2";  // finding: not registered
+void suppressed() {
+  // peerscope-lint: allow(schema-version-consistency): docs example
+  const char* quiet = "peerscope.metrics/9";
+  (void)quiet;
+}

@@ -1,0 +1,6 @@
+// Fixture: a literal that matches the registry, in code and inside a
+// larger string. Comment mentions must not count as uses — the
+// registered-but-unused check relies on that, so this comment naming
+// peerscope.orphan/3 must not mark the orphan entry used.
+const char* kSchema = "peerscope.metrics/1";
+const char* kHeader = "{\"schema\": \"peerscope.metrics/1\"}";

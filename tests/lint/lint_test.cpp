@@ -1,0 +1,321 @@
+// Fixture-driven tests for peerscope-lint (tools/lint/lint.hpp).
+//
+// Each fixture directory under tests/lint/fixtures/ is a miniature
+// repository root; the suite runs one rule per fixture and asserts
+// the exact hit / miss / suppression behaviour. The fixtures are
+// excluded from the real-tree walk, so their deliberate violations
+// never fail the `lint.tree_clean` check.
+//
+// This file's assertions quote expected diagnostics, some of which
+// contain schema-shaped literals; they are examples, not uses.
+// peerscope-lint: allow-file(schema-version-consistency)
+
+#include "lint/lint.hpp"
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace peerscope::lint {
+namespace {
+
+using ::testing::AllOf;
+using ::testing::Contains;
+using ::testing::HasSubstr;
+using ::testing::IsEmpty;
+using ::testing::Not;
+
+std::filesystem::path fixture_root(const std::string& name) {
+  return std::filesystem::path{PEERSCOPE_LINT_FIXTURES} / name;
+}
+
+/// Runs exactly one rule over a fixture root and stringifies the
+/// findings ("file:line: [rule] message").
+std::vector<std::string> lint_fixture(const std::string& fixture,
+                                      std::string_view rule) {
+  Options options;
+  options.root = fixture_root(fixture);
+  options.rules.insert(std::string{rule});
+  options.check_tracked = false;
+  const LintResult result = run(options);
+  EXPECT_THAT(result.errors, IsEmpty()) << "fixture: " << fixture;
+  std::vector<std::string> out;
+  out.reserve(result.findings.size());
+  for (const auto& finding : result.findings) {
+    out.push_back(to_string(finding));
+  }
+  return out;
+}
+
+// --- no-raw-artifact-io ----------------------------------------------
+
+TEST(RawIoRule, FlagsEveryBannedPrimitiveWithFileAndLine) {
+  const auto findings = lint_fixture("raw_io", kRuleRawIo);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("bad_writer.cpp:7"),
+                             HasSubstr("std::ofstream"))));
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("bad_writer.cpp:12"),
+                             HasSubstr("std::fstream"))));
+  EXPECT_THAT(findings, Contains(AllOf(HasSubstr("bad_writer.cpp:16"),
+                                       HasSubstr("fopen()"))));
+  EXPECT_THAT(findings, Contains(AllOf(HasSubstr("bad_writer.cpp:21"),
+                                       HasSubstr("open(2)"))));
+}
+
+TEST(RawIoRule, AtomicFileImplementationIsAllowlisted) {
+  const auto findings = lint_fixture("raw_io", kRuleRawIo);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("atomic_file.cpp"))));
+}
+
+TEST(RawIoRule, ReadsAndCommentAndStringMentionsDoNotFire) {
+  const auto findings = lint_fixture("raw_io", kRuleRawIo);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("clean_reader.cpp"))));
+}
+
+TEST(RawIoRule, TrailingAndOwnLineAllowsSuppress) {
+  const auto findings = lint_fixture("raw_io", kRuleRawIo);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("suppressed.cpp:5"))));
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("suppressed.cpp:10"))));
+}
+
+TEST(RawIoRule, AllowNamingADifferentRuleDoesNotSuppress) {
+  const auto findings = lint_fixture("raw_io", kRuleRawIo);
+  EXPECT_THAT(findings, Contains(HasSubstr("suppressed.cpp:14")));
+}
+
+TEST(RawIoRule, FindingCountIsExact) {
+  EXPECT_EQ(lint_fixture("raw_io", kRuleRawIo).size(), 5u);
+}
+
+// --- metric-name-registry --------------------------------------------
+
+TEST(MetricNameRule, RegisteredUsesAreClean) {
+  const auto findings = lint_fixture("metrics", kRuleMetricNames);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("good.cpp"))));
+}
+
+TEST(MetricNameRule, UnregisteredNameIsAFinding) {
+  const auto findings = lint_fixture("metrics", kRuleMetricNames);
+  EXPECT_THAT(findings, Contains(AllOf(HasSubstr("bad.cpp:3"),
+                                       HasSubstr("rogue.counter"))));
+  EXPECT_THAT(findings, Contains(AllOf(HasSubstr("bad.cpp:5"),
+                                       HasSubstr("rogue_span"))));
+}
+
+TEST(MetricNameRule, KindMismatchIsAFinding) {
+  const auto findings = lint_fixture("metrics", kRuleMetricNames);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("bad.cpp:4"),
+                             HasSubstr("used as histogram"),
+                             HasSubstr("registered as counter"))));
+}
+
+TEST(MetricNameRule, RegisteredButUnusedEntryIsAFinding) {
+  const auto findings = lint_fixture("metrics", kRuleMetricNames);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("metric_names.def:8"),
+                             HasSubstr("unused.counter"),
+                             HasSubstr("never used"))));
+}
+
+TEST(MetricNameRule, DynamicPrefixEntrySatisfiedByConcatenation) {
+  // good.cpp builds "run." + app; the `run.<app>` entry must count as
+  // used (no unused-entry finding) and the literal must not be rogue.
+  const auto findings = lint_fixture("metrics", kRuleMetricNames);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("run."))));
+}
+
+TEST(MetricNameRule, SuppressedRogueNameIsQuiet) {
+  const auto findings = lint_fixture("metrics", kRuleMetricNames);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("synthetic.name"))));
+  EXPECT_EQ(findings.size(), 4u);
+}
+
+// --- schema-version-consistency --------------------------------------
+
+TEST(SchemaRule, RegisteredLiteralIsClean) {
+  const auto findings = lint_fixture("schema", kRuleSchemaVersions);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("good.cpp"))));
+}
+
+TEST(SchemaRule, UnregisteredVersionBumpIsAFinding) {
+  const auto findings = lint_fixture("schema", kRuleSchemaVersions);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("bad.cpp:2"),
+                             HasSubstr("peerscope.metrics/2"))));
+}
+
+TEST(SchemaRule, SuppressedLiteralIsQuiet) {
+  const auto findings = lint_fixture("schema", kRuleSchemaVersions);
+  EXPECT_THAT(findings,
+              Not(Contains(HasSubstr("peerscope.metrics/9"))));
+}
+
+TEST(SchemaRule, OrphanRegistryEntryIsAFinding) {
+  // Mentions in comments do not count as uses, so the orphan entry
+  // (named only in a good.cpp comment) must still be flagged.
+  const auto findings = lint_fixture("schema", kRuleSchemaVersions);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("schema_versions.def:4"),
+                             HasSubstr("peerscope.orphan/3"))));
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+// --- exit-code-uniqueness --------------------------------------------
+
+TEST(ExitCodeRule, DuplicateValueIsAFinding) {
+  const auto findings = lint_fixture("exit_codes", kRuleExitCodes);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("cli.cpp:4"),
+                             HasSubstr("kExitDuplicate"),
+                             HasSubstr("kExitUnknownApp"))));
+}
+
+TEST(ExitCodeRule, UndocumentedValueIsAFinding) {
+  const auto findings = lint_fixture("exit_codes", kRuleExitCodes);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("cli.cpp:5"),
+                             HasSubstr("kExitSecret"),
+                             HasSubstr("not documented"))));
+}
+
+TEST(ExitCodeRule, DocumentedUniqueConstantsAreClean) {
+  const auto findings = lint_fixture("exit_codes", kRuleExitCodes);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("kExitUsage"))));
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+// --- header-hygiene ---------------------------------------------------
+
+TEST(HeaderRule, MissingPragmaOnceIsAFinding) {
+  const auto findings = lint_fixture("headers", kRuleHeaderHygiene);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("missing.hpp"),
+                             HasSubstr("#pragma once"))));
+}
+
+TEST(HeaderRule, UsingNamespaceIsAFinding) {
+  const auto findings = lint_fixture("headers", kRuleHeaderHygiene);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("using_ns.hpp:6"),
+                             HasSubstr("using-namespace"))));
+}
+
+TEST(HeaderRule, CleanAndSuppressedHeadersAreQuiet) {
+  const auto findings = lint_fixture("headers", kRuleHeaderHygiene);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("clean.hpp"))));
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("suppressed.hpp"))));
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+// --- no-committed-build-artifacts (path-list core) --------------------
+
+TEST(BuildArtifactRule, FlagsBuildTreesAndObjectFiles) {
+  const auto findings = check_tracked_paths(
+      {"build/tools/peerscope", "build-tsan/x.txt", "lib/archive.a",
+       "obj/thing.o", "compile_commands.json", "core"});
+  EXPECT_EQ(findings.size(), 6u);
+  for (const auto& finding : findings) {
+    EXPECT_EQ(finding.rule, kRuleBuildArtifacts);
+  }
+}
+
+TEST(BuildArtifactRule, SourcePathsAreClean) {
+  EXPECT_THAT(
+      check_tracked_paths({"src/sim/engine.cpp", "docs/core.md",
+                           "tests/lint/fixtures/clean/src/main.cpp",
+                           "builders/notes.txt", "build.md"}),
+      IsEmpty());
+}
+
+// --- whole-tree behaviour --------------------------------------------
+
+TEST(LintRun, CleanFixtureIsCleanUnderEveryRule) {
+  Options options;
+  options.root = fixture_root("clean");
+  options.check_tracked = false;
+  const LintResult result = run(options);
+  EXPECT_THAT(result.errors, IsEmpty());
+  EXPECT_THAT(result.findings, IsEmpty());
+}
+
+TEST(LintRun, FindingsAreSortedByFileThenLine) {
+  Options options;
+  options.root = fixture_root("raw_io");
+  options.rules.insert(std::string{kRuleRawIo});
+  options.check_tracked = false;
+  const LintResult result = run(options);
+  ASSERT_EQ(result.findings.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(
+      result.findings.begin(), result.findings.end(),
+      [](const Finding& a, const Finding& b) {
+        return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+      }));
+}
+
+TEST(LintRun, UnknownRuleIsAConfigError) {
+  Options options;
+  options.root = fixture_root("clean");
+  options.rules.insert("no-such-rule");
+  options.check_tracked = false;
+  const LintResult result = run(options);
+  EXPECT_THAT(result.errors, Contains(HasSubstr("no-such-rule")));
+}
+
+TEST(LintRun, MissingRegistryIsAConfigError) {
+  Options options;
+  options.root = fixture_root("headers");  // has no src/obs/*.def
+  options.rules.insert(std::string{kRuleMetricNames});
+  options.check_tracked = false;
+  const LintResult result = run(options);
+  EXPECT_THAT(result.errors,
+              Contains(HasSubstr("metric_names.def")));
+}
+
+// --- view helpers -----------------------------------------------------
+
+TEST(CodeView, BlanksCommentsAndStringsButKeepsLineStructure) {
+  const std::string source =
+      "int a; // std::ofstream\n"
+      "const char* s = \"std::ofstream\";\n"
+      "/* std::ofstream */ int b;\n";
+  const std::string view = code_view(source);
+  EXPECT_THAT(view, Not(HasSubstr("ofstream")));
+  EXPECT_THAT(view, HasSubstr("int a;"));
+  EXPECT_THAT(view, HasSubstr("int b;"));
+  EXPECT_EQ(std::count(view.begin(), view.end(), '\n'), 3);
+}
+
+TEST(CodeView, HandlesRawStringsAndEscapes) {
+  const std::string source =
+      "auto r = R\"(std::ofstream)\";\n"
+      "auto e = \"quote \\\" std::ofstream\";\n";
+  EXPECT_THAT(code_view(source), Not(HasSubstr("ofstream")));
+}
+
+TEST(NoCommentView, KeepsStringsDropsComments) {
+  const std::string source =
+      "const char* s = \"kept.literal/1\";  // dropped.comment/2\n";
+  const std::string view = no_comment_view(source);
+  EXPECT_THAT(view, HasSubstr("kept.literal/1"));
+  EXPECT_THAT(view, Not(HasSubstr("dropped.comment/2")));
+}
+
+TEST(FindingToString, FormatsFileLineRuleMessage) {
+  const Finding finding{"src/a.cpp", 12, "some-rule", "message"};
+  EXPECT_EQ(to_string(finding), "src/a.cpp:12: [some-rule] message");
+}
+
+TEST(FindingToString, OmitsLineZero) {
+  const Finding finding{"build/x.o", 0, "some-rule", "committed"};
+  EXPECT_EQ(to_string(finding), "build/x.o: [some-rule] committed");
+}
+
+}  // namespace
+}  // namespace peerscope::lint

@@ -1,5 +1,9 @@
 #include "obs/metrics.hpp"
 
+// This suite exercises the registry API with synthetic metric names on
+// purpose — they must NOT go into src/obs/metric_names.def.
+// peerscope-lint: allow-file(metric-name-registry)
+
 #include <gtest/gtest.h>
 
 #include <cstdint>

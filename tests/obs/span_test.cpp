@@ -1,5 +1,9 @@
 #include "obs/span.hpp"
 
+// This suite exercises span nesting with synthetic span names on
+// purpose — they must NOT go into src/obs/metric_names.def.
+// peerscope-lint: allow-file(metric-name-registry)
+
 #include <gtest/gtest.h>
 
 #include <thread>

@@ -32,6 +32,7 @@ class FuzzTest : public ::testing::Test {
             std::istreambuf_iterator<char>()};
   }
   void write_all(const std::filesystem::path& path, const std::string& data) {
+    // peerscope-lint: allow(no-raw-artifact-io): writes a test fixture
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out.write(data.data(), static_cast<std::streamsize>(data.size()));
   }

@@ -111,6 +111,7 @@ TEST_F(PcapTest, EmptyCapture) {
 
 TEST_F(PcapTest, ReaderRejectsGarbage) {
   const auto path = dir_ / "bad.pcap";
+  // peerscope-lint: allow(no-raw-artifact-io): writes a test fixture
   std::ofstream(path) << "definitely not a pcap file, not even trying";
   EXPECT_THROW((void)read_pcap(path, kProbe), std::runtime_error);
 }

@@ -46,6 +46,7 @@ std::vector<PacketRecord> sample_records(int n = 50) {
 
 void patch_byte(const std::filesystem::path& path, std::streamoff offset,
                 char value) {
+  // peerscope-lint: allow(no-raw-artifact-io): writes a test fixture
   std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
   ASSERT_TRUE(f.is_open());
   f.seekp(offset);
@@ -89,6 +90,7 @@ TEST_F(SalvageTest, MissingFileStillThrows) {
 
 TEST_F(SalvageTest, TruncatedHeaderRecoversNothing) {
   const auto path = dir_ / "hdr.psct";
+  // peerscope-lint: allow(no-raw-artifact-io): writes a test fixture
   std::ofstream(path, std::ios::binary) << "PSC";
   SalvageReport report;
   const TraceFile file = read_trace_salvage(path, &report);
@@ -177,6 +179,7 @@ TEST_F(SalvageTest, TrailingGarbageIsCountedNotParsed) {
   const auto path = dir_ / "garbage.psct";
   write_trace(path, Ipv4Addr{10, 0, 0, 1}, sample_records());
   {
+    // peerscope-lint: allow(no-raw-artifact-io): writes a test fixture
     std::ofstream out(path, std::ios::binary | std::ios::app);
     out << "spurious tail bytes";
   }
@@ -224,6 +227,7 @@ TEST_F(SalvageTest, PcapTruncatedTailKeepsPrefix) {
 
 TEST_F(SalvageTest, PcapBadGlobalHeaderRecoversNothing) {
   const auto path = dir_ / "hdr.pcap";
+  // peerscope-lint: allow(no-raw-artifact-io): writes a test fixture
   std::ofstream(path, std::ios::binary) << "not a pcap";
   SalvageReport report;
   const auto salvaged = read_pcap_salvage(path, Ipv4Addr{10, 0, 0, 1},

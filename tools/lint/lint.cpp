@@ -1,0 +1,742 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <regex>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+namespace peerscope::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Directories walked under the root, and the source extensions that
+// count. tests/lint/fixtures/ is excluded: its files violate rules on
+// purpose so the fixture suite can assert the diagnostics.
+constexpr std::array<std::string_view, 5> kWalkDirs = {
+    "src", "tools", "bench", "tests", "examples"};
+constexpr std::array<std::string_view, 4> kSourceExts = {".cpp", ".hpp",
+                                                         ".h", ".cc"};
+constexpr std::string_view kFixtureDir = "tests/lint/fixtures";
+
+constexpr std::string_view kMetricRegistryPath = "src/obs/metric_names.def";
+constexpr std::string_view kSchemaRegistryPath =
+    "src/obs/schema_versions.def";
+
+// The one file allowed to bypass util::write_file_atomic: it is the
+// implementation of util::write_file_atomic.
+constexpr std::string_view kRawIoAllowlist = "src/util/atomic_file.cpp";
+
+[[nodiscard]] bool is_source_file(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return std::find(kSourceExts.begin(), kSourceExts.end(), ext) !=
+         kSourceExts.end();
+}
+
+[[nodiscard]] bool is_header(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".h";
+}
+
+[[nodiscard]] std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+/// Byte offset -> 1-based line number lookup.
+class LineIndex {
+ public:
+  explicit LineIndex(std::string_view text) {
+    starts_.push_back(0);
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '\n') starts_.push_back(i + 1);
+    }
+  }
+  [[nodiscard]] std::size_t line_of(std::size_t offset) const {
+    const auto it =
+        std::upper_bound(starts_.begin(), starts_.end(), offset);
+    return static_cast<std::size_t>(it - starts_.begin());
+  }
+
+ private:
+  std::vector<std::size_t> starts_;
+};
+
+/// Shared lexer for code_view / no_comment_view: walks the source once
+/// and blanks comment contents, plus string/char contents when
+/// `keep_strings` is false. Delimiters (//, /*, quotes) are blanked
+/// too so a half-kept token can never straddle a region boundary.
+std::string make_view(std::string_view source, bool keep_strings) {
+  std::string out{source};
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // )delim" terminator for raw strings
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"') {
+          std::size_t j = i + 2;
+          while (j < out.size() && out[j] != '(') ++j;
+          raw_delim = ")";
+          raw_delim.append(out, i + 2, j - (i + 2));
+          raw_delim += '"';
+          state = State::kRawString;
+          if (!keep_strings) {
+            for (std::size_t k = i; k <= j && k < out.size(); ++k) {
+              if (out[k] != '\n') out[k] = ' ';
+            }
+          }
+          i = j;
+        } else if (c == '"') {
+          state = State::kString;
+          if (!keep_strings) out[i] = ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          if (!keep_strings) out[i] = ' ';
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          state = State::kCode;
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          if (!keep_strings) {
+            out[i] = ' ';
+            if (next != '\n') out[i + 1] = ' ';
+          }
+          ++i;
+        } else if (c == quote) {
+          if (!keep_strings) out[i] = ' ';
+          state = State::kCode;
+        } else if (!keep_strings && c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+      case State::kRawString:
+        if (out.compare(i, raw_delim.size(), raw_delim) == 0) {
+          if (!keep_strings) {
+            for (std::size_t k = i; k < i + raw_delim.size(); ++k) {
+              out[k] = ' ';
+            }
+          }
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (!keep_strings && c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// --- suppressions -----------------------------------------------------
+
+struct Suppressions {
+  /// rule -> lines on which it is allowed.
+  std::map<std::string, std::set<std::size_t>, std::less<>> lines;
+  /// rules allowed for the whole file.
+  std::set<std::string, std::less<>> whole_file;
+
+  [[nodiscard]] bool covers(std::string_view rule,
+                            std::size_t line) const {
+    if (whole_file.count(std::string{rule}) != 0) return true;
+    const auto it = lines.find(rule);
+    return it != lines.end() && it->second.count(line) != 0;
+  }
+};
+
+/// Parses `// peerscope-lint: allow(r1, r2)` / `allow-file(...)`
+/// markers from the raw source. A line-level allow on a line whose
+/// code part is blank applies to the next line.
+Suppressions parse_suppressions(std::string_view source) {
+  static const std::regex marker{
+      R"(peerscope-lint:\s*(allow|allow-file)\(([^)]*)\))"};
+  Suppressions out;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    ++line_no;
+    std::size_t eol = source.find('\n', pos);
+    if (eol == std::string_view::npos) eol = source.size();
+    const std::string line{source.substr(pos, eol - pos)};
+    std::smatch match;
+    if (std::regex_search(line, match, marker)) {
+      const bool file_wide = match[1] == "allow-file";
+      // Everything before the comment marker decides whether this is
+      // an own-line annotation (applies to the next line) or trails
+      // code (applies to this line).
+      const std::size_t comment = line.find("//");
+      const bool own_line =
+          comment != std::string::npos &&
+          line.find_first_not_of(" \t") == comment;
+      std::string rules = match[2];
+      std::replace(rules.begin(), rules.end(), ',', ' ');
+      std::istringstream split{rules};
+      std::string rule;
+      while (split >> rule) {
+        if (file_wide) {
+          out.whole_file.insert(rule);
+        } else {
+          out.lines[rule].insert(own_line ? line_no + 1 : line_no);
+        }
+      }
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
+// --- registries -------------------------------------------------------
+
+struct RegistryEntry {
+  std::string kind;
+  std::string name;
+  std::size_t line = 0;
+  /// Static prefix before the first `<placeholder>`; empty when the
+  /// entry is exact.
+  std::string dynamic_prefix;
+  bool used = false;
+};
+
+struct Registry {
+  fs::path file;
+  std::vector<RegistryEntry> entries;
+
+  [[nodiscard]] RegistryEntry* find_exact(std::string_view name) {
+    for (auto& entry : entries) {
+      if (entry.dynamic_prefix.empty() && entry.name == name) {
+        return &entry;
+      }
+    }
+    return nullptr;
+  }
+};
+
+/// Parses a `<kind> <name>` registry file; unknown kinds are config
+/// errors (a typo there would silently un-check names).
+std::optional<Registry> load_registry(
+    const fs::path& path, const std::set<std::string>& kinds,
+    std::vector<std::string>& errors) {
+  const auto content = read_file(path);
+  if (!content) {
+    errors.push_back("cannot read registry " + path.string());
+    return std::nullopt;
+  }
+  Registry out;
+  out.file = path;
+  std::istringstream in{*content};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields{line};
+    std::string kind;
+    std::string name;
+    if (!(fields >> kind)) continue;  // blank line
+    if (!(fields >> name) || kinds.count(kind) == 0) {
+      errors.push_back(path.string() + ":" + std::to_string(line_no) +
+                       ": malformed registry line");
+      continue;
+    }
+    RegistryEntry entry;
+    entry.kind = kind;
+    entry.name = name;
+    entry.line = line_no;
+    const std::size_t angle = name.find('<');
+    if (angle != std::string::npos) {
+      entry.dynamic_prefix = name.substr(0, angle);
+    }
+    out.entries.push_back(std::move(entry));
+  }
+  return out;
+}
+
+// --- per-file context -------------------------------------------------
+
+struct FileContext {
+  fs::path path;          // absolute (or as walked)
+  std::string rel;        // root-relative, '/'-separated
+  std::string source;     // raw bytes
+  std::string code;       // code_view
+  std::string no_comment; // no_comment_view
+  LineIndex lines;
+  Suppressions suppressions;
+
+  FileContext(fs::path p, std::string rel_path, std::string src)
+      : path(std::move(p)),
+        rel(std::move(rel_path)),
+        source(std::move(src)),
+        code(code_view(source)),
+        no_comment(no_comment_view(source)),
+        lines(source),
+        suppressions(parse_suppressions(source)) {}
+};
+
+class Linter {
+ public:
+  explicit Linter(const Options& options) : options_(options) {}
+
+  LintResult run() {
+    if (!init_rules()) return std::move(result_);
+    load_registries();
+    collect_files();
+    for (const auto& file : files_) scan_file(*file);
+    finish_registries();
+    check_exit_codes();
+    if (enabled(kRuleBuildArtifacts) && options_.check_tracked) {
+      append(check_tracked_paths(tracked_files()));
+    }
+    std::sort(result_.findings.begin(), result_.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.file, a.line, a.rule) <
+                       std::tie(b.file, b.line, b.rule);
+              });
+    return std::move(result_);
+  }
+
+ private:
+  [[nodiscard]] bool enabled(std::string_view rule) const {
+    return options_.rules.empty() ||
+           options_.rules.count(rule) != 0;
+  }
+
+  bool init_rules() {
+    const auto known = rule_names();
+    for (const auto& rule : options_.rules) {
+      if (std::find(known.begin(), known.end(), rule) == known.end()) {
+        result_.errors.push_back("unknown rule: " + rule);
+      }
+    }
+    return result_.errors.empty();
+  }
+
+  void load_registries() {
+    if (enabled(kRuleMetricNames)) {
+      metric_registry_ =
+          load_registry(options_.root / kMetricRegistryPath,
+                        {"counter", "gauge", "histogram", "span"},
+                        result_.errors);
+    }
+    if (enabled(kRuleSchemaVersions)) {
+      schema_registry_ = load_registry(
+          options_.root / kSchemaRegistryPath, {"schema"}, result_.errors);
+    }
+  }
+
+  void collect_files() {
+    for (const auto dir : kWalkDirs) {
+      const fs::path base = options_.root / dir;
+      if (!fs::is_directory(base)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (!entry.is_regular_file() || !is_source_file(entry.path())) {
+          continue;
+        }
+        const std::string rel =
+            fs::relative(entry.path(), options_.root).generic_string();
+        if (rel.rfind(kFixtureDir, 0) == 0) continue;
+        auto content = read_file(entry.path());
+        if (!content) {
+          result_.errors.push_back("cannot read " + rel);
+          continue;
+        }
+        files_.push_back(std::make_unique<FileContext>(
+            entry.path(), rel, std::move(*content)));
+      }
+    }
+    std::sort(files_.begin(), files_.end(),
+              [](const auto& a, const auto& b) { return a->rel < b->rel; });
+  }
+
+  void report(const FileContext& file, std::size_t offset,
+              std::string_view rule, std::string message) {
+    const std::size_t line = file.lines.line_of(offset);
+    if (file.suppressions.covers(rule, line)) return;
+    result_.findings.push_back(
+        {file.path, line, std::string{rule}, std::move(message)});
+  }
+
+  void append(std::vector<Finding> extra) {
+    for (auto& finding : extra) {
+      result_.findings.push_back(std::move(finding));
+    }
+  }
+
+  void scan_file(const FileContext& file) {
+    if (enabled(kRuleRawIo)) check_raw_io(file);
+    if (enabled(kRuleMetricNames) && metric_registry_) {
+      check_metric_names(file);
+    }
+    if (enabled(kRuleSchemaVersions) && schema_registry_) {
+      check_schemas(file);
+    }
+    if (enabled(kRuleHeaderHygiene) && is_header(file.path)) {
+      check_header_hygiene(file);
+    }
+  }
+
+  // (1) no-raw-artifact-io: every write-capable file-open primitive in
+  // the code view, outside the util::write_file_atomic implementation.
+  void check_raw_io(const FileContext& file) {
+    if (file.rel == kRawIoAllowlist) return;
+    struct Token {
+      const char* pattern;
+      const char* what;
+    };
+    static const std::array<Token, 5> kTokens = {{
+        {R"(std::ofstream\b)", "std::ofstream"},
+        {R"(std::fstream\b)", "std::fstream"},
+        {R"(\bfopen\s*\()", "fopen()"},
+        {R"(::open\s*\()", "open(2)"},
+        {R"(::creat\s*\()", "creat(2)"},
+    }};
+    for (const auto& token : kTokens) {
+      const std::regex re{token.pattern};
+      for (auto it = std::cregex_iterator{file.code.data(),
+                                          file.code.data() +
+                                              file.code.size(),
+                                          re};
+           it != std::cregex_iterator{}; ++it) {
+        const auto offset = static_cast<std::size_t>(it->position(0));
+        // `foo::open(` is a member/namespace call, not the syscall.
+        if (token.what == std::string_view{"open(2)"} && offset > 0) {
+          const char prev = file.code[offset - 1];
+          if ((std::isalnum(static_cast<unsigned char>(prev)) != 0) ||
+              prev == '_' || prev == ':' || prev == '>' || prev == '.') {
+            continue;
+          }
+        }
+        report(file, offset, kRuleRawIo,
+               std::string{token.what} +
+                   " bypasses util::write_file_atomic; route artifact "
+                   "writes through it (or suppress in tests)");
+      }
+    }
+  }
+
+  // (2) metric-name-registry: every literal handed to the obs API must
+  // be registered with the right kind, and (checked in
+  // finish_registries) every registered name must be used.
+  void check_metric_names(const FileContext& file) {
+    struct Api {
+      const char* pattern;
+      const char* kind;
+    };
+    static const std::array<Api, 6> kApis = {{
+        {R"rx(obs::counter\s*\(\s*"([^"]*)")rx", "counter"},
+        {R"rx(PEERSCOPE_METRIC_(?:ADD|INC)\s*\(\s*"([^"]*)")rx",
+         "counter"},
+        {R"rx(obs::histogram\s*\(\s*"([^"]*)")rx", "histogram"},
+        {R"rx(obs::set_gauge\s*\(\s*"([^"]*)")rx", "gauge"},
+        {R"rx(PEERSCOPE_SPAN\s*\(\s*"([^"]*)")rx", "span"},
+        {R"rx(\bSpan\s+(?:[A-Za-z_]\w*\s*)?\{\s*"([^"]*)")rx", "span"},
+    }};
+    const std::string& text = file.no_comment;
+    for (const auto& api : kApis) {
+      const std::regex re{api.pattern};
+      for (auto it = std::cregex_iterator{text.data(),
+                                          text.data() + text.size(), re};
+           it != std::cregex_iterator{}; ++it) {
+        const auto offset = static_cast<std::size_t>(it->position(0));
+        const std::string name = (*it)[1].str();
+        // A literal followed by `+` is the static prefix of a
+        // runtime-built name and must match a dynamic registry entry.
+        std::size_t after = static_cast<std::size_t>(it->position(0)) +
+                            static_cast<std::size_t>(it->length(0));
+        while (after < text.size() &&
+               (std::isspace(static_cast<unsigned char>(text[after])) !=
+                0)) {
+          ++after;
+        }
+        const bool concatenated = after < text.size() && text[after] == '+';
+        resolve_metric(file, offset, name, api.kind, concatenated);
+      }
+    }
+  }
+
+  void resolve_metric(const FileContext& file, std::size_t offset,
+                      const std::string& name, std::string_view kind,
+                      bool concatenated) {
+    Registry& reg = *metric_registry_;
+    if (RegistryEntry* exact = reg.find_exact(name)) {
+      if (exact->kind != kind) {
+        report(file, offset, kRuleMetricNames,
+               "\"" + name + "\" used as " + std::string{kind} +
+                   " but registered as " + exact->kind + " in " +
+                   std::string{kMetricRegistryPath});
+        return;
+      }
+      exact->used = true;
+      return;
+    }
+    for (auto& entry : reg.entries) {
+      if (entry.dynamic_prefix.empty() || entry.kind != kind) continue;
+      const bool prefix_match =
+          concatenated ? name == entry.dynamic_prefix
+                       : name.rfind(entry.dynamic_prefix, 0) == 0;
+      if (prefix_match) {
+        entry.used = true;
+        return;
+      }
+    }
+    report(file, offset, kRuleMetricNames,
+           std::string{kind} + " \"" + name + "\" is not in " +
+               std::string{kMetricRegistryPath} +
+               "; register it (or suppress in tests)");
+  }
+
+  // (3) schema-version-consistency: any peerscope.<thing>/<n> literal
+  // must match the schema registry exactly — a bumped writer with an
+  // un-bumped reader (or vice versa) fails here.
+  void check_schemas(const FileContext& file) {
+    static const std::regex re{
+        R"(peerscope\.[A-Za-z0-9_]+(?:\.[A-Za-z0-9_]+)*/[0-9]+)"};
+    const std::string& text = file.no_comment;
+    for (auto it = std::cregex_iterator{text.data(),
+                                        text.data() + text.size(), re};
+         it != std::cregex_iterator{}; ++it) {
+      const auto offset = static_cast<std::size_t>(it->position(0));
+      const std::string literal = it->str();
+      if (RegistryEntry* entry = schema_registry_->find_exact(literal)) {
+        entry->used = true;
+        continue;
+      }
+      report(file, offset, kRuleSchemaVersions,
+             "schema string \"" + literal + "\" is not in " +
+                 std::string{kSchemaRegistryPath} +
+                 "; bump the registry in the same commit");
+    }
+  }
+
+  // (5) header hygiene: #pragma once present, no using-namespace.
+  void check_header_hygiene(const FileContext& file) {
+    static const std::regex pragma{R"(#\s*pragma\s+once)"};
+    static const std::regex using_ns{R"(\busing\s+namespace\b)"};
+    if (!std::regex_search(file.code, pragma)) {
+      report(file, 0, kRuleHeaderHygiene,
+             "header is missing #pragma once");
+    }
+    for (auto it = std::cregex_iterator{file.code.data(),
+                                        file.code.data() +
+                                            file.code.size(),
+                                        using_ns};
+         it != std::cregex_iterator{}; ++it) {
+      report(file, static_cast<std::size_t>(it->position(0)),
+             kRuleHeaderHygiene,
+             "using-namespace in a header leaks into every includer");
+    }
+  }
+
+  // Registry entries nothing referenced: dead metrics/schemas drift
+  // out of docs silently, so they are findings too.
+  void finish_registries() {
+    const auto flag_unused = [&](std::optional<Registry>& registry,
+                                 std::string_view rule,
+                                 std::string_view what) {
+      if (!registry) return;
+      for (const auto& entry : registry->entries) {
+        if (entry.used) continue;
+        result_.findings.push_back(
+            {registry->file, entry.line, std::string{rule},
+             std::string{what} + " \"" + entry.name +
+                 "\" is registered but never used; delete the entry "
+                 "or wire the instrumentation"});
+      }
+    };
+    if (enabled(kRuleMetricNames)) {
+      flag_unused(metric_registry_, kRuleMetricNames, "metric");
+    }
+    if (enabled(kRuleSchemaVersions)) {
+      flag_unused(schema_registry_, kRuleSchemaVersions, "schema");
+    }
+  }
+
+  // (4) exit-code-uniqueness: kExit* constants in tools/ must be
+  // pairwise distinct and every value must appear (backticked) in the
+  // README exit-code documentation.
+  void check_exit_codes() {
+    if (!enabled(kRuleExitCodes)) return;
+    struct ExitCode {
+      const FileContext* file;
+      std::size_t offset;
+      std::string name;
+      int value;
+    };
+    static const std::regex re{
+        R"(constexpr\s+int\s+(kExit\w*)\s*=\s*([0-9]+)\s*;)"};
+    std::vector<ExitCode> codes;
+    for (const auto& file : files_) {
+      if (file->rel.rfind("tools/", 0) != 0) continue;
+      const std::string& text = file->no_comment;
+      for (auto it = std::cregex_iterator{text.data(),
+                                          text.data() + text.size(), re};
+           it != std::cregex_iterator{}; ++it) {
+        codes.push_back({file.get(),
+                         static_cast<std::size_t>(it->position(0)),
+                         (*it)[1].str(), std::stoi((*it)[2].str())});
+      }
+    }
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        if (codes[i].value == codes[j].value &&
+            codes[i].name != codes[j].name) {
+          report(*codes[i].file, codes[i].offset, kRuleExitCodes,
+                 codes[i].name + " reuses exit code " +
+                     std::to_string(codes[i].value) + " already taken "
+                     "by " + codes[j].name);
+        }
+      }
+    }
+    const auto readme = read_file(options_.root / "README.md");
+    std::set<int> documented;
+    if (readme) {
+      static const std::regex doc{R"(`([0-9]{1,3})`)"};
+      for (auto it = std::sregex_iterator{readme->begin(),
+                                          readme->end(), doc};
+           it != std::sregex_iterator{}; ++it) {
+        documented.insert(std::stoi((*it)[1].str()));
+      }
+    }
+    for (const auto& code : codes) {
+      if (documented.count(code.value) != 0) continue;
+      report(*code.file, code.offset, kRuleExitCodes,
+             code.name + " = " + std::to_string(code.value) +
+                 " is not documented in the README exit-code table");
+    }
+  }
+
+  // (6) committed build artifacts: what `git ls-files` says is
+  // tracked, filtered by check_tracked_paths. Best effort — outside a
+  // git checkout the rule is silently skipped.
+  [[nodiscard]] std::vector<std::string> tracked_files() const {
+    const std::string cmd = "git -C \"" + options_.root.string() +
+                            "\" ls-files 2>/dev/null";
+    const std::unique_ptr<std::FILE, int (*)(std::FILE*)> pipe{
+        ::popen(cmd.c_str(), "r"), ::pclose};
+    std::vector<std::string> out;
+    if (!pipe) return out;
+    std::string line;
+    int c = 0;
+    while ((c = std::fgetc(pipe.get())) != EOF) {
+      if (c == '\n') {
+        if (!line.empty()) out.push_back(std::move(line));
+        line.clear();
+      } else {
+        line.push_back(static_cast<char>(c));
+      }
+    }
+    if (!line.empty()) out.push_back(std::move(line));
+    return out;
+  }
+
+  Options options_;
+  LintResult result_;
+  std::vector<std::unique_ptr<FileContext>> files_;
+  std::optional<Registry> metric_registry_;
+  std::optional<Registry> schema_registry_;
+};
+
+}  // namespace
+
+std::vector<std::string_view> rule_names() {
+  return {kRuleRawIo,      kRuleMetricNames,   kRuleSchemaVersions,
+          kRuleExitCodes,  kRuleHeaderHygiene, kRuleBuildArtifacts};
+}
+
+std::string to_string(const Finding& finding) {
+  std::string out = finding.file.generic_string();
+  if (finding.line != 0) {
+    out += ":" + std::to_string(finding.line);
+  }
+  out += ": [" + finding.rule + "] " + finding.message;
+  return out;
+}
+
+std::string code_view(std::string_view source) {
+  return make_view(source, /*keep_strings=*/false);
+}
+
+std::string no_comment_view(std::string_view source) {
+  return make_view(source, /*keep_strings=*/true);
+}
+
+std::vector<Finding> check_tracked_paths(
+    const std::vector<std::string>& tracked) {
+  std::vector<Finding> out;
+  // build/ and build-<variant>/ only — a directory that merely starts
+  // with "build" (builders/) is not a build tree.
+  static const std::regex build_dir{R"(^build(-[^/]*)?/)"};
+  for (const auto& path : tracked) {
+    std::string why;
+    const std::size_t slash = path.rfind('/');
+    const std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    if (std::regex_search(path, build_dir)) {
+      why = "build tree is committed; add it to .gitignore and "
+            "git rm -r --cached it";
+    } else if (path.size() >= 2 &&
+               (path.compare(path.size() - 2, 2, ".o") == 0 ||
+                path.compare(path.size() - 2, 2, ".a") == 0)) {
+      why = "compiled object/archive is committed";
+    } else if (base == "compile_commands.json") {
+      why = "generated compile database is committed";
+    } else if (base == "core") {
+      why = "core dump is committed";
+    }
+    if (!why.empty()) {
+      out.push_back(
+          {path, 0, std::string{kRuleBuildArtifacts}, std::move(why)});
+    }
+  }
+  return out;
+}
+
+LintResult run(const Options& options) { return Linter{options}.run(); }
+
+}  // namespace peerscope::lint

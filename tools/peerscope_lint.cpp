@@ -1,0 +1,74 @@
+// peerscope_lint — command-line front end for the project-invariant
+// static analysis pass (tools/lint/lint.hpp, DESIGN.md §11).
+//
+//   peerscope_lint [--root DIR] [--rule NAME]... [--list-rules]
+//                  [--no-git]
+//
+// Walks src/, tools/, bench/, tests/ and examples/ under the root and
+// prints one `file:line: [rule] message` diagnostic per violation.
+// --rule restricts the run to the named rule(s); --no-git skips the
+// git-backed committed-build-artifact check (for tarball checkouts).
+//
+// Exit codes are deliberately plain literals, not kExit* constants:
+// this binary's codes (0 clean, 1 findings, 2 usage/config error) are
+// a different namespace from the `peerscope` CLI table that the
+// exit-code-uniqueness rule audits.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  peerscope::lint::Options options;
+  options.root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--root") {
+      const char* dir = value();
+      if (dir == nullptr) {
+        std::cerr << "--root needs a value\n";
+        return 2;
+      }
+      options.root = dir;
+    } else if (flag == "--rule") {
+      const char* rule = value();
+      if (rule == nullptr) {
+        std::cerr << "--rule needs a value\n";
+        return 2;
+      }
+      options.rules.insert(rule);
+    } else if (flag == "--no-git") {
+      options.check_tracked = false;
+    } else if (flag == "--list-rules") {
+      for (const auto rule : peerscope::lint::rule_names()) {
+        std::cout << rule << '\n';
+      }
+      return 0;
+    } else {
+      std::cerr << "unknown flag: " << flag << '\n'
+                << "usage: peerscope_lint [--root DIR] [--rule NAME]... "
+                   "[--list-rules] [--no-git]\n";
+      return 2;
+    }
+  }
+
+  const peerscope::lint::LintResult result = peerscope::lint::run(options);
+  for (const auto& error : result.errors) {
+    std::cerr << "peerscope_lint: " << error << '\n';
+  }
+  for (const auto& finding : result.findings) {
+    std::cout << peerscope::lint::to_string(finding) << '\n';
+  }
+  if (!result.errors.empty()) return 2;
+  if (!result.findings.empty()) {
+    std::cerr << result.findings.size() << " lint finding(s)\n";
+    return 1;
+  }
+  std::cerr << "peerscope_lint: clean\n";
+  return 0;
+}
