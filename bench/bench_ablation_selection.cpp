@@ -26,6 +26,7 @@ exp::RunSpec base_spec(const BenchConfig& cfg) {
 
 int main() {
   bench::MetricsSession metrics_session;
+  bench::TraceSession trace_session;
   const BenchConfig cfg = BenchConfig::from_env();
   const net::AsTopology topo = net::make_reference_topology();
 

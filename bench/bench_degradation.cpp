@@ -111,6 +111,7 @@ LevelOutcome analyse(const std::vector<exp::RunResult>& results,
 
 int main() {
   bench::MetricsSession metrics_session;
+  bench::TraceSession trace_session;
   const BenchConfig cfg = BenchConfig::from_env();
   const net::AsTopology topo = net::make_reference_topology();
   std::cout << "=== Degradation sweep: Table IV BW row + Figure 2 ratios "

@@ -38,6 +38,7 @@ void print_matrix(const aware::ExperimentObservations& data) {
 
 int main() {
   bench::MetricsSession metrics_session;
+  bench::TraceSession trace_session;
   const BenchConfig cfg = BenchConfig::from_env();
   const net::AsTopology topo = net::make_reference_topology();
   std::cout << "=== Figure 2: mean exchanged data among institution ASes "

@@ -10,6 +10,7 @@ using namespace peerscope;
 
 int main() {
   bench::MetricsSession metrics_session;
+  bench::TraceSession trace_session;
   const net::AsTopology topo = net::make_reference_topology();
   const exp::Testbed testbed = exp::Testbed::table1();
 

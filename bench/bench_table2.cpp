@@ -12,6 +12,7 @@ using namespace peerscope::bench;
 
 int main() {
   bench::MetricsSession metrics_session;
+  bench::TraceSession trace_session;
   const BenchConfig cfg = BenchConfig::from_env();
   const net::AsTopology topo = net::make_reference_topology();
   std::cout << "=== Table II: experiment summary (paper vs measured, "

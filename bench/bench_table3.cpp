@@ -10,6 +10,7 @@ using namespace peerscope::bench;
 
 int main() {
   bench::MetricsSession metrics_session;
+  bench::TraceSession trace_session;
   const BenchConfig cfg = BenchConfig::from_env();
   const net::AsTopology topo = net::make_reference_topology();
   std::cout << "=== Table III: self-induced bias (paper vs measured) ===\n\n";

@@ -32,6 +32,7 @@ void add_rows(util::TextTable& table, const PaperAwareness& paper,
 
 int main() {
   bench::MetricsSession metrics_session;
+  bench::TraceSession trace_session;
   const BenchConfig cfg = BenchConfig::from_env();
   const net::AsTopology topo = net::make_reference_topology();
   std::cout << "=== Table IV: network awareness, peer-wise (P) and "

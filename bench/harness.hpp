@@ -20,6 +20,7 @@
 #include "net/topology.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -117,6 +118,41 @@ class MetricsSession {
  private:
   std::filesystem::path path_;
   std::unique_ptr<obs::MetricsRegistry> registry_;
+};
+
+/// PEERSCOPE_BENCH_TRACE hook: the tracing sibling of MetricsSession.
+/// When the variable names a path, an event recorder is installed for
+/// the process lifetime and the Chrome-compatible trace.json (schema
+/// peerscope.trace/1) is written there at scope exit; when unset this
+/// is inert and the bench output is byte-identical to an
+/// uninstrumented build. Construct it next to MetricsSession so drop
+/// accounting lands in the metrics sidecar too.
+class TraceSession {
+ public:
+  TraceSession() {
+    if (const char* path = std::getenv("PEERSCOPE_BENCH_TRACE")) {
+      path_ = path;
+      recorder_ = std::make_unique<obs::TraceRecorder>();
+      obs::install_tracer(recorder_.get());
+    }
+  }
+  ~TraceSession() {
+    if (!recorder_) return;
+    obs::install_tracer(nullptr);
+    try {
+      obs::write_trace_json(path_, recorder_->snapshot());
+      std::cerr << "trace: wrote " << path_.string() << '\n';
+    } catch (const std::exception& error) {
+      std::cerr << "trace: " << error.what() << '\n';
+    }
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  std::filesystem::path path_;
+  std::unique_ptr<obs::TraceRecorder> recorder_;
 };
 
 /// Runs PPLive, SopCast and TVAnts concurrently; results ordered

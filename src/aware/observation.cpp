@@ -2,6 +2,7 @@
 
 #include "net/prefix.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/packet.hpp"
 
 namespace peerscope::aware {
@@ -52,6 +53,8 @@ std::vector<PairObservation> extract_observations(
     obs::counter("aware.observations_extracted").add(out.size());
     obs::counter("aware.ipg_samples").add(ipg_samples);
   }
+  PEERSCOPE_TRACE_COUNTER("aware.observations_extracted",
+                          static_cast<std::int64_t>(out.size()));
   return out;
 }
 

@@ -171,7 +171,11 @@ std::string spec_id(const RunSpec& spec) {
   return id;
 }
 
-std::string spec_artifact_name(const std::string& id) {
+namespace {
+
+/// Sanitized id + 8-hex-digit fingerprint: filesystem-safe and
+/// collision-proof, shared by every per-spec artifact in journal.d.
+std::string spec_file_stem(const std::string& id) {
   std::string safe;
   safe.reserve(id.size());
   for (const char c : id) {
@@ -181,7 +185,17 @@ std::string spec_artifact_name(const std::string& id) {
   }
   Fingerprint fp;
   for (const char c : id) fp.add_u64(static_cast<unsigned char>(c));
-  return safe + "-" + hex16(fp.value()).substr(0, 8) + ".result";
+  return safe + "-" + hex16(fp.value()).substr(0, 8);
+}
+
+}  // namespace
+
+std::string spec_artifact_name(const std::string& id) {
+  return spec_file_stem(id) + ".result";
+}
+
+std::string spec_flight_name(const std::string& id) {
+  return spec_file_stem(id) + ".trace.json";
 }
 
 void journal_begin(const std::filesystem::path& path) {

@@ -35,6 +35,12 @@ inline constexpr std::uint16_t kRunResultVersion = 1;
 /// collision-proofing hash suffix, ".result" extension).
 [[nodiscard]] std::string spec_artifact_name(const std::string& id);
 
+/// Filesystem-safe flight-recorder dump filename for a spec id (same
+/// sanitize + hash scheme, ".trace.json" extension). supervise_runs
+/// writes a failed or timed-out run's last trace events here, inside
+/// `<journal>.d/` next to the spec's journal entry.
+[[nodiscard]] std::string spec_flight_name(const std::string& id);
+
 struct JournalEntry {
   std::string spec;      // spec_id()
   std::string state;     // "ok" | "failed" | "timed_out"

@@ -7,6 +7,7 @@
 #include "exp/testbed.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 
 namespace peerscope::exp {
 
@@ -35,9 +36,6 @@ RunResult run_experiment(const net::AsTopology& topo, const RunSpec& spec) {
   if (spec.duration <= util::SimTime::zero()) {
     throw std::invalid_argument("run_experiment: duration must be positive");
   }
-  // Per-application root span: every stage below lands under
-  // "run.<app>/..." in the metrics sidecar.
-  obs::Span run_span{"run." + spec.profile.name};
   const Testbed testbed = Testbed::table1();
   p2p::SwarmConfig config;
   config.profile = spec.profile;
@@ -48,13 +46,28 @@ RunResult run_experiment(const net::AsTopology& topo, const RunSpec& spec) {
   config.churn = spec.churn;
   config.cancel = spec.cancel;
 
-  p2p::Swarm swarm{topo, testbed.probes(), std::move(config)};
+  RunResult result;
   {
-    PEERSCOPE_SPAN("simulate");
-    swarm.run();
+    // Per-application root span: every stage below lands under
+    // "run.<app>/..." in the metrics sidecar and on the trace
+    // timeline. The scope closes before the flush below so the
+    // span's end event is part of the run it belongs to.
+    obs::Span run_span{"run." + spec.profile.name};
+    p2p::Swarm swarm{topo, testbed.probes(), std::move(config)};
+    {
+      PEERSCOPE_SPAN("simulate");
+      swarm.run();
+    }
+    if (obs::enabled()) obs::counter("exp.experiments_run").add();
+    result = {extract_observations(swarm), swarm.counters()};
   }
-  if (obs::enabled()) obs::counter("exp.experiments_run").add();
-  return {extract_observations(swarm), swarm.counters()};
+  // Run boundary = trace flush boundary: the ring's retained-event
+  // and drop counts become per-run properties, independent of how
+  // runs map onto pool threads (§5.6). A failed run skips this — the
+  // supervisor dumps its ring tail first (flight recorder), then
+  // flushes.
+  obs::trace_flush();
+  return result;
 }
 
 std::vector<RunResult> run_experiments(const net::AsTopology& topo,

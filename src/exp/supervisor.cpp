@@ -8,6 +8,7 @@
 
 #include "exp/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/cancel.hpp"
 #include "util/rng.hpp"
 
@@ -130,6 +131,7 @@ BatchOutcome supervise_runs(const net::AsTopology& topo,
                                    journaled] {
       const int max_attempts = 1 + std::max(0, config.retries);
       for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        PEERSCOPE_TRACE_INSTANT("exp.run_attempt");
         util::CancelToken token;
         if (config.deadline_s > 0) {
           token.set_deadline_after(std::chrono::nanoseconds{
@@ -152,6 +154,7 @@ BatchOutcome supervise_runs(const net::AsTopology& topo,
           status.state = RunState::kTimedOut;
           status.attempts = attempt;
           status.error = cancelled.what();
+          PEERSCOPE_TRACE_INSTANT("exp.run_timed_out");
           if (obs::enabled()) obs::counter("exp.runs_timed_out").add();
           break;
         } catch (const std::exception& error) {
@@ -160,14 +163,43 @@ BatchOutcome supervise_runs(const net::AsTopology& topo,
           status.error = error.what();
           if (attempt < max_attempts) {
             if (obs::enabled()) obs::counter("exp.run_retries").add();
+            // Move this attempt's events into the central store so
+            // the ring — and therefore a later flight dump — holds
+            // only the final attempt.
+            obs::trace_flush();
             interruptible_sleep(
                 backoff_delay(config.backoff_base, spec.seed, attempt),
                 pool.shutdown_token());
-          } else if (obs::enabled()) {
-            obs::counter("exp.runs_failed").add();
+          } else {
+            PEERSCOPE_TRACE_INSTANT("exp.run_failed");
+            if (obs::enabled()) obs::counter("exp.runs_failed").add();
           }
         }
       }
+
+      // Flight recorder: dump the ring tail of a run that just died,
+      // then flush. A successful run_experiment already flushed its
+      // own events; the flush here covers failed runs and custom
+      // run_fn hooks so event accounting stays per-run at any pool
+      // size.
+      const bool terminal_failure = status.state == RunState::kFailed ||
+                                    status.state == RunState::kTimedOut;
+      if (journaled && terminal_failure &&
+          config.flight_recorder_events > 0) {
+        if (obs::TraceRecorder* recorder = obs::tracer()) {
+          try {
+            obs::TraceSnapshot tail;
+            tail.events =
+                recorder->recent_events(config.flight_recorder_events);
+            obs::write_trace_json(blob_dir / spec_flight_name(status.spec),
+                                  tail);
+          } catch (const std::exception& error) {
+            std::cerr << "supervisor: flight-recorder dump failed for "
+                      << status.spec << ": " << error.what() << '\n';
+          }
+        }
+      }
+      obs::trace_flush();
 
       if (!journaled) return;
       JournalEntry entry;

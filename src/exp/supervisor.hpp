@@ -71,6 +71,13 @@ struct SupervisorConfig {
   /// Execution hook for tests (fault injection without a real swarm);
   /// defaults to run_experiment.
   std::function<RunResult(const net::AsTopology&, const RunSpec&)> run_fn;
+  /// Flight recorder: when a TraceRecorder is installed (obs/trace.hpp)
+  /// and the batch is journaled, a failed or timed-out spec dumps the
+  /// last N trace events of its final attempt into
+  /// `<journal>.d/<spec>.trace.json` next to its journal entry —
+  /// a post-mortem timeline for exactly the runs that need one.
+  /// 0 disables the dump.
+  std::size_t flight_recorder_events = 512;
 };
 
 struct BatchOutcome {

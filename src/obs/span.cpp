@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace peerscope::obs {
 
 namespace {
@@ -12,26 +14,34 @@ namespace {
 // experiments.
 thread_local std::vector<std::string> t_span_stack;
 
-}  // namespace
-
-Span::Span(std::string_view name) : registry_(registry()) {
-  if (registry_ == nullptr) return;
-  t_span_stack.emplace_back(name);
-  start_ = std::chrono::steady_clock::now();
-}
-
-Span::~Span() {
-  if (registry_ == nullptr) return;
-  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                      std::chrono::steady_clock::now() - start_)
-                      .count();
+std::string joined_path() {
   std::string path;
   for (const std::string& name : t_span_stack) {
     if (!path.empty()) path += '/';
     path += name;
   }
+  return path;
+}
+
+}  // namespace
+
+Span::Span(std::string_view name)
+    : registry_(registry()), tracer_(tracer()) {
+  if (registry_ == nullptr && tracer_ == nullptr) return;
+  t_span_stack.emplace_back(name);
+  if (tracer_ != nullptr) tracer_->begin(joined_path());
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (registry_ == nullptr && tracer_ == nullptr) return;
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+  const std::string path = joined_path();
   t_span_stack.pop_back();
-  registry_->record_span(path, ns);
+  if (registry_ != nullptr) registry_->record_span(path, ns);
+  if (tracer_ != nullptr) tracer_->end(path);
 }
 
 }  // namespace peerscope::obs

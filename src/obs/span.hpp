@@ -6,8 +6,11 @@
 // scope exits. Nesting is tracked per thread (a pool task never
 // migrates mid-span), so span paths — and their counts — are
 // deterministic for a fixed seed at any worker count; only the
-// recorded durations vary run to run. With no registry installed a
-// Span costs one relaxed load and records nothing.
+// recorded durations vary run to run. When a TraceRecorder is
+// installed (trace.hpp) the same scope additionally emits a
+// begin/end event pair carrying the full path, timestamping the span
+// on the trace timeline. With neither a registry nor a tracer
+// installed a Span costs two relaxed loads and records nothing.
 #pragma once
 
 #include <chrono>
@@ -17,6 +20,8 @@
 #include "obs/metrics.hpp"
 
 namespace peerscope::obs {
+
+class TraceRecorder;
 
 class Span {
  public:
@@ -28,6 +33,7 @@ class Span {
 
  private:
   MetricsRegistry* registry_ = nullptr;
+  TraceRecorder* tracer_ = nullptr;
   std::chrono::steady_clock::time_point start_;
 };
 

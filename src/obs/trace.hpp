@@ -1,0 +1,172 @@
+// Structured event tracing: *when* things happened, not just how
+// much. The timeline sibling of the metrics registry (DESIGN.md §12).
+//
+// Each thread records into its own fixed-capacity ring buffer — no
+// locks, no cross-thread writes — so tracing is safe on the hot path
+// and memory is bounded by (threads × ring_capacity). When a ring
+// wraps, the oldest events are overwritten (flight-recorder
+// semantics) and the overwritten count is reported explicitly, never
+// silently. trace_flush() moves a thread's retained events into the
+// recorder's central store; exp::run_experiment flushes at run end,
+// which makes event counts and drop counts a per-run property and
+// therefore independent of the thread-pool size.
+//
+// Cost contract (same as metrics.hpp): with no recorder installed
+// every hook is one relaxed load + branch and traced-off runs stay
+// byte-identical. Determinism contract (§5.6): event names, counts,
+// and span nesting are a pure function of (seed, configuration) at
+// any pool size; only timestamps vary. deterministic_trace() renders
+// exactly the reproducible subset for golden tests and CI diffs.
+//
+// Export is Chrome trace-event / Perfetto compatible JSON (schema
+// peerscope.trace/1, one event per line) readable by about:tracing,
+// ui.perfetto.dev, or `peerscope trace-summary` (trace_summary.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace peerscope::obs {
+
+enum class TraceEventType : std::uint8_t {
+  kBegin,    // span opened ("B"); name is the full "/"-joined path
+  kEnd,      // span closed ("E")
+  kInstant,  // point event ("i")
+  kCounter,  // counter sample ("C"); value is the sampled total
+};
+
+/// One drained event. `tid` is a dense per-recorder thread index (not
+/// an OS id) so renderings are stable across runs; `ts_ns` is
+/// steady-clock time since the recorder's construction.
+struct TraceEvent {
+  std::string name;
+  TraceEventType type = TraceEventType::kInstant;
+  std::uint32_t tid = 0;
+  std::int64_t ts_ns = 0;
+  std::int64_t value = 0;
+};
+
+/// Flushed events plus the number of events overwritten by ring wraps
+/// in the flushed windows. Event order is flush order (chronological
+/// per tid, interleaved across tids).
+struct TraceSnapshot {
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+struct TraceConfig {
+  /// Events retained per thread between flushes. Overflow overwrites
+  /// the oldest (the tail survives — it is what the flight recorder
+  /// dumps) and counts into TraceSnapshot::dropped and the
+  /// obs.trace_events_dropped metric.
+  std::size_t ring_capacity = std::size_t{1} << 15;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(TraceConfig config = {});
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Record one event on the calling thread's ring. `begin`/`end`
+  /// take the full span path (Span passes its "/"-joined nesting), so
+  /// every event is self-describing and summary tools never have to
+  /// reconstruct partial stacks across drops.
+  void begin(std::string_view path);
+  void end(std::string_view path);
+  void instant(std::string_view name);
+  void counter(std::string_view name, std::int64_t value);
+
+  /// Moves the calling thread's retained ring events into the central
+  /// store and accounts its overwritten events (also mirrored into
+  /// the obs.trace_events_dropped counter when metrics are on). The
+  /// ring is empty afterwards. No-op for a thread that never
+  /// recorded.
+  void flush_current_thread();
+
+  /// The newest `max_events` still in the calling thread's ring,
+  /// oldest first — the flight-recorder tail for a run that just
+  /// failed (exp::supervise_runs dumps this into journal.d).
+  [[nodiscard]] std::vector<TraceEvent> recent_events(
+      std::size_t max_events);
+
+  /// Flushes the calling thread, then returns everything flushed so
+  /// far. Rings of other threads still running are not touched; quiesce
+  /// writers (or have them flush) before the final snapshot.
+  [[nodiscard]] TraceSnapshot snapshot();
+
+ private:
+  struct ThreadBuffer;
+
+  [[nodiscard]] ThreadBuffer* cached_buffer() noexcept;
+  [[nodiscard]] ThreadBuffer& buffer_for_this_thread();
+  [[nodiscard]] std::uint32_t intern(std::string_view name);
+  void record(TraceEventType type, std::string_view name,
+              std::int64_t value);
+  std::uint64_t flush_locked(ThreadBuffer& buffer);
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Installs `recorder` as the process-wide tracing target (nullptr
+/// uninstalls). Same ownership contract as obs::install: the caller
+/// keeps ownership, uninstalls before destroying, and quiesces
+/// recording threads first.
+void install_tracer(TraceRecorder* recorder) noexcept;
+
+/// The installed recorder, or nullptr (the no-op fast path).
+[[nodiscard]] TraceRecorder* tracer() noexcept;
+
+[[nodiscard]] inline bool trace_enabled() noexcept {
+  return tracer() != nullptr;
+}
+
+/// Free-function hooks: no-ops without an installed recorder.
+void trace_instant(std::string_view name);
+void trace_counter(std::string_view name, std::int64_t value);
+
+/// Flushes the calling thread's ring into the installed recorder's
+/// central store (see TraceRecorder::flush_current_thread). No-op
+/// when tracing is off.
+void trace_flush();
+
+/// Chrome trace-event JSON (schema peerscope.trace/1). One event
+/// object per line so a torn tail — a SIGKILL mid-write never
+/// produces one (write_trace_json is atomic), but a crashed copy
+/// might — loses lines, not the file (trace_summary.hpp salvages).
+[[nodiscard]] std::string trace_json(const TraceSnapshot& snapshot);
+
+/// The reproducible subset: per-(phase, name) event counts, counter
+/// sums, and the drop count — no timestamps. Byte-identical for two
+/// fixed-seed runs at any pool size; golden tests and CI diff this.
+[[nodiscard]] std::string deterministic_trace(const TraceSnapshot& snapshot);
+
+/// Writes trace_json via util::write_file_atomic. Throws
+/// std::runtime_error on I/O failure.
+void write_trace_json(const std::filesystem::path& path,
+                      const TraceSnapshot& snapshot);
+
+}  // namespace peerscope::obs
+
+/// Point-event hooks through the installed recorder; a relaxed load
+/// and a branch when tracing is off.
+#define PEERSCOPE_TRACE_INSTANT(name)              \
+  do {                                             \
+    if (::peerscope::obs::trace_enabled()) {       \
+      ::peerscope::obs::trace_instant(name);       \
+    }                                              \
+  } while (0)
+
+#define PEERSCOPE_TRACE_COUNTER(name, value)            \
+  do {                                                  \
+    if (::peerscope::obs::trace_enabled()) {            \
+      ::peerscope::obs::trace_counter(name, (value));   \
+    }                                                   \
+  } while (0)

@@ -1,0 +1,231 @@
+#include "obs/trace_summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace peerscope::obs {
+
+namespace {
+
+constexpr std::string_view kTraceSchema = "peerscope.trace/1";
+
+/// `"key": "..."` extractor for our own writer's dialect (note the
+/// space after the colon — trace_json always emits one). Returns
+/// nullopt when the key is absent or the value is torn.
+std::optional<std::string> string_field(const std::string& line,
+                                        const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const auto start = line.find(needle);
+  if (start == std::string::npos) return std::nullopt;
+  std::string out;
+  for (std::size_t i = start + needle.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') return out;
+    if (c == '\\') {
+      if (i + 1 >= line.size()) return std::nullopt;
+      out += line[++i];
+    } else {
+      out += c;
+    }
+  }
+  return std::nullopt;  // closing quote lost to a torn tail
+}
+
+/// `"key": <number>` extractor; handles the integer and the
+/// integer.fraction forms trace_json emits.
+std::optional<double> number_field(const std::string& line,
+                                   const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const auto start = line.find(needle);
+  if (start == std::string::npos) return std::nullopt;
+  const char* begin = line.c_str() + start + needle.size();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end == begin) return std::nullopt;
+  // A number torn at end-of-line parses but may be truncated; require
+  // a delimiter after it so we only trust complete values.
+  if (*end != ',' && *end != '}' && *end != '\n' && *end != '\0') {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<TraceEventType> type_from_phase(const std::string& ph) {
+  if (ph == "B") return TraceEventType::kBegin;
+  if (ph == "E") return TraceEventType::kEnd;
+  if (ph == "i") return TraceEventType::kInstant;
+  if (ph == "C") return TraceEventType::kCounter;
+  return std::nullopt;
+}
+
+}  // namespace
+
+TraceFile read_trace_file(const std::filesystem::path& path) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::runtime_error("trace: cannot open " + path.string());
+  }
+  TraceFile file;
+  std::string line;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!header_seen && line.rfind("{\"schema\"", 0) == 0) {
+      header_seen = true;
+      file.schema = string_field(line, "schema").value_or("");
+      if (!file.schema.empty() && file.schema != kTraceSchema) {
+        throw std::runtime_error("trace: " + path.string() +
+                                 " has schema \"" + file.schema +
+                                 "\", expected \"" +
+                                 std::string{kTraceSchema} + "\"");
+      }
+      continue;
+    }
+    if (line.rfind("\"dropped\"", 0) == 0) {
+      if (const auto dropped = number_field("{" + line, "dropped")) {
+        file.dropped = static_cast<std::uint64_t>(*dropped);
+      }
+      continue;
+    }
+    if (line[0] != '{') continue;  // structural lines ("traceEvents", "]}")
+    const auto name = string_field(line, "name");
+    const auto ph = string_field(line, "ph");
+    const auto tid = number_field(line, "tid");
+    const auto ts = number_field(line, "ts");
+    const auto type = ph ? type_from_phase(*ph) : std::nullopt;
+    if (!name || !type || !tid || !ts) {
+      ++file.skipped_lines;  // torn or foreign event line: salvage on
+      continue;
+    }
+    TraceEvent event;
+    event.name = *name;
+    event.type = *type;
+    event.tid = static_cast<std::uint32_t>(*tid);
+    event.ts_ns = std::llround(*ts * 1000.0);
+    if (*type == TraceEventType::kCounter) {
+      event.value = static_cast<std::int64_t>(
+          number_field(line, "value").value_or(0.0));
+    }
+    file.events.push_back(std::move(event));
+  }
+  return file;
+}
+
+std::vector<SpanAttribution> attribute_spans(
+    const std::vector<TraceEvent>& events) {
+  std::vector<const TraceEvent*> ordered;
+  ordered.reserve(events.size());
+  for (const TraceEvent& event : events) {
+    if (event.type == TraceEventType::kBegin ||
+        event.type == TraceEventType::kEnd) {
+      ordered.push_back(&event);
+    }
+  }
+  // Events of one thread must replay chronologically; stable so equal
+  // timestamps keep file order (outer B before nested B).
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     if (a->tid != b->tid) return a->tid < b->tid;
+                     return a->ts_ns < b->ts_ns;
+                   });
+
+  struct Frame {
+    const std::string* path;
+    std::int64_t start_ns;
+    std::int64_t child_ns;
+  };
+  struct Agg {
+    std::uint64_t count = 0;
+    std::int64_t total_ns = 0;
+    std::int64_t self_ns = 0;
+  };
+  std::map<std::string, Agg> by_path;
+  std::vector<Frame> stack;
+  std::uint32_t current_tid = 0;
+  for (const TraceEvent* event : ordered) {
+    if (!stack.empty() && event->tid != current_tid) stack.clear();
+    current_tid = event->tid;
+    if (event->type == TraceEventType::kBegin) {
+      stack.push_back(Frame{&event->name, event->ts_ns, 0});
+      continue;
+    }
+    // kEnd: match the nearest open frame with this path; frames above
+    // it lost their E to a ring wrap or a dead run — discard them
+    // unattributed instead of corrupting later pairs.
+    std::size_t depth = stack.size();
+    while (depth > 0 && *stack[depth - 1].path != event->name) --depth;
+    if (depth == 0) continue;  // unmatched end
+    stack.resize(depth);
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const std::int64_t duration = event->ts_ns - frame.start_ns;
+    if (duration < 0) continue;
+    Agg& agg = by_path[*frame.path];
+    ++agg.count;
+    agg.total_ns += duration;
+    agg.self_ns += std::max<std::int64_t>(0, duration - frame.child_ns);
+    if (!stack.empty()) stack.back().child_ns += duration;
+  }
+
+  std::vector<SpanAttribution> rows;
+  rows.reserve(by_path.size());
+  for (const auto& [path, agg] : by_path) {
+    SpanAttribution row;
+    row.path = path;
+    row.app = path.substr(0, path.find('/'));
+    row.count = agg.count;
+    row.total_ns = agg.total_ns;
+    row.self_ns = agg.self_ns;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string render_trace_summary(const std::vector<SpanAttribution>& rows,
+                                 std::size_t top_n) {
+  std::vector<const SpanAttribution*> sorted;
+  sorted.reserve(rows.size());
+  std::int64_t self_sum = 0;
+  for (const SpanAttribution& row : rows) {
+    sorted.push_back(&row);
+    self_sum += row.self_ns;
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SpanAttribution* a, const SpanAttribution* b) {
+              if (a->self_ns != b->self_ns) return a->self_ns > b->self_ns;
+              return a->path < b->path;
+            });
+  if (sorted.size() > top_n) sorted.resize(top_n);
+
+  util::TextTable table{
+      {"app", "span", "count", "total ms", "self ms", "self %"}};
+  for (const SpanAttribution* row : sorted) {
+    const double self_pct =
+        self_sum > 0 ? 100.0 * static_cast<double>(row->self_ns) /
+                           static_cast<double>(self_sum)
+                     : 0.0;
+    table.add_row({row->app, row->path, util::TextTable::count(row->count),
+                   util::TextTable::num(
+                       static_cast<double>(row->total_ns) / 1e6, 3),
+                   util::TextTable::num(
+                       static_cast<double>(row->self_ns) / 1e6, 3),
+                   util::TextTable::num(self_pct, 1)});
+  }
+  return table.render();
+}
+
+std::string deterministic_rendering(const TraceFile& file) {
+  TraceSnapshot snapshot;
+  snapshot.events = file.events;
+  snapshot.dropped = file.dropped;
+  return deterministic_trace(snapshot);
+}
+
+}  // namespace peerscope::obs

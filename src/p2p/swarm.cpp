@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "p2p/selection.hpp"
 #include "sim/packet.hpp"
 #include "sim/train.hpp"
@@ -793,6 +794,13 @@ void Swarm::run() {
   }
 
   engine_.run_until(config_.duration);
+
+  // Timeline marker for the drained swarm: the chunk total is ground
+  // truth at this point, so the sample is deterministic per seed.
+  PEERSCOPE_TRACE_INSTANT("p2p.swarm_complete");
+  PEERSCOPE_TRACE_COUNTER(
+      "p2p.chunks_delivered",
+      static_cast<std::int64_t>(counters_.chunks_delivered));
 
   // Publish the run's ground-truth counters once, after the event loop
   // drains — the protocol steps themselves stay metrics-free.

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace peerscope::sim {
 
@@ -56,6 +57,15 @@ void Engine::run_until(util::SimTime horizon) {
     live_.erase(it);
     now_ = item.at;
     ++executed_;
+    // Deterministic trace checkpoints: the sample points depend only
+    // on the executed-event count, so the sampled values — and the
+    // sample count — are reproducible for a fixed seed at any pool
+    // size. The mask test keeps the traced-off cost to an AND+branch
+    // ahead of the tracer's own relaxed load.
+    if ((executed_ & (kTraceCheckpointStride - 1)) == 0) {
+      PEERSCOPE_TRACE_COUNTER("sim.events_executed",
+                              static_cast<std::int64_t>(executed_));
+    }
     cb();
   }
   // One batched publish per drive, not one per event: the event loop

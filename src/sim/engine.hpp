@@ -68,6 +68,13 @@ class Engine {
   /// fine enough that a deadline cuts a run off within microseconds.
   static constexpr std::uint64_t kCancelStride = 256;
 
+  /// Sample stride for trace checkpoints (power of two; the loop
+  /// tests `executed_ & (stride - 1)`): every 2^16 executed events
+  /// the tracer — when installed — gets a sim.events_executed counter
+  /// sample, giving the timeline a deterministic progress pulse.
+  static constexpr std::uint64_t kTraceCheckpointStride = std::uint64_t{1}
+                                                          << 16;
+
   /// Runs events until the queue drains or the next event would fire
   /// after `horizon`; `now()` ends at the later of its old value and
   /// the last executed event time (never past the horizon). Events

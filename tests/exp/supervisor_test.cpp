@@ -12,6 +12,8 @@
 
 #include "exp/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_summary.hpp"
 
 namespace peerscope::exp {
 namespace {
@@ -172,6 +174,81 @@ TEST_F(SupervisorTest, JournalRecordsTerminalStates) {
   EXPECT_TRUE(failed.artifact.empty());
 }
 
+TEST_F(SupervisorTest, FlightRecorderDumpsOnlyTheFailedRunsFinalAttempt) {
+  const RunSpec specs[] = {tiny_spec(1), tiny_spec(2)};
+  SupervisorConfig config;
+  config.journal = dir_ / "experiment.journal";
+  config.retries = 1;
+  config.backoff_base = std::chrono::milliseconds{1};
+  config.run_fn = [](const net::AsTopology&, const RunSpec& spec) {
+    if (spec.seed == 2) throw std::runtime_error("always fails");
+    return fake_result(spec.seed);
+  };
+
+  obs::TraceRecorder recorder;
+  obs::install_tracer(&recorder);
+  util::ThreadPool pool{2};
+  (void)supervise_runs(topo(), specs, pool, config);
+  obs::install_tracer(nullptr);
+
+  // The failed spec left its ring tail in journal.d…
+  const auto flight =
+      dir_ / "experiment.journal.d" / spec_flight_name(spec_id(specs[1]));
+  ASSERT_TRUE(std::filesystem::exists(flight));
+  const obs::TraceFile dump = obs::read_trace_file(flight);
+  // …holding exactly the final attempt: the retry flushed attempt 1
+  // out of the ring, so only attempt 2's marker and the failure
+  // instant remain.
+  ASSERT_EQ(dump.events.size(), 2u);
+  EXPECT_EQ(dump.events[0].name, "exp.run_attempt");
+  EXPECT_EQ(dump.events[1].name, "exp.run_failed");
+
+  // The successful spec gets no flight dump.
+  EXPECT_FALSE(std::filesystem::exists(
+      dir_ / "experiment.journal.d" / spec_flight_name(spec_id(specs[0]))));
+}
+
+TEST_F(SupervisorTest, FlightRecorderCoversTimeoutsOfRealRuns) {
+  // A real simulation cancelled by its deadline: the dump must exist
+  // and record the timeout marker (plus whatever span/counter tail the
+  // engine left in the ring).
+  const RunSpec specs[] = {tiny_spec(1)};
+  SupervisorConfig config;
+  config.journal = dir_ / "experiment.journal";
+  config.deadline_s = 0.02;
+
+  obs::TraceRecorder recorder;
+  obs::install_tracer(&recorder);
+  util::ThreadPool pool{1};
+  const auto outcome = supervise_runs(topo(), specs, pool, config);
+  obs::install_tracer(nullptr);
+
+  ASSERT_EQ(outcome.runs[0].state, RunState::kTimedOut);
+  const auto flight =
+      dir_ / "experiment.journal.d" / spec_flight_name(spec_id(specs[0]));
+  ASSERT_TRUE(std::filesystem::exists(flight));
+  const obs::TraceFile dump = obs::read_trace_file(flight);
+  EXPECT_EQ(dump.skipped_lines, 0u);
+  bool saw_timeout = false;
+  for (const auto& event : dump.events) {
+    if (event.name == "exp.run_timed_out") saw_timeout = true;
+  }
+  EXPECT_TRUE(saw_timeout);
+}
+
+TEST_F(SupervisorTest, NoFlightDumpWithoutATracerOrWithoutAJournal) {
+  const RunSpec specs[] = {tiny_spec(2)};
+  SupervisorConfig config;
+  config.journal = dir_ / "experiment.journal";
+  config.run_fn = [](const net::AsTopology&, const RunSpec&) -> RunResult {
+    throw std::runtime_error("fails without tracer");
+  };
+  util::ThreadPool pool{1};
+  (void)supervise_runs(topo(), specs, pool, config);
+  EXPECT_FALSE(std::filesystem::exists(
+      dir_ / "experiment.journal.d" / spec_flight_name(spec_id(specs[0]))));
+}
+
 TEST_F(SupervisorTest, ResumeSkipsFinishedSpecsWithIdenticalResults) {
   const RunSpec specs[] = {tiny_spec(1), tiny_spec(2)};
   SupervisorConfig config;
@@ -254,6 +331,53 @@ TEST_F(SupervisorTest, TornTrailingJournalLineIsIgnoredOnResume) {
   const auto second = supervise_runs(topo(), specs, pool, config);
   EXPECT_EQ(calls.load(), 0);
   EXPECT_EQ(second.runs[0].state, RunState::kSkipped);
+}
+
+TEST_F(SupervisorTest, TornFlightDumpInBlobDirDoesNotBreakResume) {
+  // A SIGKILL can leave a half-copied trace.json in journal.d (the
+  // atomic writer itself never tears, but crashed tooling copying one
+  // can). Resume only consults the journal and .result blobs, so junk
+  // trace artifacts must be ignored, never fatal.
+  const RunSpec specs[] = {tiny_spec(1)};
+  SupervisorConfig config;
+  config.journal = dir_ / "experiment.journal";
+  config.run_fn = [](const net::AsTopology&, const RunSpec& spec) {
+    return fake_result(spec.seed);
+  };
+  util::ThreadPool pool{1};
+  (void)supervise_runs(topo(), specs, pool, config);
+
+  {  // torn mid-event trace for the finished spec, plus stray junk
+    // peerscope-lint: allow(no-raw-artifact-io): writes a test fixture
+    std::ofstream torn(dir_ / "experiment.journal.d" /
+                       spec_flight_name(spec_id(specs[0])));
+    torn << "{\"schema\": \"peerscope.trace/1\",\n\"traceEvents\": [\n"
+         << "{\"name\": \"run.TVA";
+    // peerscope-lint: allow(no-raw-artifact-io): writes a test fixture
+    std::ofstream junk(dir_ / "experiment.journal.d" / "junk.trace.json");
+    junk << std::string{"\x01\x00\x7f not json at all", 19};
+  }
+
+  std::atomic<int> calls{0};
+  config.resume = true;
+  config.run_fn = [&calls](const net::AsTopology&, const RunSpec& spec) {
+    ++calls;
+    return fake_result(spec.seed);
+  };
+  const auto second = supervise_runs(topo(), specs, pool, config);
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(second.runs[0].state, RunState::kSkipped);
+  ASSERT_TRUE(second.runs[0].result.has_value());
+}
+
+TEST(Journal, SpecFlightNameSharesTheArtifactStem) {
+  const std::string id = spec_id(tiny_spec(4));
+  const std::string artifact = spec_artifact_name(id);
+  const std::string flight = spec_flight_name(id);
+  ASSERT_NE(artifact.rfind(".result"), std::string::npos);
+  ASSERT_NE(flight.rfind(".trace.json"), std::string::npos);
+  EXPECT_EQ(artifact.substr(0, artifact.size() - 7),
+            flight.substr(0, flight.size() - 11));
 }
 
 TEST_F(SupervisorTest, ReplayRejectsForeignFile) {

@@ -4,3 +4,4 @@
 const char* kSchema = "peerscope.clean/1";
 
 void work() { obs::counter("clean.counter").add(); }
+void tick() { obs::trace_instant("clean.tick"); }

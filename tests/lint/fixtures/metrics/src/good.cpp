@@ -10,4 +10,7 @@ void all_good(const std::string& app) {
   // Dynamic name: the "run." literal concatenates onto a runtime app
   // name and must match the registry's `span run.<app>` entry.
   obs::Span run_span{"run." + app};
+  // Trace hooks resolve against trace_names.def, not metric_names.def.
+  PEERSCOPE_TRACE_INSTANT("good.instant");
+  obs::trace_counter("good.sample", 1);
 }

@@ -1,0 +1,6 @@
+// Fixture: unregistered trace names and a kind mismatch.
+void all_bad() {
+  obs::trace_instant("rogue.instant");         // finding: unregistered
+  obs::trace_counter("good.instant", 1);       // finding: kind
+  PEERSCOPE_TRACE_COUNTER("rogue.sample", 3);  // finding: unregistered
+}

@@ -1,0 +1,8 @@
+// Fixture: every registered trace-name usage pattern the scanner
+// accepts.
+void all_good() {
+  obs::trace_instant("good.instant");
+  PEERSCOPE_TRACE_INSTANT("good.instant");
+  obs::trace_counter("good.sample", 1);
+  PEERSCOPE_TRACE_COUNTER("good.sample", 2);
+}

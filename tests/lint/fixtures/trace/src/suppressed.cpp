@@ -1,0 +1,5 @@
+// Fixture: a rogue trace name under an explicit allow is not a finding.
+void quiet() {
+  // peerscope-lint: allow(metric-name-registry): synthetic test name
+  obs::trace_instant("synthetic.instant");
+}

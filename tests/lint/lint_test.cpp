@@ -137,6 +137,45 @@ TEST(MetricNameRule, SuppressedRogueNameIsQuiet) {
   EXPECT_EQ(findings.size(), 4u);
 }
 
+// --- metric-name-registry: the trace-name half -----------------------
+
+TEST(TraceNameRule, RegisteredUsesAreClean) {
+  const auto findings = lint_fixture("trace", kRuleMetricNames);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("good.cpp"))));
+}
+
+TEST(TraceNameRule, UnregisteredNamesAreFindings) {
+  const auto findings = lint_fixture("trace", kRuleMetricNames);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("bad.cpp:3"),
+                             HasSubstr("rogue.instant"),
+                             HasSubstr("trace_names.def"))));
+  EXPECT_THAT(findings, Contains(AllOf(HasSubstr("bad.cpp:5"),
+                                       HasSubstr("rogue.sample"))));
+}
+
+TEST(TraceNameRule, KindMismatchIsAFinding) {
+  const auto findings = lint_fixture("trace", kRuleMetricNames);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("bad.cpp:4"),
+                             HasSubstr("used as counter"),
+                             HasSubstr("registered as instant"))));
+}
+
+TEST(TraceNameRule, RegisteredButUnusedEntryIsAFinding) {
+  const auto findings = lint_fixture("trace", kRuleMetricNames);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("trace_names.def:5"),
+                             HasSubstr("unused.instant"),
+                             HasSubstr("never used"))));
+}
+
+TEST(TraceNameRule, SuppressedRogueNameIsQuiet) {
+  const auto findings = lint_fixture("trace", kRuleMetricNames);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("synthetic.instant"))));
+  EXPECT_EQ(findings.size(), 4u);
+}
+
 // --- schema-version-consistency --------------------------------------
 
 TEST(SchemaRule, RegisteredLiteralIsClean) {
@@ -276,6 +315,8 @@ TEST(LintRun, MissingRegistryIsAConfigError) {
   const LintResult result = run(options);
   EXPECT_THAT(result.errors,
               Contains(HasSubstr("metric_names.def")));
+  EXPECT_THAT(result.errors,
+              Contains(HasSubstr("trace_names.def")));
 }
 
 // --- view helpers -----------------------------------------------------

@@ -1,6 +1,7 @@
-// Golden determinism tests for the metrics sidecar: the deterministic
-// rendering of a fixed-seed run must be byte-identical across repeated
-// invocations and across thread-pool sizes (DESIGN.md §9).
+// Golden determinism tests for the metrics sidecar and the event
+// tracer: the deterministic rendering of a fixed-seed run must be
+// byte-identical across repeated invocations and across thread-pool
+// sizes (DESIGN.md §9, §12).
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -13,6 +14,7 @@
 #include "net/topology.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace peerscope::obs {
@@ -76,6 +78,57 @@ TEST(MetricsGolden, SidecarCoversTheWholePipeline) {
   }
   // Gauges are configuration facts and must stay out.
   EXPECT_EQ(json.find("exp.pool_workers"), std::string::npos);
+}
+
+/// Runs the fixed-seed experiment set under a fresh recorder and
+/// returns the deterministic trace rendering. Every run flushes its
+/// own ring at run end (exp::run_experiment), so by the time the pool
+/// is drained the drained store holds everything.
+std::string run_and_render_trace(std::size_t workers,
+                                 std::size_t ring_capacity) {
+  TraceConfig config;
+  config.ring_capacity = ring_capacity;
+  TraceRecorder recorder{config};
+  install_tracer(&recorder);
+  const auto specs = fixed_specs();
+  util::ThreadPool pool{workers};
+  const auto results = exp::run_experiments(topo(), specs, pool);
+  install_tracer(nullptr);
+  EXPECT_EQ(results.size(), specs.size());
+  return deterministic_trace(recorder.snapshot());
+}
+
+TEST(TraceGolden, StableAcrossRepeatedInvocations) {
+  const std::string first = run_and_render_trace(2, std::size_t{1} << 15);
+  const std::string second = run_and_render_trace(2, std::size_t{1} << 15);
+  EXPECT_EQ(first, second);
+}
+
+TEST(TraceGolden, IndependentOfWorkerCount) {
+  const std::string serial = run_and_render_trace(1, std::size_t{1} << 15);
+  const std::string parallel = run_and_render_trace(3, std::size_t{1} << 15);
+  EXPECT_EQ(serial, parallel);
+  // The rendering is a real timeline, not an empty shell.
+  EXPECT_NE(serial.find("span run.TVAnts/simulate begin 3 end 3"),
+            std::string::npos)
+      << serial;
+  EXPECT_NE(serial.find("instant p2p.swarm_complete count 3"),
+            std::string::npos)
+      << serial;
+  EXPECT_NE(serial.find("counter p2p.chunks_delivered"), std::string::npos);
+  EXPECT_NE(serial.find("dropped 0\n"), std::string::npos);
+}
+
+TEST(TraceGolden, OverflowingRingStaysWorkerCountIndependent) {
+  // A ring far too small for a run: most events are overwritten. The
+  // drop count and the surviving tail are still per-run properties
+  // (flush at run end), so the rendering must not notice pool size.
+  const std::string serial = run_and_render_trace(1, 8);
+  const std::string parallel = run_and_render_trace(3, 8);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial.find("dropped 0\n"), std::string::npos)
+      << "expected drops with an 8-slot ring:\n"
+      << serial;
 }
 
 TEST(MetricsGolden, WrittenFileMatchesRendering) {

@@ -28,6 +28,7 @@ constexpr std::array<std::string_view, 4> kSourceExts = {".cpp", ".hpp",
 constexpr std::string_view kFixtureDir = "tests/lint/fixtures";
 
 constexpr std::string_view kMetricRegistryPath = "src/obs/metric_names.def";
+constexpr std::string_view kTraceRegistryPath = "src/obs/trace_names.def";
 constexpr std::string_view kSchemaRegistryPath =
     "src/obs/schema_versions.def";
 
@@ -363,6 +364,9 @@ class Linter {
           load_registry(options_.root / kMetricRegistryPath,
                         {"counter", "gauge", "histogram", "span"},
                         result_.errors);
+      trace_registry_ = load_registry(options_.root / kTraceRegistryPath,
+                                      {"instant", "counter"},
+                                      result_.errors);
     }
     if (enabled(kRuleSchemaVersions)) {
       schema_registry_ = load_registry(
@@ -412,6 +416,9 @@ class Linter {
     if (enabled(kRuleRawIo)) check_raw_io(file);
     if (enabled(kRuleMetricNames) && metric_registry_) {
       check_metric_names(file);
+    }
+    if (enabled(kRuleMetricNames) && trace_registry_) {
+      check_trace_names(file);
     }
     if (enabled(kRuleSchemaVersions) && schema_registry_) {
       check_schemas(file);
@@ -500,16 +507,61 @@ class Linter {
     }
   }
 
+  // Trace event names go through the same rule with their own
+  // registry: the timeline's vocabulary is as much a public schema as
+  // the metrics keys (DESIGN.md §12). Span begin/end names are the
+  // span paths already pinned by metric_names.def, so only the
+  // instant/counter hooks are scanned here.
+  void check_trace_names(const FileContext& file) {
+    struct Api {
+      const char* pattern;
+      const char* kind;
+    };
+    static const std::array<Api, 4> kApis = {{
+        {R"rx(obs::trace_instant\s*\(\s*"([^"]*)")rx", "instant"},
+        {R"rx(PEERSCOPE_TRACE_INSTANT\s*\(\s*"([^"]*)")rx", "instant"},
+        {R"rx(obs::trace_counter\s*\(\s*"([^"]*)")rx", "counter"},
+        {R"rx(PEERSCOPE_TRACE_COUNTER\s*\(\s*"([^"]*)")rx", "counter"},
+    }};
+    const std::string& text = file.no_comment;
+    for (const auto& api : kApis) {
+      const std::regex re{api.pattern};
+      for (auto it = std::cregex_iterator{text.data(),
+                                          text.data() + text.size(), re};
+           it != std::cregex_iterator{}; ++it) {
+        const auto offset = static_cast<std::size_t>(it->position(0));
+        const std::string name = (*it)[1].str();
+        std::size_t after = static_cast<std::size_t>(it->position(0)) +
+                            static_cast<std::size_t>(it->length(0));
+        while (after < text.size() &&
+               (std::isspace(static_cast<unsigned char>(text[after])) !=
+                0)) {
+          ++after;
+        }
+        const bool concatenated = after < text.size() && text[after] == '+';
+        resolve_name(*trace_registry_, kTraceRegistryPath, file, offset,
+                     name, api.kind, concatenated);
+      }
+    }
+  }
+
   void resolve_metric(const FileContext& file, std::size_t offset,
                       const std::string& name, std::string_view kind,
                       bool concatenated) {
-    Registry& reg = *metric_registry_;
+    resolve_name(*metric_registry_, kMetricRegistryPath, file, offset, name,
+                 kind, concatenated);
+  }
+
+  void resolve_name(Registry& reg, std::string_view registry_path,
+                    const FileContext& file, std::size_t offset,
+                    const std::string& name, std::string_view kind,
+                    bool concatenated) {
     if (RegistryEntry* exact = reg.find_exact(name)) {
       if (exact->kind != kind) {
         report(file, offset, kRuleMetricNames,
                "\"" + name + "\" used as " + std::string{kind} +
                    " but registered as " + exact->kind + " in " +
-                   std::string{kMetricRegistryPath});
+                   std::string{registry_path});
         return;
       }
       exact->used = true;
@@ -527,7 +579,7 @@ class Linter {
     }
     report(file, offset, kRuleMetricNames,
            std::string{kind} + " \"" + name + "\" is not in " +
-               std::string{kMetricRegistryPath} +
+               std::string{registry_path} +
                "; register it (or suppress in tests)");
   }
 
@@ -591,6 +643,7 @@ class Linter {
     };
     if (enabled(kRuleMetricNames)) {
       flag_unused(metric_registry_, kRuleMetricNames, "metric");
+      flag_unused(trace_registry_, kRuleMetricNames, "trace event");
     }
     if (enabled(kRuleSchemaVersions)) {
       flag_unused(schema_registry_, kRuleSchemaVersions, "schema");
@@ -679,6 +732,7 @@ class Linter {
   LintResult result_;
   std::vector<std::unique_ptr<FileContext>> files_;
   std::optional<Registry> metric_registry_;
+  std::optional<Registry> trace_registry_;
   std::optional<Registry> schema_registry_;
 };
 

@@ -2,10 +2,11 @@
 //
 // PRs 1–3 established repo-wide contracts that the compiler cannot
 // see: artifact writes go through util::write_file_atomic, metric and
-// span names match src/obs/metric_names.def, `peerscope.<thing>/<n>`
-// schema strings match src/obs/schema_versions.def, CLI exit codes
-// stay unique and documented, and headers follow the house hygiene
-// rules. This library walks the tree and enforces each contract as a
+// span names match src/obs/metric_names.def and trace event names
+// match src/obs/trace_names.def (both directions, both under the
+// metric-name-registry rule), `peerscope.<thing>/<n>` schema strings
+// match src/obs/schema_versions.def, CLI exit codes stay unique and
+// documented, and headers follow the house hygiene rules. This library walks the tree and enforces each contract as a
 // named, suppressible rule (DESIGN.md §11); `tools/peerscope_lint.cpp`
 // is the CLI, `tests/lint/` the fixture suite, and the `lint` ctest
 // label runs both over the real tree.

@@ -57,12 +57,26 @@
 //                     next to experiment.meta. Without the flag no
 //                     registry is installed and instrumentation is
 //                     no-op (DESIGN.md §9).
+//   --trace PATH      record a structured event timeline and write it
+//                     as Chrome-trace-compatible trace.json at exit
+//                     (schema peerscope.trace/1, DESIGN.md §12); read
+//                     it with `peerscope trace-summary`, about:tracing,
+//                     or ui.perfetto.dev. Without the flag no recorder
+//                     is installed and the hooks are no-op.
+//
+// trace-summary: `peerscope trace-summary PATH [--top N]
+// [--deterministic]` profiles a trace.json — per-span-path self/total
+// wall time, sorted by self time ("--top N" rows, default 20);
+// --deterministic prints the canonical reproducible rendering
+// instead (what CI diffs across fixed-seed runs).
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage error,
 //             3 unknown application, 4 invalid flag value,
 //             5 partial success (some supervised runs produced no
 //               result; the report marks them), 6 bad capture
-//               directory (analyze).
+//               directory (analyze), 7 bad trace file
+//               (trace-summary: unreadable, wrong schema, or no
+//               salvageable events).
 
 #include <cstdlib>
 #include <cstring>
@@ -83,6 +97,8 @@
 #include "net/topology.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_summary.hpp"
 #include "p2p/swarm.hpp"
 #include "tools/reproduce.hpp"
 #include "trace/io.hpp"
@@ -102,6 +118,7 @@ constexpr int kExitUnknownApp = 3;
 constexpr int kExitBadValue = 4;
 constexpr int kExitPartial = tools::kExitPartialSuccess;  // 5
 constexpr int kExitBadCapture = 6;
+constexpr int kExitBadTrace = 7;
 
 int usage(int code = kExitUsage) {
   std::cerr <<
@@ -111,14 +128,16 @@ int usage(int code = kExitUsage) {
   peerscope analyze DIR [--salvage]
   peerscope report --app <name> [--seed N] [--duration S] [supervision] [fault flags]
   peerscope reproduce [--out FILE] [--seed N] [--duration S] [supervision]
+  peerscope trace-summary PATH [--top N] [--deterministic]
 
 supervision: --retries N  --deadline S  --resume
 fault flags: --loss P  --loss-burst N  --reorder P  --dup P
              --outage R  --outage-ms MS  --churn S  --bg-churn S  --nat-fail P
 global flags: --metrics PATH   (write metrics.json sidecar at exit)
+              --trace PATH     (write trace.json event timeline at exit)
 
 exit codes: 0 ok, 1 runtime error, 2 usage, 3 unknown app, 4 bad value,
-            5 partial success, 6 bad capture directory
+            5 partial success, 6 bad capture directory, 7 bad trace file
 
 apps: pplive | sopcast | tvants | pplive-popular | napawine-proto
 )";
@@ -523,6 +542,39 @@ int cmd_report(const RunArgs& args) {
   return 0;
 }
 
+// Profiles a trace.json written by --trace / PEERSCOPE_BENCH_TRACE:
+// per-span-path self/total wall-time attribution, hottest first. Torn
+// lines are salvaged with a note; an unreadable file, a foreign
+// schema, or a trace with nothing salvageable is kExitBadTrace.
+int cmd_trace_summary(const std::filesystem::path& path, std::size_t top_n,
+                      bool deterministic) {
+  obs::TraceFile file;
+  try {
+    file = obs::read_trace_file(path);
+  } catch (const std::exception& error) {
+    std::cerr << "trace-summary: " << error.what() << '\n';
+    return kExitBadTrace;
+  }
+  if (file.skipped_lines > 0) {
+    std::cerr << "trace-summary: salvage: skipped " << file.skipped_lines
+              << " torn/unparseable line(s)\n";
+  }
+  if (file.events.empty()) {
+    std::cerr << "trace-summary: no salvageable events in " << path.string()
+              << '\n';
+    return kExitBadTrace;
+  }
+  if (deterministic) {
+    std::cout << obs::deterministic_rendering(file);
+    return 0;
+  }
+  const auto rows = obs::attribute_spans(file.events);
+  std::cout << "trace: " << file.events.size() << " events, " << rows.size()
+            << " span paths, dropped " << file.dropped << "\n\n";
+  std::cout << obs::render_trace_summary(rows, top_n);
+  return 0;
+}
+
 int dispatch(int argc, char** argv) {
   if (argc < 2) return usage(kExitUsage);
   const std::string command = argv[1];
@@ -597,6 +649,36 @@ int dispatch(int argc, char** argv) {
       }
       return tools::reproduce(options);
     }
+    if (command == "trace-summary") {
+      std::filesystem::path path;
+      std::size_t top_n = 20;
+      bool deterministic = false;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (arg == "--top" && value) {
+          const auto parsed = parse_double(value, 1, 10'000);
+          if (!parsed || *parsed != static_cast<int>(*parsed)) {
+            std::cerr << "invalid value for --top: " << value << '\n';
+            return usage(kExitBadValue);
+          }
+          top_n = static_cast<std::size_t>(*parsed);
+          ++i;
+        } else if (arg == "--deterministic") {
+          deterministic = true;
+        } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
+          path = arg;
+        } else {
+          std::cerr << "unknown flag: " << arg << '\n';
+          return usage(kExitUsage);
+        }
+      }
+      if (path.empty()) {
+        std::cerr << "trace-summary needs a trace.json path\n";
+        return usage(kExitUsage);
+      }
+      return cmd_trace_summary(path, top_n, deterministic);
+    }
     std::cerr << "unknown command: " << command << '\n';
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
@@ -613,6 +695,7 @@ int main(int argc, char** argv) {
   // invocation and the full sidecar is written at exit — even after a
   // runtime error, so a failing run still leaves its partial counters.
   std::filesystem::path metrics_path;
+  std::filesystem::path trace_path;
   std::vector<char*> filtered;
   filtered.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -622,6 +705,12 @@ int main(int argc, char** argv) {
         return usage(kExitUsage);
       }
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--trace needs a value\n";
+        return usage(kExitUsage);
+      }
+      trace_path = argv[++i];
     } else {
       filtered.push_back(argv[i]);
     }
@@ -629,8 +718,21 @@ int main(int argc, char** argv) {
 
   obs::MetricsRegistry registry;
   if (!metrics_path.empty()) obs::install(&registry);
-  const int code =
-      dispatch(static_cast<int>(filtered.size()), filtered.data());
+  obs::TraceRecorder recorder;
+  if (!trace_path.empty()) obs::install_tracer(&recorder);
+  int code = dispatch(static_cast<int>(filtered.size()), filtered.data());
+  if (!trace_path.empty()) {
+    // Like the metrics sidecar: written even after a runtime error —
+    // the failed invocation is exactly the one worth profiling.
+    obs::install_tracer(nullptr);
+    try {
+      obs::write_trace_json(trace_path, recorder.snapshot());
+      std::cerr << "trace: wrote " << trace_path.string() << '\n';
+    } catch (const std::exception& error) {
+      std::cerr << "trace: " << error.what() << '\n';
+      if (code == 0) code = 1;
+    }
+  }
   if (!metrics_path.empty()) {
     obs::install(nullptr);
     try {
