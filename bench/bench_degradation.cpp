@@ -110,6 +110,7 @@ LevelOutcome analyse(const std::vector<exp::RunResult>& results,
 }  // namespace
 
 int main() {
+  bench::BenchJsonSession json_session{"degradation"};
   bench::MetricsSession metrics_session;
   bench::TraceSession trace_session;
   const BenchConfig cfg = BenchConfig::from_env();

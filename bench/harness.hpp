@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
@@ -11,8 +12,11 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include <sys/resource.h>
 
 #include "aware/export.hpp"
 #include "aware/report.hpp"
@@ -21,6 +25,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/atomic_file.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -153,6 +158,68 @@ class TraceSession {
  private:
   std::filesystem::path path_;
   std::unique_ptr<obs::TraceRecorder> recorder_;
+};
+
+/// PEERSCOPE_BENCH_JSON hook: machine-readable performance summary for
+/// CI trend tracking. When the variable names a path, the session
+/// measures the bench's wall time, simulation throughput and peak RSS,
+/// and writes them at scope exit as a one-object JSON document (schema
+/// peerscope.bench/1) via the atomic-write path, so a killed bench
+/// never leaves a torn artifact. When unset this is inert.
+///
+/// Construct it FIRST in main (before MetricsSession): when no metrics
+/// registry is requested the session installs a private one to count
+/// sim.events_executed; when PEERSCOPE_BENCH_METRICS already claimed
+/// the global slot the session leaves it alone and reports throughput
+/// as 0 (the full counter is in that sidecar instead).
+class BenchJsonSession {
+ public:
+  explicit BenchJsonSession(std::string name) : name_(std::move(name)) {
+    if (const char* path = std::getenv("PEERSCOPE_BENCH_JSON")) {
+      path_ = path;
+      started_ = std::chrono::steady_clock::now();
+      if (!obs::enabled() && !std::getenv("PEERSCOPE_BENCH_METRICS")) {
+        registry_ = std::make_unique<obs::MetricsRegistry>();
+        obs::install(registry_.get());
+      }
+    }
+  }
+  ~BenchJsonSession() {
+    if (path_.empty()) return;
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_)
+            .count();
+    std::uint64_t events = 0;
+    if (registry_) {
+      obs::install(nullptr);
+      const auto snapshot = registry_->snapshot();
+      const auto it = snapshot.counters.find("sim.events_executed");
+      if (it != snapshot.counters.end()) events = it->second;
+    }
+    ::rusage usage{};
+    ::getrusage(RUSAGE_SELF, &usage);
+    std::ostringstream out;
+    out << "{\"schema\":\"peerscope.bench/1\",\"bench\":\"" << name_
+        << "\",\"wall_s\":" << wall_s << ",\"events_executed\":" << events
+        << ",\"events_per_s\":" << (wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0)
+        << ",\"peak_rss_kb\":" << usage.ru_maxrss << "}\n";
+    try {
+      util::write_file_atomic(path_, out.str());
+      std::cerr << "bench-json: wrote " << path_.string() << '\n';
+    } catch (const std::exception& error) {
+      std::cerr << "bench-json: " << error.what() << '\n';
+    }
+  }
+
+  BenchJsonSession(const BenchJsonSession&) = delete;
+  BenchJsonSession& operator=(const BenchJsonSession&) = delete;
+
+ private:
+  std::string name_;
+  std::filesystem::path path_;
+  std::chrono::steady_clock::time_point started_;
+  std::unique_ptr<obs::MetricsRegistry> registry_;
 };
 
 /// Runs PPLive, SopCast and TVAnts concurrently; results ordered

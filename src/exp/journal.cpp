@@ -168,6 +168,42 @@ std::string spec_id(const RunSpec& spec) {
     fp.add_double(churn.firewall_connect_failure);
     id += "#faults=" + hex16(fp.value());
   }
+  if (spec.discovery.enabled()) {
+    Fingerprint fp;
+    const auto& d = spec.discovery;
+    fp.add_u64(static_cast<std::uint64_t>(d.primary));
+    fp.add_u64(static_cast<std::uint64_t>(d.fallback));
+    fp.add_u64(static_cast<std::uint64_t>(d.tracker_outage_start.ns()));
+    fp.add_u64(static_cast<std::uint64_t>(d.tracker_outage_duration.ns()));
+    fp.add_double(d.tracker_flap_per_s);
+    fp.add_u64(static_cast<std::uint64_t>(d.tracker_flap_duration.ns()));
+    fp.add_u64(static_cast<std::uint64_t>(d.failover_after));
+    fp.add_u64(static_cast<std::uint64_t>(d.primary_retry.ns()));
+    fp.add_u64(static_cast<std::uint64_t>(d.rejoin_deadline.ns()));
+    fp.add_u64(static_cast<std::uint64_t>(d.join_backoff.ns()));
+    fp.add_u64(static_cast<std::uint64_t>(d.join_backoff_max.ns()));
+    fp.add_u64(static_cast<std::uint64_t>(d.flash_crowd_at.ns()));
+    fp.add_u64(static_cast<std::uint64_t>(d.flash_crowd_arrivals));
+    fp.add_double(d.zap_reuse);
+    fp.add_double(d.session_tail_alpha);
+    fp.add_u64(static_cast<std::uint64_t>(d.dht.k));
+    fp.add_u64(static_cast<std::uint64_t>(d.dht.max_hops));
+    fp.add_u64(static_cast<std::uint64_t>(d.dht.hop_timeout.ns()));
+    fp.add_u64(static_cast<std::uint64_t>(d.dht.refresh_period.ns()));
+    fp.add_u64(static_cast<std::uint64_t>(d.gossip.fanout));
+    fp.add_u64(static_cast<std::uint64_t>(d.gossip.exchange_size));
+    fp.add_u64(static_cast<std::uint64_t>(d.gossip.period.ns()));
+    fp.add_u64(static_cast<std::uint64_t>(d.gossip.partition_after));
+    fp.add_u64(static_cast<std::uint64_t>(d.gossip.view_size));
+    fp.add_u64(d.nat.enabled ? 1 : 0);
+    fp.add_double(d.nat.symmetric_fraction);
+    fp.add_double(d.nat.cone_cone);
+    fp.add_double(d.nat.cone_symmetric);
+    fp.add_double(d.nat.symmetric_symmetric);
+    fp.add_double(d.nat.relay_success);
+    fp.add_u64(static_cast<std::uint64_t>(d.nat.relay_penalty.ns()));
+    id += "#disc=" + hex16(fp.value());
+  }
   return id;
 }
 
@@ -272,6 +308,19 @@ void write_run_result(const std::filesystem::path& path,
       << c.contacts << ' ' << c.timeouts << ' ' << c.contact_failures << ' '
       << c.probe_crashes << ' ' << c.chunks_retried << ' '
       << c.partners_blacklisted << '\n';
+  // Discovery counters ride in their own optional line so blobs from
+  // discovery-free runs stay byte-identical to the pre-discovery
+  // format (and old readers that reject unknown keys never see it).
+  if (c.discovery.any()) {
+    const auto& d = c.discovery;
+    out << "dcounters " << d.tracker_queries << ' ' << d.tracker_failures
+        << ' ' << d.dht_lookups << ' ' << d.dht_hops << ' '
+        << d.dht_hop_timeouts << ' ' << d.dht_evictions << ' '
+        << d.gossip_exchanges << ' ' << d.gossip_partitions << ' '
+        << d.failovers << ' ' << d.recoveries << ' ' << d.joins_ok << ' '
+        << d.join_retries << ' ' << d.nat_direct << ' ' << d.nat_relayed
+        << ' ' << d.nat_blocked << ' ' << d.flash_arrivals << '\n';
+  }
   for (const auto& probe : data.probes) {
     out << "probe " << probe.addr.bits() << ' ' << probe.as.value() << ' '
         << probe.cc.packed() << ' ' << (probe.high_bw ? 1 : 0) << ' '
@@ -323,6 +372,14 @@ std::optional<RunResult> read_run_result(const std::filesystem::path& path) {
           c.chunks_uploaded >> c.requests_refused >> c.contacts >>
           c.timeouts >> c.contact_failures >> c.probe_crashes >>
           c.chunks_retried >> c.partners_blacklisted;
+      if (!tokens) return std::nullopt;
+    } else if (key == "dcounters") {
+      auto& d = result.counters.discovery;
+      tokens >> d.tracker_queries >> d.tracker_failures >> d.dht_lookups >>
+          d.dht_hops >> d.dht_hop_timeouts >> d.dht_evictions >>
+          d.gossip_exchanges >> d.gossip_partitions >> d.failovers >>
+          d.recoveries >> d.joins_ok >> d.join_retries >> d.nat_direct >>
+          d.nat_relayed >> d.nat_blocked >> d.flash_arrivals;
       if (!tokens) return std::nullopt;
     } else if (key == "probe") {
       std::uint32_t addr_bits = 0, as_value = 0;

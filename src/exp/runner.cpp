@@ -44,6 +44,7 @@ RunResult run_experiment(const net::AsTopology& topo, const RunSpec& spec) {
   config.keep_records = spec.keep_records;
   config.impairment = spec.impairment;
   config.churn = spec.churn;
+  config.discovery = spec.discovery;
   config.cancel = spec.cancel;
 
   RunResult result;
@@ -59,6 +60,16 @@ RunResult run_experiment(const net::AsTopology& topo, const RunSpec& spec) {
       swarm.run();
     }
     if (obs::enabled()) obs::counter("exp.experiments_run").add();
+    if (spec.discovery.rejoin_deadline > util::SimTime::zero()) {
+      const auto report = swarm.discovery_report();
+      if (report.rejoins_missed > 0) {
+        // Leave a flight-recorder anchor before unwinding: the
+        // supervisor's ring-tail dump is how the post-mortem finds
+        // which failover attempts preceded the miss.
+        PEERSCOPE_TRACE_INSTANT("p2p.discovery.degraded");
+        throw DiscoveryDegraded(report.rejoins_missed);
+      }
+    }
     result = {extract_observations(swarm), swarm.counters()};
   }
   // Run boundary = trace flush boundary: the ring's retained-event

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "aware/experiment.hpp"
@@ -25,6 +27,11 @@ struct RunSpec {
   /// reproduction runs are byte-identical with or without this field).
   sim::ImpairmentSpec impairment;
   p2p::ChurnSpec churn;
+  /// Discovery-subsystem configuration (backend selection, tracker
+  /// outages, failover policy, NAT matrix, session dynamics). Disabled
+  /// by default; when a rejoin deadline is set and any swarm misses it
+  /// run_experiment throws DiscoveryDegraded.
+  p2p::DiscoverySpec discovery;
   /// Cooperative cancellation token, polled between simulation events;
   /// run_experiment throws util::Cancelled when it trips. The
   /// supervisor arms one per attempt to enforce --deadline. nullptr =
@@ -35,6 +42,20 @@ struct RunSpec {
 struct RunResult {
   aware::ExperimentObservations observations;
   p2p::Swarm::Counters counters;
+};
+
+/// A run that completed the simulation but missed its discovery
+/// re-join SLO: with a configured rejoin_deadline, at least one probe
+/// failed to re-establish a partner set in time after a tracker
+/// outage / zap. Distinct from a crash — the supervisor records it as
+/// a failed run, and the CLI maps the message prefix to its own
+/// "degraded" exit code.
+class DiscoveryDegraded : public std::runtime_error {
+ public:
+  explicit DiscoveryDegraded(std::size_t rejoins_missed)
+      : std::runtime_error("discovery degraded: " +
+                           std::to_string(rejoins_missed) +
+                           " re-join(s) missed the deadline") {}
 };
 
 /// Runs one experiment on the given (finalized) topology with the

@@ -14,21 +14,24 @@
 
 namespace peerscope::exp {
 
-namespace {
-
-/// Backoff before retry `attempt` (1-based): base * 2^(attempt-1),
-/// jittered to 75–125% with a deterministic per-(spec, attempt) draw —
-/// co-failing runs spread out, and reruns behave identically.
-std::chrono::milliseconds backoff_delay(std::chrono::milliseconds base,
-                                        std::uint64_t spec_seed,
-                                        int attempt) {
-  constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
-  util::Rng rng{spec_seed ^ (kGolden * static_cast<std::uint64_t>(attempt))};
-  const double jitter = 0.75 + 0.5 * rng.uniform01();
+std::chrono::milliseconds backoff_delay(
+    std::chrono::milliseconds base, std::uint64_t spec_seed, int attempt,
+    const std::function<double(std::uint64_t, int)>& jitter) {
+  double factor = 0.0;
+  if (jitter) {
+    factor = jitter(spec_seed, attempt);
+  } else {
+    constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+    util::Rng rng{spec_seed ^
+                  (kGolden * static_cast<std::uint64_t>(attempt))};
+    factor = 0.75 + 0.5 * rng.uniform01();
+  }
   const double scale = static_cast<double>(1LL << std::min(attempt - 1, 16));
-  const double ms = static_cast<double>(base.count()) * scale * jitter;
+  const double ms = static_cast<double>(base.count()) * scale * factor;
   return std::chrono::milliseconds{static_cast<std::int64_t>(ms)};
 }
+
+namespace {
 
 /// Sleeps in short slices so pool teardown (shutdown_token) cuts a
 /// pending backoff short instead of stalling the destructor.
@@ -168,7 +171,8 @@ BatchOutcome supervise_runs(const net::AsTopology& topo,
             // only the final attempt.
             obs::trace_flush();
             interruptible_sleep(
-                backoff_delay(config.backoff_base, spec.seed, attempt),
+                backoff_delay(config.backoff_base, spec.seed, attempt,
+                              config.backoff_jitter),
                 pool.shutdown_token());
           } else {
             PEERSCOPE_TRACE_INSTANT("exp.run_failed");

@@ -71,6 +71,11 @@ struct SupervisorConfig {
   /// Execution hook for tests (fault injection without a real swarm);
   /// defaults to run_experiment.
   std::function<RunResult(const net::AsTopology&, const RunSpec&)> run_fn;
+  /// Backoff jitter hook: maps (spec_seed, attempt) to a multiplier on
+  /// the exponential delay. Defaults (when empty) to the deterministic
+  /// 75–125% per-(spec, attempt) draw. Tests inject a constant (or a
+  /// recording probe) to make retry timing exact instead of bounded.
+  std::function<double(std::uint64_t, int)> backoff_jitter;
   /// Flight recorder: when a TraceRecorder is installed (obs/trace.hpp)
   /// and the batch is journaled, a failed or timed-out spec dumps the
   /// last N trace events of its final attempt into
@@ -87,6 +92,15 @@ struct BatchOutcome {
   [[nodiscard]] std::size_t failed() const;     // kFailed + kTimedOut
   [[nodiscard]] bool complete() const { return failed() == 0; }
 };
+
+/// Backoff before retry `attempt` (1-based): base * 2^(attempt-1)
+/// scaled by `jitter(spec_seed, attempt)` — or, with an empty jitter,
+/// by a deterministic 75–125% per-(spec, attempt) draw, so co-failing
+/// runs spread out and reruns behave identically. Exposed so tests
+/// can pin the exact delay the supervisor will sleep.
+[[nodiscard]] std::chrono::milliseconds backoff_delay(
+    std::chrono::milliseconds base, std::uint64_t spec_seed, int attempt,
+    const std::function<double(std::uint64_t, int)>& jitter = {});
 
 /// Runs every spec under supervision; never throws for a failing run
 /// (only for infrastructure errors such as an unwritable journal).

@@ -1,0 +1,420 @@
+// Pluggable peer discovery: how a probe finds the swarm when the
+// tracker is healthy, flapping, or gone.
+//
+// The clean simulator hard-codes tracker-style discovery inside the
+// swarm; real deployments survive tracker outages because the clients
+// carry fallback machinery — DHT lookups (Kademlia-style iterative
+// routing) and gossip membership (push-pull peer exchange). This
+// header extracts discovery behind a DiscoveryBackend interface and
+// adds both fallbacks, a failover state machine with measured re-join
+// latency, and a NAT-traversal matrix feeding the population's
+// existing NAT flags.
+//
+// Everything defaults to disabled: a default-constructed
+// DiscoverySpec leaves the swarm bit-identical to the legacy inline
+// tracker path (the same contract ChurnSpec and ImpairmentSpec
+// honour). Backends model control-plane behaviour abstractly — node
+// ids are hashes of PeerIds and lookups consult a deterministic
+// population oracle — because the paper's analysis never observes DHT
+// payloads, only which peers end up exchanged with whom and how long
+// a re-join takes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "p2p/population.hpp"
+#include "sim/impairment.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace peerscope::p2p {
+
+enum class DiscoveryBackendKind : std::uint8_t {
+  kNone,     // legacy inline tracker path (pre-subsystem behaviour)
+  kTracker,  // the extracted tracker, with outage injection
+  kDht,      // Kademlia-lite iterative lookup
+  kGossip,   // push-pull membership exchange
+};
+
+[[nodiscard]] const char* to_string(DiscoveryBackendKind kind);
+/// Parses "tracker" | "dht" | "gossip"; nullopt on anything else.
+[[nodiscard]] std::optional<DiscoveryBackendKind> parse_backend_kind(
+    std::string_view text);
+
+// ---------------------------------------------------------------------
+// NAT traversal matrix
+
+enum class NatClass : std::uint8_t { kOpen, kCone, kSymmetric };
+
+/// Direct/relay connection success probabilities per NAT-class pair.
+/// Peers without the population NAT flag are open; NAT-flagged peers
+/// split deterministically (hash of seed and peer id) into cone and
+/// symmetric. A failed direct attempt falls back to a relay, which
+/// succeeds with its own probability and costs extra latency on every
+/// handshake packet.
+struct NatMatrix {
+  bool enabled = false;
+  /// Fraction of NAT-flagged peers whose NAT is symmetric.
+  double symmetric_fraction = 0.3;
+  double cone_cone = 0.90;
+  double cone_symmetric = 0.40;
+  double symmetric_symmetric = 0.05;
+  double relay_success = 0.95;
+  util::SimTime relay_penalty = util::SimTime::millis(40);
+};
+
+[[nodiscard]] NatClass classify_nat(const NatMatrix& matrix,
+                                    const PeerInfo& peer,
+                                    std::uint64_t seed);
+
+struct NatOutcome {
+  bool ok = false;
+  bool relayed = false;
+};
+
+/// One traversal attempt between NAT classes `a` and `b`. Consumes RNG
+/// draws only for pairs whose direct success is below 1 (open pairs
+/// connect unconditionally and draw nothing).
+[[nodiscard]] NatOutcome attempt_traversal(const NatMatrix& matrix,
+                                           NatClass a, NatClass b,
+                                           util::Rng& rng);
+
+// ---------------------------------------------------------------------
+// DHT building blocks (pure logic, unit-tested without a swarm)
+
+using NodeId = std::uint32_t;
+
+/// Hashed DHT identity of a peer; uniform over the 32-bit id space and
+/// a pure function of (seed, peer).
+[[nodiscard]] NodeId dht_node_id(std::uint64_t seed, PeerId peer);
+
+[[nodiscard]] constexpr NodeId xor_distance(NodeId a, NodeId b) {
+  return a ^ b;
+}
+
+struct DhtParams {
+  /// Bucket capacity and lookup result width (Kademlia k).
+  int k = 8;
+  /// Iterative-lookup step budget; dead hops consume steps too, so a
+  /// lookup across a dying overlay terminates instead of spinning.
+  int max_hops = 16;
+  /// Modeled wait before a query to an offline node is abandoned.
+  util::SimTime hop_timeout = util::SimTime::millis(800);
+  /// Bucket-refresh cadence while the DHT is the active backend.
+  util::SimTime refresh_period = util::SimTime::seconds(30);
+};
+
+/// Kademlia k-bucket table over the hashed 32-bit id space: one bucket
+/// per shared-prefix length, capacity k, full buckets drop newcomers
+/// (the classic stale-favouring policy), and liveness failures evict.
+class RoutingTable {
+ public:
+  RoutingTable(NodeId self, int k);
+
+  /// False when the peer was already present or its bucket is full.
+  bool insert(NodeId id, PeerId peer);
+  /// Removes a peer that failed a liveness check (query timeout).
+  void evict(PeerId peer);
+  [[nodiscard]] bool contains(PeerId peer) const {
+    return members_.contains(peer);
+  }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+
+  /// Up to `n` known peers closest to `target` in XOR distance.
+  [[nodiscard]] std::vector<PeerId> closest(NodeId target,
+                                            std::size_t n) const;
+  /// Uniform random member; nullopt when empty.
+  [[nodiscard]] std::optional<PeerId> sample(util::Rng& rng) const;
+
+ private:
+  struct Entry {
+    NodeId id = 0;
+    PeerId peer = 0;
+  };
+  [[nodiscard]] int bucket_of(NodeId id) const;
+
+  NodeId self_ = 0;
+  int k_ = 8;
+  std::array<std::vector<Entry>, 32> buckets_;
+  std::unordered_set<PeerId> members_;
+};
+
+// ---------------------------------------------------------------------
+// Gossip building blocks
+
+struct GossipParams {
+  /// Exchange targets per round.
+  int fanout = 3;
+  /// Peers traded per push-pull exchange.
+  int exchange_size = 8;
+  /// Exchange-round cadence while gossip is the active backend.
+  util::SimTime period = util::SimTime::seconds(5);
+  /// Consecutive all-dead rounds before the view is declared
+  /// partitioned and healed from the bootstrap set.
+  int partition_after = 3;
+  /// Membership view capacity (random replacement when full).
+  int view_size = 32;
+};
+
+/// Bounded partial membership view: the local state of a gossip node.
+class GossipView {
+ public:
+  explicit GossipView(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False when already present; evicts a random entry when full.
+  bool add(PeerId peer, util::Rng& rng);
+  void erase(PeerId peer);
+  [[nodiscard]] bool contains(PeerId peer) const {
+    return set_.contains(peer);
+  }
+  [[nodiscard]] bool empty() const { return list_.empty(); }
+  [[nodiscard]] std::size_t size() const { return list_.size(); }
+
+  /// Up to `n` distinct members, uniformly.
+  [[nodiscard]] std::vector<PeerId> sample(util::Rng& rng,
+                                           std::size_t n) const;
+
+ private:
+  std::size_t capacity_ = 32;
+  std::vector<PeerId> list_;
+  std::unordered_set<PeerId> set_;
+};
+
+// ---------------------------------------------------------------------
+// Spec
+
+struct DiscoverySpec {
+  DiscoveryBackendKind primary = DiscoveryBackendKind::kNone;
+  /// Backend the failover state machine switches to after
+  /// `failover_after` consecutive primary failures; kNone disables
+  /// failover (primary failures degrade the run instead).
+  DiscoveryBackendKind fallback = DiscoveryBackendKind::kNone;
+
+  // --- tracker failure injection ---
+  /// Scheduled hard outage window [start, start + duration).
+  util::SimTime tracker_outage_start = util::SimTime::zero();
+  util::SimTime tracker_outage_duration = util::SimTime::zero();
+  /// Mean tracker flaps per second, hash-scheduled through the same
+  /// sim::in_outage machinery link outages use — deterministic and
+  /// RNG-stream-free.
+  double tracker_flap_per_s = 0.0;
+  util::SimTime tracker_flap_duration = util::SimTime::seconds(2);
+
+  // --- failover policy ---
+  /// Consecutive failed primary join rounds before switching over.
+  int failover_after = 2;
+  /// How often a failed-over probe re-probes the primary for recovery.
+  util::SimTime primary_retry = util::SimTime::seconds(10);
+  /// A probe whose (re)join is not satisfied within this budget counts
+  /// as a missed re-join; any miss degrades the run to a distinct
+  /// non-zero status. zero() disables the deadline.
+  util::SimTime rejoin_deadline = util::SimTime::zero();
+  /// Join-retry backoff ladder (doubles per consecutive failure, with
+  /// the PR 1 deterministic 75–125% jitter keyed on seed/peer/attempt).
+  util::SimTime join_backoff = util::SimTime::millis(500);
+  util::SimTime join_backoff_max = util::SimTime::seconds(8);
+
+  // --- session dynamics ---
+  /// Channel-zap flash crowd: at this instant every probe zaps (drops
+  /// partners, keeps `zap_reuse` of its known peers, re-joins through
+  /// discovery) and `flash_crowd_arrivals` correlated requester
+  /// arrivals slam the probes' uplinks. zero() disables.
+  util::SimTime flash_crowd_at = util::SimTime::zero();
+  int flash_crowd_arrivals = 0;
+  /// Cross-channel peer reuse: fraction of the known set that survives
+  /// the zap (commercial clients cache peers across channels).
+  double zap_reuse = 0.3;
+  /// Pareto shape for session lengths (probe sessions and requester
+  /// lifetimes), mean-preserving against the exponential baseline;
+  /// 0 keeps the exponential draws, values > 1 give the heavy tail the
+  /// session-level trace studies report.
+  double session_tail_alpha = 0.0;
+
+  DhtParams dht;
+  GossipParams gossip;
+  NatMatrix nat;
+
+  [[nodiscard]] bool backend_active() const {
+    return primary != DiscoveryBackendKind::kNone;
+  }
+  [[nodiscard]] bool tracker_outages() const {
+    return tracker_outage_duration > util::SimTime::zero() ||
+           tracker_flap_per_s > 0.0;
+  }
+  [[nodiscard]] bool flash_crowd() const {
+    return flash_crowd_at > util::SimTime::zero() &&
+           flash_crowd_arrivals > 0;
+  }
+  [[nodiscard]] bool heavy_tail() const { return session_tail_alpha > 1.0; }
+  [[nodiscard]] bool enabled() const {
+    return backend_active() || nat.enabled || flash_crowd() || heavy_tail();
+  }
+};
+
+// ---------------------------------------------------------------------
+// Counters (ground truth for validation, journaled when discovery is
+// active, published as p2p.discovery.* when the obs registry is on)
+
+struct DiscoveryCounters {
+  std::uint64_t tracker_queries = 0;
+  std::uint64_t tracker_failures = 0;  // queries during an outage
+  std::uint64_t dht_lookups = 0;
+  std::uint64_t dht_hops = 0;
+  std::uint64_t dht_hop_timeouts = 0;
+  std::uint64_t dht_evictions = 0;
+  std::uint64_t gossip_exchanges = 0;
+  std::uint64_t gossip_partitions = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t joins_ok = 0;
+  std::uint64_t join_retries = 0;
+  std::uint64_t nat_direct = 0;
+  std::uint64_t nat_relayed = 0;
+  std::uint64_t nat_blocked = 0;
+  std::uint64_t flash_arrivals = 0;
+
+  [[nodiscard]] bool any() const {
+    return (tracker_queries | tracker_failures | dht_lookups | dht_hops |
+            dht_hop_timeouts | dht_evictions | gossip_exchanges |
+            gossip_partitions | failovers | recoveries | joins_ok |
+            join_retries | nat_direct | nat_relayed | nat_blocked |
+            flash_arrivals) != 0;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Backend interface
+
+/// What a backend needs from the swarm: population facts, liveness,
+/// and path delays. The swarm implements this privately; tests stub it.
+class DiscoveryHost {
+ public:
+  virtual ~DiscoveryHost() = default;
+  [[nodiscard]] virtual const Population& population() const = 0;
+  /// Whether a control-plane message to `id` would be answered now.
+  [[nodiscard]] virtual bool peer_reachable(PeerId id,
+                                            util::SimTime now) const = 0;
+  /// Round-trip path delay between two peers (control-plane latency).
+  [[nodiscard]] virtual util::SimTime round_trip(PeerId a, PeerId b) const = 0;
+  /// The legacy tracker draw for `self`, stable/AS/PEX biases intact.
+  [[nodiscard]] virtual PeerId tracker_sample(PeerId self) = 0;
+  /// Peers `self` already knows — warm-start material for DHT and
+  /// gossip bootstrap (cached peer lists survive a tracker death).
+  [[nodiscard]] virtual std::span<const PeerId> known_peers(
+      PeerId self) const = 0;
+};
+
+/// One join round's outcome: candidate peers to contact, plus the
+/// modeled control-plane latency before those contacts can fire.
+struct JoinResult {
+  std::vector<PeerId> peers;
+  util::SimTime latency = util::SimTime::zero();
+  bool ok = false;
+};
+
+class DiscoveryBackend {
+ public:
+  virtual ~DiscoveryBackend() = default;
+  [[nodiscard]] virtual DiscoveryBackendKind kind() const = 0;
+  /// One join/refresh round for `self`: up to `want` candidates.
+  [[nodiscard]] virtual JoinResult join(PeerId self, std::size_t want,
+                                        util::SimTime now,
+                                        util::Rng& rng) = 0;
+  /// One cheap steady-state candidate (no full lookup); nullopt when
+  /// the backend has nothing to offer right now.
+  [[nodiscard]] virtual std::optional<PeerId> sample(PeerId self,
+                                                     util::SimTime now,
+                                                     util::Rng& rng) = 0;
+  /// Liveness feedback from the swarm's actual handshakes.
+  virtual void contact_result(PeerId self, PeerId peer, bool ok);
+};
+
+// ---------------------------------------------------------------------
+// Service: backend ownership + failover state machine + re-join SLO
+
+class DiscoveryService {
+ public:
+  DiscoveryService(const DiscoverySpec& spec, DiscoveryHost& host,
+                   std::uint64_t seed);
+  ~DiscoveryService();
+
+  DiscoveryService(const DiscoveryService&) = delete;
+  DiscoveryService& operator=(const DiscoveryService&) = delete;
+
+  [[nodiscard]] const DiscoverySpec& spec() const { return spec_; }
+  [[nodiscard]] bool tracker_available(util::SimTime now) const;
+
+  /// Marks the start of a (re)join episode for re-join latency
+  /// accounting; idempotent while an episode is open, so the earliest
+  /// trigger (crash rejoin, zap) anchors the measurement.
+  void begin_join(PeerId self, util::SimTime now);
+  /// One failover-aware join round: tries the active backend, switches
+  /// to the fallback after `failover_after` consecutive primary
+  /// failures, and periodically re-probes a failed primary to recover.
+  [[nodiscard]] JoinResult join_round(PeerId self, std::size_t want,
+                                      util::SimTime now, util::Rng& rng);
+  /// Closes the episode when contacts from a join round landed.
+  void finish_join(PeerId self, util::SimTime now, bool ok);
+  [[nodiscard]] bool join_pending(PeerId self) const;
+  /// Jittered exponential backoff before the next join retry; advances
+  /// the per-probe attempt counter. Deterministic per
+  /// (seed, peer, attempt) — the PR 1 jitter policy, no stream draws.
+  [[nodiscard]] util::SimTime next_join_backoff(PeerId self);
+
+  /// Steady-state candidate from the active backend.
+  [[nodiscard]] std::optional<PeerId> sample(PeerId self, util::SimTime now,
+                                             util::Rng& rng);
+  /// Whether the active backend's periodic maintenance (DHT bucket
+  /// refresh, gossip exchange round) is due.
+  [[nodiscard]] bool maintenance_due(PeerId self, util::SimTime now) const;
+  void contact_result(PeerId self, PeerId peer, bool ok);
+
+  [[nodiscard]] DiscoveryCounters& counters() { return counters_; }
+  [[nodiscard]] const DiscoveryCounters& counters() const {
+    return counters_;
+  }
+  /// Completed re-join episode latencies, in episode-completion order.
+  [[nodiscard]] const std::vector<util::SimTime>& rejoin_latencies() const {
+    return rejoin_latencies_;
+  }
+  /// Episodes that blew `deadline`: completed slower than it, or still
+  /// open at `end` with the deadline already elapsed.
+  [[nodiscard]] std::size_t rejoins_missed(util::SimTime deadline,
+                                           util::SimTime end) const;
+
+ private:
+  struct ProbeJoinState {
+    bool on_fallback = false;
+    int primary_failures = 0;
+    int attempt = 0;  // consecutive failed join rounds
+    bool pending = false;
+    bool satisfied = true;
+    util::SimTime started = util::SimTime::zero();
+    util::SimTime next_primary_probe = util::SimTime::zero();
+    util::SimTime next_maintenance = util::SimTime::max();
+  };
+
+  [[nodiscard]] std::unique_ptr<DiscoveryBackend> make_backend(
+      DiscoveryBackendKind kind);
+  [[nodiscard]] DiscoveryBackend* active_backend(const ProbeJoinState& st);
+  void schedule_maintenance(ProbeJoinState& st, util::SimTime now);
+
+  DiscoverySpec spec_;
+  DiscoveryHost& host_;
+  std::uint64_t seed_ = 0;
+  sim::ImpairmentSpec flap_spec_;  // tracker flaps via sim::in_outage
+  std::unique_ptr<DiscoveryBackend> primary_;
+  std::unique_ptr<DiscoveryBackend> fallback_;
+  std::unordered_map<PeerId, ProbeJoinState> states_;
+  DiscoveryCounters counters_;
+  std::vector<util::SimTime> rejoin_latencies_;
+};
+
+}  // namespace peerscope::p2p

@@ -15,6 +15,37 @@ namespace peerscope::p2p {
 
 using util::SimTime;
 
+/// Adapts the swarm to the DiscoveryHost interface the backends
+/// consume: population facts, liveness, path delays, and the legacy
+/// tracker draw.
+struct Swarm::HostImpl final : DiscoveryHost {
+  explicit HostImpl(Swarm& owner) : swarm(owner) {}
+
+  [[nodiscard]] const Population& population() const override {
+    return swarm.population_;
+  }
+  [[nodiscard]] bool peer_reachable(PeerId id,
+                                    util::SimTime now) const override {
+    return swarm.peer_online(id, now);
+  }
+  [[nodiscard]] util::SimTime round_trip(PeerId a, PeerId b) const override {
+    const auto& ea = swarm.population_.peer(a).ep;
+    const auto& eb = swarm.population_.peer(b).ep;
+    return swarm.topo_.path(ea, eb).one_way_delay +
+           swarm.topo_.path(eb, ea).one_way_delay;
+  }
+  [[nodiscard]] PeerId tracker_sample(PeerId self) override {
+    const ProbeState& ps = *swarm.probes_[swarm.probe_by_peer_.at(self)];
+    return swarm.sample_peer(ps, swarm.config_.profile.discovery_as_bias);
+  }
+  [[nodiscard]] std::span<const PeerId> known_peers(
+      PeerId self) const override {
+    return swarm.probes_[swarm.probe_by_peer_.at(self)]->known_list;
+  }
+
+  Swarm& swarm;
+};
+
 Swarm::Swarm(const net::AsTopology& topo, std::span<const ProbeSpec> probes,
              SwarmConfig config)
     : topo_(topo),
@@ -23,10 +54,13 @@ Swarm::Swarm(const net::AsTopology& topo, std::span<const ProbeSpec> probes,
                                     config_.seed)),
       rng_(util::Rng{config_.seed}.fork(0xa11ce)),
       churn_rng_(util::Rng{config_.seed}.fork(0xc4521)),
+      discovery_rng_(util::Rng{config_.seed}.fork(0xd15c0)),
       impairment_(config_.impairment.enabled()
                       ? config_.impairment
                       : sim::ImpairmentSpec::flat_loss(config_.loss_rate)),
       faults_active_(config_.churn.enabled() || config_.impairment.enabled()),
+      discovery_active_(config_.discovery.enabled()),
+      nat_active_(config_.discovery.nat.enabled),
       chunk_interval_(config_.profile.stream.chunk_interval()) {
   up_.resize(population_.size());
   down_.resize(population_.size());
@@ -42,7 +76,14 @@ Swarm::Swarm(const net::AsTopology& topo, std::span<const ProbeSpec> probes,
     probe_by_peer_.emplace(id, index);
     probes_.push_back(std::move(ps));
   }
+  if (config_.discovery.backend_active()) {
+    discovery_host_ = std::make_unique<HostImpl>(*this);
+    discovery_ = std::make_unique<DiscoveryService>(
+        config_.discovery, *discovery_host_, config_.seed);
+  }
 }
+
+Swarm::~Swarm() = default;
 
 ChunkIndex Swarm::source_newest() const {
   return engine_.now() / chunk_interval_ - 1;
@@ -126,10 +167,22 @@ void Swarm::on_request_failed(ProbeState& ps, ChunkIndex chunk, PeerId from) {
   ++counters_.chunks_retried;
 }
 
+double Swarm::session_length_s(double mean_s, util::Rng& rng) {
+  if (discovery_active_ && config_.discovery.heavy_tail()) {
+    // Mean-preserving Pareto (xm = mean * (a-1)/a keeps E[X] = mean):
+    // the heavy tail the session-level trace studies report, without
+    // shifting the aggregate churn rate. Same draw count as the
+    // exponential, so enabling the tail never slides other streams.
+    const double a = config_.discovery.session_tail_alpha;
+    return rng.pareto(mean_s * (a - 1.0) / a, a);
+  }
+  return rng.exponential(mean_s);
+}
+
 void Swarm::schedule_probe_crash(std::size_t probe_index) {
   const SimTime at =
-      engine_.now() + SimTime::from_seconds(churn_rng_.exponential(
-                          config_.churn.probe_session_s));
+      engine_.now() + SimTime::from_seconds(session_length_s(
+                          config_.churn.probe_session_s, churn_rng_));
   engine_.schedule_at(at,
                       [this, probe_index] { crash_probe(probe_index); });
 }
@@ -161,6 +214,9 @@ void Swarm::rejoin_probe(std::size_t probe_index) {
   ProbeState& ps = *probes_[probe_index];
   ps.online = true;
   ps.bootstrapped = false;  // restart from tracker, as a fresh client
+  // Re-join latency is measured from the instant the client is back
+  // online and searching, across whatever backends it takes.
+  if (discovery_) discovery_->begin_join(ps.id, engine_.now());
   const std::uint64_t epoch = ps.tick_epoch;
   engine_.schedule_after(SimTime::millis(50), [this, probe_index, epoch] {
     if (probes_[probe_index]->tick_epoch == epoch) {
@@ -242,7 +298,7 @@ PeerId Swarm::sample_peer(const ProbeState& ps, double as_bias) {
   }
 }
 
-void Swarm::contact(ProbeState& ps, PeerId target) {
+bool Swarm::contact(ProbeState& ps, PeerId target) {
   const PeerInfo& self = population_.peer(ps.id);
   const PeerInfo& other = population_.peer(target);
   const auto fwd = topo_.path(self.ep, other.ep);
@@ -251,47 +307,71 @@ void Swarm::contact(ProbeState& ps, PeerId target) {
   const auto bytes = config_.profile.signaling.handshake_bytes;
   trace::ProbeSink& sink = *sinks_[ps.index];
 
-  if (faults_active_) {
+  // Relay detour latency when NAT traversal falls back to a relay;
+  // zero on every other path, so the clean handshake bytes are
+  // untouched.
+  SimTime nat_extra = SimTime::zero();
+  if (faults_active_ || nat_active_) {
     // A handshake to an offline peer — or one whose NAT/firewall
     // traversal fails — goes out and is never answered: the sniffer
     // records only our TX packets.
     double fail_p = 0.0;
-    if (config_.churn.connect_failures()) {
+    if (faults_active_ && config_.churn.connect_failures()) {
       if (other.access.nat) fail_p += config_.churn.nat_connect_failure;
       if (other.access.firewall) {
         fail_p += config_.churn.firewall_connect_failure;
       }
     }
-    const bool refused = !peer_online(target, now) ||
-                         (fail_p > 0.0 && rng_.chance(std::min(fail_p, 1.0)));
+    bool refused =
+        (faults_active_ && !peer_online(target, now)) ||
+        (fail_p > 0.0 && rng_.chance(std::min(fail_p, 1.0)));
+    if (!refused && nat_active_) {
+      const auto& matrix = config_.discovery.nat;
+      const NatOutcome outcome = attempt_traversal(
+          matrix, classify_nat(matrix, self, config_.seed),
+          classify_nat(matrix, other, config_.seed), rng_);
+      if (!outcome.ok) {
+        refused = true;
+        ++counters_.discovery.nat_blocked;
+      } else if (outcome.relayed) {
+        nat_extra = matrix.relay_penalty;
+        ++counters_.discovery.nat_relayed;
+      } else {
+        ++counters_.discovery.nat_direct;
+      }
+    }
     if (refused) {
       for (int i = 0; i < config_.profile.signaling.handshake_packets; ++i) {
         sink.signaling_tx(other.ep.addr, now + SimTime::millis(i), bytes);
       }
       ++counters_.contact_failures;
-      return;
+      if (discovery_) discovery_->contact_result(ps.id, target, false);
+      return false;
     }
   }
 
   for (int i = 0; i < config_.profile.signaling.handshake_packets; ++i) {
     const SimTime tx = now + SimTime::millis(i);
     const SimTime rx = tx + fwd.one_way_delay + rev.one_way_delay +
-                       SimTime::millis(2);
+                       SimTime::millis(2) + nat_extra;
     sink.signaling_tx(other.ep.addr, tx, bytes);
     sink.signaling_rx(other.ep.addr, rx, bytes, sim::ttl_after(rev.hops));
     if (const auto it = probe_by_peer_.find(target);
         it != probe_by_peer_.end()) {
       trace::ProbeSink& peer_sink = *sinks_[it->second];
-      peer_sink.signaling_rx(self.ep.addr, tx + fwd.one_way_delay, bytes,
+      peer_sink.signaling_rx(self.ep.addr,
+                             tx + fwd.one_way_delay + nat_extra, bytes,
                              sim::ttl_after(fwd.hops));
-      peer_sink.signaling_tx(self.ep.addr,
-                             tx + fwd.one_way_delay + SimTime::millis(2),
-                             bytes);
+      peer_sink.signaling_tx(
+          self.ep.addr,
+          tx + fwd.one_way_delay + nat_extra + SimTime::millis(2), bytes);
       note_known(*probes_[it->second], ps.id);
     }
   }
   note_known(ps, target);
   ++counters_.contacts;
+  if (discovery_) discovery_->contact_result(ps.id, target, true);
+  return true;
 }
 
 void Swarm::bootstrap(ProbeState& ps) {
@@ -312,11 +392,18 @@ void Swarm::bootstrap(ProbeState& ps) {
       }
     }
   }
-  // Tracker response: an initial batch of random peers.
   const std::size_t initial = std::min<std::size_t>(
       40, population_.size() > 1 ? population_.size() - 1 : 0);
-  for (std::size_t i = 0; i < initial; ++i) {
-    contact(ps, sample_peer(ps, config_.profile.discovery_as_bias));
+  if (discovery_) {
+    // Pluggable path: the initial batch comes from the configured
+    // backend, with failover and modeled control-plane latency.
+    discovery_->begin_join(ps.id, engine_.now());
+    discovery_join(ps);
+  } else {
+    // Tracker response: an initial batch of random peers.
+    for (std::size_t i = 0; i < initial; ++i) {
+      contact(ps, sample_peer(ps, config_.profile.discovery_as_bias));
+    }
   }
   maintain_partners(ps);
 }
@@ -325,10 +412,90 @@ void Swarm::run_discovery(ProbeState& ps) {
   const double period_s = config_.profile.sched.period.seconds();
   ps.discovery_credit +=
       config_.profile.signaling.contact_rate_per_s * period_s;
+  if (discovery_) {
+    const SimTime now = engine_.now();
+    // Periodic backend upkeep: DHT bucket refresh / gossip exchange.
+    if (discovery_->maintenance_due(ps.id, now)) discovery_join(ps);
+    while (ps.discovery_credit >= 1.0) {
+      ps.discovery_credit -= 1.0;
+      const auto pick = discovery_->sample(ps.id, now, rng_);
+      if (pick) {
+        contact(ps, *pick);
+      } else if (!discovery_->join_pending(ps.id)) {
+        // The active backend has nothing to offer (tracker down, table
+        // drained): run a failover-capable join round instead of
+        // burning the remaining credit on misses.
+        discovery_->begin_join(ps.id, now);
+        discovery_join(ps);
+        break;
+      } else {
+        break;  // join chain already in flight; wait for it
+      }
+    }
+    return;
+  }
   while (ps.discovery_credit >= 1.0) {
     ps.discovery_credit -= 1.0;
     contact(ps, sample_peer(ps, config_.profile.discovery_as_bias));
   }
+}
+
+void Swarm::discovery_join(ProbeState& ps) {
+  PEERSCOPE_SPAN("discovery");
+  const SimTime now = engine_.now();
+  const std::size_t want = std::min<std::size_t>(
+      40, population_.size() > 1 ? population_.size() - 1 : 0);
+  JoinResult round = discovery_->join_round(ps.id, want, now, rng_);
+  if (!round.ok || round.peers.empty()) {
+    schedule_join_retry(ps);
+    return;
+  }
+  // The candidate contacts land after the backend's modeled lookup
+  // latency — that is what makes re-join latency measurable.
+  const std::size_t index = ps.index;
+  const std::uint64_t epoch = ps.tick_epoch;
+  engine_.schedule_at(
+      now + round.latency,
+      [this, index, epoch, peers = std::move(round.peers)] {
+        ProbeState& p = *probes_[index];
+        if (p.tick_epoch != epoch) return;  // crashed since scheduling
+        if (faults_active_ && !p.online) return;
+        discovery_join_landed(p, peers);
+      });
+}
+
+void Swarm::discovery_join_landed(ProbeState& ps,
+                                  std::span<const PeerId> peers) {
+  bool any = false;
+  for (const PeerId target : peers) {
+    if (target == ps.id) continue;
+    any = contact(ps, target) || any;
+  }
+  discovery_->finish_join(ps.id, engine_.now(), any);
+  if (!any) {
+    schedule_join_retry(ps);
+    return;
+  }
+  maintain_partners(ps);
+}
+
+void Swarm::schedule_join_retry(ProbeState& ps) {
+  const SimTime now = engine_.now();
+  const SimTime delay = discovery_->next_join_backoff(ps.id);
+  if (now + delay >= config_.duration) {
+    // No attempt can land before the run ends; the open episode is
+    // what rejoins_missed reports against the deadline.
+    discovery_->finish_join(ps.id, now, false);
+    return;
+  }
+  const std::size_t index = ps.index;
+  const std::uint64_t epoch = ps.tick_epoch;
+  engine_.schedule_at(now + delay, [this, index, epoch] {
+    ProbeState& p = *probes_[index];
+    if (p.tick_epoch != epoch) return;
+    if (faults_active_ && !p.online) return;
+    discovery_join(p);
+  });
 }
 
 void Swarm::send_keepalives(ProbeState& ps) {
@@ -617,7 +784,7 @@ void Swarm::complete_chunk(ProbeState& ps, PeerId from, ChunkIndex chunk,
   ps.belief_cache[from] = 0.7 * cached_belief(ps, from) + 0.3 * train_rate_mbps;
 }
 
-void Swarm::spawn_requester(ProbeState& ps) {
+void Swarm::try_spawn_requester(ProbeState& ps) {
   const auto& upload = config_.profile.upload;
   const PeerInfo& self = population_.peer(ps.id);
 
@@ -645,7 +812,7 @@ void Swarm::spawn_requester(ProbeState& ps) {
           upload.requester_lifetime_s *
           (cand.ep.as == self.ep.as ? 2.5 : 1.0);
       req->leaves = engine_.now() +
-                    SimTime::from_seconds(rng_.exponential(lifetime));
+                    SimTime::from_seconds(session_length_s(lifetime, rng_));
       ++ps.active_requesters;
       note_known(ps, pick);
       const std::size_t probe_index = ps.index;
@@ -654,6 +821,12 @@ void Swarm::spawn_requester(ProbeState& ps) {
       });
     }
   }
+}
+
+void Swarm::spawn_requester(ProbeState& ps) {
+  const auto& upload = config_.profile.upload;
+  const PeerInfo& self = population_.peer(ps.id);
+  try_spawn_requester(ps);
 
   // Next arrival (NAT/firewall suppress inbound connections).
   double rate = upload.requester_arrival_per_s;
@@ -725,6 +898,70 @@ void Swarm::requester_loop(ProbeState& ps, std::shared_ptr<Requester> req) {
   ++counters_.chunks_uploaded;
 }
 
+void Swarm::zap_probe(ProbeState& ps) {
+  // Channel zap: the client drops its partners and in-flight work, but
+  // keeps a zap_reuse fraction of its known peers — the cross-channel
+  // cache commercial clients carry between channels.
+  for (const Partner& partner : ps.partners) {
+    ps.belief_cache[partner.id] = partner.belief_mbps;
+  }
+  ps.partners.clear();
+  ps.inflight.clear();
+  if (faults_active_) {
+    ps.chunk_failures.clear();
+    ps.retry_after.clear();
+  }
+  const double reuse = config_.discovery.zap_reuse;
+  std::vector<PeerId> kept;
+  kept.reserve(ps.known_list.size());
+  for (const PeerId id : ps.known_list) {
+    if (discovery_rng_.chance(reuse)) kept.push_back(id);
+  }
+  ps.known_list = std::move(kept);
+  ps.known_set.clear();
+  ps.known_set.insert(ps.known_list.begin(), ps.known_list.end());
+  ps.bootstrapped = false;  // the next tick re-joins through discovery
+  if (discovery_) discovery_->begin_join(ps.id, engine_.now());
+}
+
+void Swarm::flash_crowd() {
+  const SimTime now = engine_.now();
+  if (now >= config_.duration) return;
+  PEERSCOPE_TRACE_INSTANT("p2p.discovery.flash_crowd");
+  for (const auto& ps : probes_) {
+    if (faults_active_ && !ps->online) continue;
+    zap_probe(*ps);
+  }
+  // Correlated arrival burst: the zapped channel's new audience hits
+  // the probes' uplinks within a couple of seconds, not as a Poisson
+  // trickle. Arrivals round-robin the probes with exponential gaps.
+  const int arrivals = config_.discovery.flash_crowd_arrivals;
+  for (int i = 0; i < arrivals; ++i) {
+    const std::size_t index = static_cast<std::size_t>(i) % probes_.size();
+    const SimTime at =
+        now + SimTime::from_seconds(discovery_rng_.exponential(0.5));
+    engine_.schedule_at(at, [this, index] {
+      ProbeState& ps = *probes_[index];
+      if (engine_.now() >= config_.duration) return;
+      if (faults_active_ && !ps.online) return;
+      ++counters_.discovery.flash_arrivals;
+      try_spawn_requester(ps);
+    });
+  }
+}
+
+Swarm::DiscoveryReport Swarm::discovery_report() const {
+  DiscoveryReport report;
+  if (!discovery_) return report;
+  report.rejoins_missed = discovery_->rejoins_missed(
+      config_.discovery.rejoin_deadline, config_.duration);
+  report.rejoin_latencies_s.reserve(discovery_->rejoin_latencies().size());
+  for (const SimTime latency : discovery_->rejoin_latencies()) {
+    report.rejoin_latencies_s.push_back(latency.seconds());
+  }
+  return report;
+}
+
 void Swarm::tick(ProbeState& ps) {
   const SimTime now = engine_.now();
   if (now >= config_.duration) return;
@@ -750,6 +987,12 @@ void Swarm::run() {
   ran_ = true;
   PEERSCOPE_SPAN("swarm_run");
   engine_.set_cancel(config_.cancel);
+
+  // Channel-zap flash crowd, if one is scheduled for this run.
+  if (discovery_active_ && config_.discovery.flash_crowd()) {
+    engine_.schedule_at(config_.discovery.flash_crowd_at,
+                        [this] { flash_crowd(); });
+  }
 
   for (const auto& ps : probes_) {
     const std::size_t probe_index = ps->index;
@@ -795,6 +1038,26 @@ void Swarm::run() {
 
   engine_.run_until(config_.duration);
 
+  if (discovery_) {
+    // Merge the service-owned control-plane counters; the NAT and
+    // flash-crowd fields are incremented directly by the swarm (they
+    // also fire when no backend is configured) and must survive.
+    const DiscoveryCounters& dc = discovery_->counters();
+    auto& out = counters_.discovery;
+    out.tracker_queries = dc.tracker_queries;
+    out.tracker_failures = dc.tracker_failures;
+    out.dht_lookups = dc.dht_lookups;
+    out.dht_hops = dc.dht_hops;
+    out.dht_hop_timeouts = dc.dht_hop_timeouts;
+    out.dht_evictions = dc.dht_evictions;
+    out.gossip_exchanges = dc.gossip_exchanges;
+    out.gossip_partitions = dc.gossip_partitions;
+    out.failovers = dc.failovers;
+    out.recoveries = dc.recoveries;
+    out.joins_ok = dc.joins_ok;
+    out.join_retries = dc.join_retries;
+  }
+
   // Timeline marker for the drained swarm: the chunk total is ground
   // truth at this point, so the sample is deterministic per seed.
   PEERSCOPE_TRACE_INSTANT("p2p.swarm_complete");
@@ -817,6 +1080,42 @@ void Swarm::run() {
     obs::counter("p2p.churn_probe_crashes").add(counters_.probe_crashes);
     obs::counter("p2p.partners_blacklisted")
         .add(counters_.partners_blacklisted);
+    if (discovery_active_) {
+      // Registered only when the subsystem ran, so clean-run
+      // metrics.json stays byte-identical (the trace_events_dropped
+      // pattern).
+      const auto& dc = counters_.discovery;
+      obs::counter("p2p.discovery.tracker_queries").add(dc.tracker_queries);
+      obs::counter("p2p.discovery.tracker_failures")
+          .add(dc.tracker_failures);
+      obs::counter("p2p.discovery.dht_lookups").add(dc.dht_lookups);
+      obs::counter("p2p.discovery.dht_hops").add(dc.dht_hops);
+      obs::counter("p2p.discovery.dht_hop_timeouts")
+          .add(dc.dht_hop_timeouts);
+      obs::counter("p2p.discovery.dht_evictions").add(dc.dht_evictions);
+      obs::counter("p2p.discovery.gossip_exchanges")
+          .add(dc.gossip_exchanges);
+      obs::counter("p2p.discovery.gossip_partitions")
+          .add(dc.gossip_partitions);
+      obs::counter("p2p.discovery.failovers").add(dc.failovers);
+      obs::counter("p2p.discovery.recoveries").add(dc.recoveries);
+      obs::counter("p2p.discovery.joins_ok").add(dc.joins_ok);
+      obs::counter("p2p.discovery.join_retries").add(dc.join_retries);
+      obs::counter("p2p.discovery.nat_direct").add(dc.nat_direct);
+      obs::counter("p2p.discovery.nat_relayed").add(dc.nat_relayed);
+      obs::counter("p2p.discovery.nat_blocked").add(dc.nat_blocked);
+      obs::counter("p2p.discovery.flash_arrivals").add(dc.flash_arrivals);
+      if (discovery_) {
+        obs::Histogram rejoin = obs::histogram(
+            "p2p.discovery.rejoin_latency_ns", obs::timing_bounds(), true);
+        for (const SimTime latency : discovery_->rejoin_latencies()) {
+          rejoin.observe(latency.ns());
+        }
+        obs::counter("p2p.discovery.rejoins_missed")
+            .add(discovery_->rejoins_missed(config_.discovery.rejoin_deadline,
+                                            config_.duration));
+      }
+    }
     std::uint64_t captured_pkts = 0, captured_bytes = 0;
     for (const auto& sink : sinks_) {
       captured_pkts +=

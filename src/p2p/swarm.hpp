@@ -20,6 +20,7 @@
 #include "net/topology.hpp"
 #include "p2p/buffer.hpp"
 #include "p2p/churn.hpp"
+#include "p2p/discovery.hpp"
 #include "p2p/population.hpp"
 #include "p2p/profile.hpp"
 #include "sim/engine.hpp"
@@ -51,6 +52,10 @@ struct SwarmConfig {
   sim::ImpairmentSpec impairment;
   /// Peer churn and connection-failure injection.
   ChurnSpec churn;
+  /// Pluggable discovery: backend selection, tracker outage injection,
+  /// failover policy, NAT traversal, and session dynamics. Disabled by
+  /// default — the legacy inline tracker path stays byte-identical.
+  DiscoverySpec discovery;
   /// Cooperative cancellation: polled between simulation events (see
   /// sim::Engine::set_cancel); Swarm::run throws util::Cancelled when
   /// it trips. nullptr = uncancellable (the default fast path). The
@@ -62,6 +67,7 @@ class Swarm {
  public:
   Swarm(const net::AsTopology& topo, std::span<const ProbeSpec> probes,
         SwarmConfig config);
+  ~Swarm();
 
   /// Runs the experiment to `config.duration`. Call once.
   void run();
@@ -90,8 +96,20 @@ class Swarm {
     std::uint64_t probe_crashes = 0;
     std::uint64_t chunks_retried = 0;    // re-requested after a timeout
     std::uint64_t partners_blacklisted = 0;
+    /// Discovery-subsystem outcomes (all zero when discovery disabled).
+    DiscoveryCounters discovery;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Re-join SLO outcome when a discovery backend ran; all-zero
+  /// otherwise. `rejoins_missed` > 0 with a configured deadline means
+  /// the run degraded (exp::run_experiment turns that into a distinct
+  /// failure status).
+  struct DiscoveryReport {
+    std::size_t rejoins_missed = 0;
+    std::vector<double> rejoin_latencies_s;
+  };
+  [[nodiscard]] DiscoveryReport discovery_report() const;
 
  private:
   struct Partner {
@@ -149,7 +167,22 @@ class Swarm {
                       util::SimTime requested, double train_rate_mbps,
                       std::uint64_t bytes);
   void spawn_requester(ProbeState& ps);
+  /// The accept half of spawn_requester (shared with flash-crowd
+  /// arrivals, which inject sessions without rescheduling the process).
+  void try_spawn_requester(ProbeState& ps);
   void requester_loop(ProbeState& ps, std::shared_ptr<Requester> req);
+
+  // --- discovery subsystem (only called when a backend is active) ---
+  /// One failover-aware join round; schedules the resulting contact
+  /// batch after the backend's modeled latency, or a jittered retry.
+  void discovery_join(ProbeState& ps);
+  void discovery_join_landed(ProbeState& ps, std::span<const PeerId> peers);
+  void schedule_join_retry(ProbeState& ps);
+  /// Channel-zap flash crowd: every probe zaps and re-joins, and a
+  /// burst of correlated requester arrivals hits the probes' uplinks.
+  void flash_crowd();
+  void zap_probe(ProbeState& ps);
+  [[nodiscard]] double session_length_s(double mean_s, util::Rng& rng);
 
   // --- fault injection (only called when faults_active_) ---
   [[nodiscard]] bool peer_online(PeerId id, util::SimTime now) const;
@@ -166,7 +199,9 @@ class Swarm {
                                 util::SimTime now) const;
   [[nodiscard]] bool peer_has_chunk(PeerId id, ChunkIndex chunk) const;
   [[nodiscard]] PeerId sample_peer(const ProbeState& ps, double as_bias);
-  void contact(ProbeState& ps, PeerId target);
+  /// Discovery handshake; false when it was refused (offline peer,
+  /// NAT/firewall failure, blocked traversal).
+  bool contact(ProbeState& ps, PeerId target);
   void note_known(ProbeState& ps, PeerId id);
   [[nodiscard]] double cached_belief(const ProbeState& ps, PeerId id) const;
 
@@ -178,6 +213,9 @@ class Swarm {
   /// Separate stream for churn event scheduling so enabling churn does
   /// not shift the protocol's own draws.
   util::Rng churn_rng_;
+  /// Separate stream for discovery control-plane draws (DHT lookup
+  /// targets, gossip sampling, zap pruning) for the same reason.
+  util::Rng discovery_rng_;
   /// Effective per-train impairment: `config_.impairment` when enabled,
   /// otherwise the legacy flat-loss mapping of `config_.loss_rate`.
   sim::ImpairmentSpec impairment_;
@@ -185,6 +223,11 @@ class Swarm {
   /// recovery machinery is gated on this so the default configuration
   /// stays bit-identical to the clean simulator.
   bool faults_active_ = false;
+  /// Same contract for the discovery subsystem: false keeps every code
+  /// path (and RNG draw) identical to the legacy inline tracker.
+  bool discovery_active_ = false;
+  /// NAT-traversal matrix armed (a subset of discovery_active_).
+  bool nat_active_ = false;
   /// Gilbert–Elliott burst state per directed (sender, receiver) pair.
   std::unordered_map<std::uint64_t, sim::GilbertElliott> channels_;
   std::vector<sim::LinkCursor> up_;
@@ -192,6 +235,12 @@ class Swarm {
   std::vector<std::unique_ptr<trace::ProbeSink>> sinks_;
   std::vector<std::unique_ptr<ProbeState>> probes_;
   std::unordered_map<PeerId, std::size_t> probe_by_peer_;
+  /// Discovery backends + failover state machine; null unless a
+  /// backend is configured. HostImpl adapts this swarm to the
+  /// DiscoveryHost interface (defined in swarm.cpp).
+  struct HostImpl;
+  std::unique_ptr<HostImpl> discovery_host_;
+  std::unique_ptr<DiscoveryService> discovery_;
   Counters counters_;
   util::SimTime chunk_interval_{0};
   bool ran_ = false;

@@ -4,6 +4,10 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
+#include <mutex>
+#include <utility>
+#include <vector>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -127,6 +131,68 @@ TEST_F(SupervisorTest, PermanentFailureExhaustsRetries) {
   const auto counters = registry.snapshot().counters;
   EXPECT_EQ(counters.at("exp.runs_failed"), 1u);
   EXPECT_EQ(counters.at("exp.run_retries"), 2u);
+}
+
+TEST(BackoffDelay, InjectedConstantJitterMakesDelaysExact) {
+  // With a pinned multiplier the ladder is pure arithmetic: base *
+  // 2^(attempt-1), capped at the 2^16 scale.
+  const auto unit = [](std::uint64_t, int) { return 1.0; };
+  using std::chrono::milliseconds;
+  EXPECT_EQ(backoff_delay(milliseconds{200}, 42, 1, unit), milliseconds{200});
+  EXPECT_EQ(backoff_delay(milliseconds{200}, 42, 2, unit), milliseconds{400});
+  EXPECT_EQ(backoff_delay(milliseconds{200}, 42, 3, unit), milliseconds{800});
+  EXPECT_EQ(backoff_delay(milliseconds{200}, 42, 17, unit),
+            milliseconds{200LL << 16});
+  // Scale saturates: attempt 18 sleeps no longer than attempt 17.
+  EXPECT_EQ(backoff_delay(milliseconds{200}, 42, 18, unit),
+            backoff_delay(milliseconds{200}, 42, 17, unit));
+  // The injected multiplier scales linearly.
+  const auto half = [](std::uint64_t, int) { return 0.5; };
+  EXPECT_EQ(backoff_delay(milliseconds{200}, 42, 3, half), milliseconds{400});
+}
+
+TEST(BackoffDelay, DefaultJitterIsDeterministicAndBounded) {
+  using std::chrono::milliseconds;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    const auto first = backoff_delay(milliseconds{200}, 77, attempt);
+    const auto second = backoff_delay(milliseconds{200}, 77, attempt);
+    EXPECT_EQ(first, second) << "attempt " << attempt;  // rerun-identical
+    const auto ladder = 200LL << (attempt - 1);
+    EXPECT_GE(first.count(), static_cast<std::int64_t>(0.75 * ladder));
+    EXPECT_LE(first.count(), static_cast<std::int64_t>(1.25 * ladder));
+  }
+  // Different specs spread out instead of retrying in lockstep.
+  EXPECT_NE(backoff_delay(milliseconds{200}, 77, 3),
+            backoff_delay(milliseconds{200}, 78, 3));
+}
+
+TEST_F(SupervisorTest, BackoffJitterHookObservesEveryRetry) {
+  const RunSpec specs[] = {tiny_spec(11)};
+  std::atomic<int> calls{0};
+  std::mutex mu;
+  std::vector<std::pair<std::uint64_t, int>> seen;
+  SupervisorConfig config;
+  config.retries = 3;
+  config.backoff_base = std::chrono::milliseconds{1};
+  config.backoff_jitter = [&](std::uint64_t seed, int attempt) {
+    const std::scoped_lock lock{mu};
+    seen.emplace_back(seed, attempt);
+    return 0.0;  // no sleep: deterministic-retry tests stay fast
+  };
+  config.run_fn = [&calls](const net::AsTopology&, const RunSpec& spec) {
+    if (++calls < 3) throw std::runtime_error("transient");
+    return fake_result(spec.seed);
+  };
+
+  util::ThreadPool pool{1};
+  const auto outcome = supervise_runs(topo(), specs, pool, config);
+  EXPECT_EQ(outcome.runs[0].state, RunState::kOk);
+  EXPECT_EQ(outcome.runs[0].attempts, 3);
+  // Two failed attempts -> two backoffs, attempts numbered from 1,
+  // keyed by the spec's seed.
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<std::uint64_t, int>{11u, 1}));
+  EXPECT_EQ(seen[1], (std::pair<std::uint64_t, int>{11u, 2}));
 }
 
 TEST_F(SupervisorTest, DeadlineCutsOffRealRunWithoutRetry) {

@@ -1,0 +1,6 @@
+// Fixture: exit-code constants checked against tools/exit_codes.def
+// (the registry sub-check of the exit-code-uniqueness rule).
+constexpr int kExitUsage = 2;      // registered + documented: clean
+constexpr int kExitDegraded = 8;   // registered + documented: clean
+constexpr int kExitRogue = 9;      // finding: not in exit_codes.def
+constexpr int kExitDrifted = 11;   // finding: registry says 10

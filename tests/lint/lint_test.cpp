@@ -230,6 +230,41 @@ TEST(ExitCodeRule, DocumentedUniqueConstantsAreClean) {
   EXPECT_EQ(findings.size(), 2u);
 }
 
+// The registry sub-check only arms when tools/exit_codes.def exists —
+// the `exit_codes` fixture above has none and must keep its original
+// two findings; the `discovery` fixture exercises all three registry
+// diagnostics.
+
+TEST(ExitCodeRule, UnregisteredConstantIsAFinding) {
+  const auto findings = lint_fixture("discovery", kRuleExitCodes);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("cli.cpp:5"),
+                             HasSubstr("kExitRogue"),
+                             HasSubstr("not registered"))));
+}
+
+TEST(ExitCodeRule, RegistryValueDisagreementIsAFinding) {
+  const auto findings = lint_fixture("discovery", kRuleExitCodes);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("cli.cpp:6"),
+                             HasSubstr("kExitDrifted"),
+                             HasSubstr("disagrees"))));
+}
+
+TEST(ExitCodeRule, StaleRegistryEntryIsAFinding) {
+  const auto findings = lint_fixture("discovery", kRuleExitCodes);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("exit_codes.def:5"),
+                             HasSubstr("kExitRetired"),
+                             HasSubstr("no tools/ constant"))));
+}
+
+TEST(ExitCodeRule, RegisteredConstantsAreClean) {
+  const auto findings = lint_fixture("discovery", kRuleExitCodes);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("kExitDegraded"))));
+  EXPECT_EQ(findings.size(), 3u);
+}
+
 // --- header-hygiene ---------------------------------------------------
 
 TEST(HeaderRule, MissingPragmaOnceIsAFinding) {

@@ -1,0 +1,405 @@
+// Unit tests for the pluggable discovery subsystem's building blocks:
+// backend-kind parsing, DHT node ids and k-bucket routing tables,
+// gossip membership views, the NAT-traversal matrix, and the
+// DiscoveryService failover state machine driven through a stub host —
+// no swarm, no event loop, just the control-plane logic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "p2p/discovery.hpp"
+#include "p2p/population.hpp"
+#include "p2p/profile.hpp"
+
+namespace peerscope::p2p {
+namespace {
+
+using util::Rng;
+using util::SimTime;
+
+// --------------------------------------------------------------------
+// Backend kinds
+
+TEST(DiscoveryKind, ParseAndPrintRoundTrip) {
+  for (const auto kind :
+       {DiscoveryBackendKind::kTracker, DiscoveryBackendKind::kDht,
+        DiscoveryBackendKind::kGossip}) {
+    const auto parsed = parse_backend_kind(to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(DiscoveryKind, ParseRejectsUnknownNames) {
+  EXPECT_FALSE(parse_backend_kind("").has_value());
+  EXPECT_FALSE(parse_backend_kind("none").has_value());
+  EXPECT_FALSE(parse_backend_kind("Tracker").has_value());
+  EXPECT_FALSE(parse_backend_kind("multicast").has_value());
+}
+
+// --------------------------------------------------------------------
+// DHT building blocks
+
+TEST(DhtNodeId, DeterministicPerSeedAndPeer) {
+  EXPECT_EQ(dht_node_id(42, 7), dht_node_id(42, 7));
+  EXPECT_NE(dht_node_id(42, 7), dht_node_id(43, 7));
+  EXPECT_NE(dht_node_id(42, 7), dht_node_id(42, 8));
+}
+
+TEST(RoutingTable, InsertDedupsAndEvictRemoves) {
+  RoutingTable table{/*self=*/0, /*k=*/8};
+  EXPECT_TRUE(table.insert(0x80000001u, 1));
+  EXPECT_FALSE(table.insert(0x80000001u, 1));  // duplicate peer
+  EXPECT_TRUE(table.contains(1));
+  EXPECT_EQ(table.size(), 1u);
+  table.evict(1);
+  EXPECT_FALSE(table.contains(1));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(RoutingTable, FullBucketDropsNewcomers) {
+  // All ids with the top bit set share a zero-length prefix with
+  // self=0, so they land in the same bucket; only k of them stick
+  // (the classic stale-favouring Kademlia policy).
+  constexpr int kK = 4;
+  RoutingTable table{/*self=*/0, kK};
+  for (PeerId peer = 1; peer <= 10; ++peer) {
+    const NodeId id = 0x80000000u + peer;
+    const bool inserted = table.insert(id, peer);
+    EXPECT_EQ(inserted, peer <= kK) << "peer " << peer;
+  }
+  EXPECT_EQ(table.size(), static_cast<std::size_t>(kK));
+  // Eviction frees a slot for the next newcomer.
+  table.evict(1);
+  EXPECT_TRUE(table.insert(0x8000fffeu, 99));
+}
+
+TEST(RoutingTable, ClosestReturnsXorSortedNeighbours) {
+  RoutingTable table{/*self=*/0, /*k=*/8};
+  const NodeId ids[] = {0x10u, 0x20u, 0x80000000u, 0x11u, 0x7fffffffu};
+  PeerId peer = 1;
+  for (const NodeId id : ids) table.insert(id, peer++);
+
+  const NodeId target = 0x10u;
+  const auto got = table.closest(target, 3);
+  ASSERT_EQ(got.size(), 3u);
+  // Peer 1 holds id 0x10 (distance 0), peer 4 holds 0x11 (distance 1),
+  // peer 2 holds 0x20 (distance 0x30).
+  EXPECT_EQ(got[0], 1u);
+  EXPECT_EQ(got[1], 4u);
+  EXPECT_EQ(got[2], 2u);
+}
+
+TEST(RoutingTable, SampleDrawsAMember) {
+  RoutingTable table{/*self=*/0, /*k=*/8};
+  Rng rng{7};
+  EXPECT_FALSE(table.sample(rng).has_value());
+  table.insert(0x123u, 5);
+  table.insert(0x80000042u, 6);
+  for (int i = 0; i < 16; ++i) {
+    const auto picked = table.sample(rng);
+    ASSERT_TRUE(picked.has_value());
+    EXPECT_TRUE(*picked == 5u || *picked == 6u);
+  }
+}
+
+// --------------------------------------------------------------------
+// Gossip building blocks
+
+TEST(GossipView, BoundedWithRandomReplacement) {
+  GossipView view{/*capacity=*/8};
+  Rng rng{3};
+  EXPECT_TRUE(view.empty());
+  for (PeerId peer = 0; peer < 20; ++peer) view.add(peer, rng);
+  EXPECT_EQ(view.size(), 8u);
+  EXPECT_FALSE(view.add(/*duplicate*/ 19, rng));
+  EXPECT_EQ(view.size(), 8u);
+}
+
+TEST(GossipView, EraseRemovesAndSampleIsDistinct) {
+  GossipView view{/*capacity=*/16};
+  Rng rng{11};
+  for (PeerId peer = 0; peer < 10; ++peer) view.add(peer, rng);
+  view.erase(4);
+  EXPECT_FALSE(view.contains(4));
+  EXPECT_EQ(view.size(), 9u);
+
+  const auto picked = view.sample(rng, 6);
+  EXPECT_EQ(picked.size(), 6u);
+  std::unordered_set<PeerId> distinct{picked.begin(), picked.end()};
+  EXPECT_EQ(distinct.size(), picked.size());
+  for (const PeerId peer : picked) EXPECT_TRUE(view.contains(peer));
+}
+
+// --------------------------------------------------------------------
+// NAT matrix
+
+PeerInfo natted_peer(PeerId id, bool nat) {
+  PeerInfo peer;
+  peer.id = id;
+  peer.access.nat = nat;
+  return peer;
+}
+
+TEST(NatMatrix, UnflaggedPeersAreOpen) {
+  NatMatrix matrix;
+  matrix.enabled = true;
+  for (PeerId id = 0; id < 64; ++id) {
+    EXPECT_EQ(classify_nat(matrix, natted_peer(id, false), 42),
+              NatClass::kOpen);
+  }
+}
+
+TEST(NatMatrix, SymmetricFractionPinsTheClassSplit) {
+  NatMatrix all_sym;
+  all_sym.enabled = true;
+  all_sym.symmetric_fraction = 1.0;
+  NatMatrix all_cone = all_sym;
+  all_cone.symmetric_fraction = 0.0;
+  for (PeerId id = 0; id < 64; ++id) {
+    const PeerInfo peer = natted_peer(id, true);
+    EXPECT_EQ(classify_nat(all_sym, peer, 42), NatClass::kSymmetric);
+    EXPECT_EQ(classify_nat(all_cone, peer, 42), NatClass::kCone);
+    // And a pure function of (seed, peer): same answer twice.
+    EXPECT_EQ(classify_nat(all_sym, peer, 42),
+              classify_nat(all_sym, peer, 42));
+  }
+}
+
+TEST(NatMatrix, PinnedProbabilitiesForceTheOutcome) {
+  NatMatrix matrix;
+  matrix.enabled = true;
+  Rng rng{5};
+
+  // Direct always fails, relay always succeeds -> relayed every time.
+  matrix.cone_cone = 0.0;
+  matrix.relay_success = 1.0;
+  for (int i = 0; i < 8; ++i) {
+    const auto outcome =
+        attempt_traversal(matrix, NatClass::kCone, NatClass::kCone, rng);
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_TRUE(outcome.relayed);
+  }
+
+  // Both paths dead -> blocked every time.
+  matrix.symmetric_symmetric = 0.0;
+  matrix.relay_success = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    const auto outcome = attempt_traversal(matrix, NatClass::kSymmetric,
+                                           NatClass::kSymmetric, rng);
+    EXPECT_FALSE(outcome.ok);
+  }
+}
+
+TEST(NatMatrix, OpenPairsConsumeNoRandomness) {
+  NatMatrix matrix;
+  matrix.enabled = true;
+  Rng rng{9};
+  Rng untouched = rng;
+  const auto outcome =
+      attempt_traversal(matrix, NatClass::kOpen, NatClass::kOpen, rng);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_FALSE(outcome.relayed);
+  // The stream was not advanced: the byte-identity contract depends on
+  // open handshakes drawing nothing.
+  EXPECT_EQ(rng.next_u64(), untouched.next_u64());
+}
+
+// --------------------------------------------------------------------
+// DiscoveryService failover state machine, via a stub host
+
+class StubHost final : public DiscoveryHost {
+ public:
+  explicit StubHost(const Population& pop) : pop_(pop) {}
+
+  [[nodiscard]] const Population& population() const override { return pop_; }
+  [[nodiscard]] bool peer_reachable(PeerId id, SimTime) const override {
+    return !dead.contains(id);
+  }
+  [[nodiscard]] SimTime round_trip(PeerId, PeerId) const override {
+    return SimTime::millis(20);
+  }
+  [[nodiscard]] PeerId tracker_sample(PeerId self) override {
+    PeerId id = 0;
+    do {
+      id = static_cast<PeerId>(cursor_++ % pop_.size());
+    } while (id == self || id == pop_.source());
+    return id;
+  }
+  [[nodiscard]] std::span<const PeerId> known_peers(PeerId) const override {
+    return known;
+  }
+
+  std::unordered_set<PeerId> dead;
+  std::vector<PeerId> known;
+
+ private:
+  const Population& pop_;
+  std::size_t cursor_ = 1;
+};
+
+const Population& small_population() {
+  static const net::AsTopology topo = net::make_reference_topology();
+  static const Population pop = [] {
+    PopulationSpec spec = SystemProfile::tvants().population;
+    spec.background_peers = 60;
+    return Population::build(topo, spec, table1_probes(), 7);
+  }();
+  return pop;
+}
+
+DiscoverySpec failover_spec() {
+  DiscoverySpec spec;
+  spec.primary = DiscoveryBackendKind::kTracker;
+  spec.fallback = DiscoveryBackendKind::kDht;
+  spec.tracker_outage_start = SimTime::zero();
+  spec.tracker_outage_duration = SimTime::seconds(100);
+  spec.failover_after = 2;
+  spec.primary_retry = SimTime::seconds(10);
+  return spec;
+}
+
+TEST(DiscoveryService, TrackerAvailabilityTracksTheOutageWindow) {
+  DiscoverySpec spec;
+  spec.primary = DiscoveryBackendKind::kTracker;
+  spec.tracker_outage_start = SimTime::seconds(10);
+  spec.tracker_outage_duration = SimTime::seconds(10);
+  const Population& pop = small_population();
+  StubHost host{pop};
+  DiscoveryService service{spec, host, 7};
+  EXPECT_TRUE(service.tracker_available(SimTime::seconds(5)));
+  EXPECT_FALSE(service.tracker_available(SimTime::seconds(10)));
+  EXPECT_FALSE(service.tracker_available(SimTime::millis(19'999)));
+  EXPECT_TRUE(service.tracker_available(SimTime::seconds(20)));
+}
+
+TEST(DiscoveryService, FailsOverAfterConsecutivePrimaryFailures) {
+  const Population& pop = small_population();
+  StubHost host{pop};
+  DiscoveryService service{failover_spec(), host, 7};
+  Rng rng{7};
+  const PeerId self = pop.probe_ids()[0];
+
+  service.begin_join(self, SimTime::zero());
+  const auto first =
+      service.join_round(self, 8, SimTime::seconds(1), rng);
+  EXPECT_FALSE(first.ok);  // tracker down, one strike
+  EXPECT_EQ(service.counters().failovers, 0u);
+  EXPECT_EQ(service.counters().tracker_failures, 1u);
+
+  const auto second =
+      service.join_round(self, 8, SimTime::seconds(2), rng);
+  EXPECT_TRUE(second.ok);  // second strike -> DHT answers immediately
+  EXPECT_FALSE(second.peers.empty());
+  EXPECT_EQ(service.counters().failovers, 1u);
+  EXPECT_GT(service.counters().dht_lookups, 0u);
+
+  service.finish_join(self, SimTime::seconds(3), true);
+  ASSERT_EQ(service.rejoin_latencies().size(), 1u);
+  EXPECT_EQ(service.rejoin_latencies()[0], SimTime::seconds(3));
+}
+
+TEST(DiscoveryService, RecoversOncePrimaryComesBack) {
+  const Population& pop = small_population();
+  StubHost host{pop};
+  DiscoveryService service{failover_spec(), host, 7};
+  Rng rng{7};
+  const PeerId self = pop.probe_ids()[0];
+
+  service.begin_join(self, SimTime::zero());
+  (void)service.join_round(self, 8, SimTime::seconds(1), rng);
+  (void)service.join_round(self, 8, SimTime::seconds(2), rng);
+  ASSERT_EQ(service.counters().failovers, 1u);
+
+  // Outage ends at t=100s; the next round past the primary-retry
+  // cooldown probes the tracker, which now answers -> recovery.
+  const auto recovered =
+      service.join_round(self, 8, SimTime::seconds(200), rng);
+  EXPECT_TRUE(recovered.ok);
+  EXPECT_EQ(service.counters().recoveries, 1u);
+  EXPECT_GT(service.counters().tracker_queries, 0u);
+}
+
+TEST(DiscoveryService, BackoffDoublesWithDeterministicJitter) {
+  const Population& pop = small_population();
+  StubHost host_a{pop};
+  StubHost host_b{pop};
+  DiscoverySpec spec = failover_spec();
+  spec.join_backoff = SimTime::millis(500);
+  spec.join_backoff_max = SimTime::seconds(8);
+  DiscoveryService a{spec, host_a, 7};
+  DiscoveryService b{spec, host_b, 7};
+  const PeerId self = pop.probe_ids()[1];
+
+  SimTime previous = SimTime::zero();
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const SimTime got = a.next_join_backoff(self);
+    // Same (seed, peer, attempt) -> the identical delay, no stream.
+    EXPECT_EQ(got, b.next_join_backoff(self)) << "attempt " << attempt;
+    // Jitter stays inside the 75-125% band around the doubling ladder.
+    const double ladder =
+        std::min(0.5 * static_cast<double>(1 << (attempt - 1)), 8.0);
+    EXPECT_GE(got.ns(), static_cast<std::int64_t>(0.75 * ladder * 1e9));
+    EXPECT_LE(got.ns(), static_cast<std::int64_t>(1.25 * ladder * 1e9));
+    // Strictly increasing while the ladder still doubles (0.75 * 2x
+    // beats 1.25 * x); once capped at the max the jitter may invert.
+    if (attempt >= 2 && attempt <= 5) {
+      EXPECT_GT(got, previous) << "attempt " << attempt;
+    }
+    previous = got;
+  }
+  EXPECT_EQ(a.counters().join_retries, 8u);
+}
+
+TEST(DiscoveryService, RejoinsMissedCountsSlowAndOpenEpisodes) {
+  const Population& pop = small_population();
+  StubHost host{pop};
+  DiscoverySpec spec;
+  spec.primary = DiscoveryBackendKind::kTracker;
+  DiscoveryService service{spec, host, 7};
+  const auto probes = pop.probe_ids();
+
+  service.begin_join(probes[0], SimTime::zero());
+  service.finish_join(probes[0], SimTime::seconds(3), true);  // in budget
+  service.begin_join(probes[1], SimTime::zero());
+  service.finish_join(probes[1], SimTime::seconds(8), true);  // too slow
+  service.begin_join(probes[2], SimTime::zero());             // never lands
+
+  EXPECT_EQ(service.rejoins_missed(SimTime::seconds(5), SimTime::seconds(10)),
+            2u);
+  // No deadline -> nothing can be missed.
+  EXPECT_EQ(service.rejoins_missed(SimTime::zero(), SimTime::seconds(10)),
+            0u);
+}
+
+TEST(DiscoveryService, GossipHealsFromPartition) {
+  const Population& pop = small_population();
+  StubHost host{pop};
+  DiscoverySpec spec;
+  spec.primary = DiscoveryBackendKind::kGossip;
+  spec.gossip.partition_after = 2;
+  DiscoveryService service{spec, host, 7};
+  Rng rng{13};
+  const PeerId self = pop.probe_ids()[0];
+
+  // Kill the whole audience: every exchange round finds only dead
+  // peers, and after partition_after consecutive dead rounds the view
+  // is declared partitioned and reseeded from the bootstrap set.
+  for (const auto& peer : pop.peers()) {
+    if (peer.id != self) host.dead.insert(peer.id);
+  }
+  for (int round = 0; round < 4; ++round) {
+    (void)service.join_round(self, 8, SimTime::seconds(round + 1), rng);
+  }
+  EXPECT_GT(service.counters().gossip_partitions, 0u);
+
+  // The audience comes back; gossip finds peers again.
+  host.dead.clear();
+  const auto healed = service.join_round(self, 8, SimTime::seconds(30), rng);
+  EXPECT_TRUE(healed.ok);
+  EXPECT_FALSE(healed.peers.empty());
+}
+
+}  // namespace
+}  // namespace peerscope::p2p

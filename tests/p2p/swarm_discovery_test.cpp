@@ -1,0 +1,179 @@
+// Swarm-level discovery tests: the pluggable backends, tracker-outage
+// failover, NAT traversal, flash crowds and heavy-tailed sessions must
+// leave the swarm functional and deterministic, a default-constructed
+// DiscoverySpec must stay bit-identical to the legacy inline tracker
+// path, and a fallback-less outage with a re-join deadline must show
+// up as missed re-joins (the degraded-run signal).
+#include <gtest/gtest.h>
+
+#include "p2p/swarm.hpp"
+
+namespace peerscope::p2p {
+namespace {
+
+using util::SimTime;
+
+const net::AsTopology& topo() {
+  static const net::AsTopology t = net::make_reference_topology();
+  return t;
+}
+
+SwarmConfig base_config() {
+  SwarmConfig cfg;
+  cfg.profile = SystemProfile::tvants();
+  cfg.profile.population.background_peers = 150;
+  cfg.seed = 77;
+  cfg.duration = SimTime::seconds(30);
+  return cfg;
+}
+
+std::uint64_t total_rx(const Swarm& swarm) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < swarm.probe_count(); ++i) {
+    total += swarm.sink(i).flows().total_rx_bytes();
+  }
+  return total;
+}
+
+DiscoverySpec outage_spec(DiscoveryBackendKind fallback) {
+  DiscoverySpec spec;
+  spec.primary = DiscoveryBackendKind::kTracker;
+  spec.fallback = fallback;
+  spec.tracker_outage_start = SimTime::seconds(8);
+  spec.tracker_outage_duration = SimTime::seconds(12);
+  return spec;
+}
+
+TEST(SwarmDiscovery, DefaultSpecIsBitIdenticalToLegacy) {
+  SwarmConfig plain = base_config();
+  SwarmConfig with_defaults = base_config();
+  with_defaults.discovery = DiscoverySpec{};
+  Swarm a{topo(), table1_probes(), plain};
+  Swarm b{topo(), table1_probes(), with_defaults};
+  a.run();
+  b.run();
+  EXPECT_EQ(total_rx(a), total_rx(b));
+  EXPECT_EQ(a.counters().chunks_delivered, b.counters().chunks_delivered);
+  EXPECT_EQ(a.counters().contacts, b.counters().contacts);
+  EXPECT_FALSE(b.counters().discovery.any());
+  EXPECT_EQ(b.discovery_report().rejoins_missed, 0u);
+}
+
+TEST(SwarmDiscovery, PermissiveNatMatrixIsBitIdenticalToLegacy) {
+  // With every direct-traversal probability pinned to 1 the NAT gate
+  // never draws from the protocol stream (open pairs and certain
+  // successes consume nothing), so the run must not shift by a byte.
+  SwarmConfig plain = base_config();
+  SwarmConfig permissive = base_config();
+  permissive.discovery.nat.enabled = true;
+  permissive.discovery.nat.cone_cone = 1.0;
+  permissive.discovery.nat.cone_symmetric = 1.0;
+  permissive.discovery.nat.symmetric_symmetric = 1.0;
+  Swarm a{topo(), table1_probes(), plain};
+  Swarm b{topo(), table1_probes(), permissive};
+  a.run();
+  b.run();
+  EXPECT_EQ(total_rx(a), total_rx(b));
+  EXPECT_EQ(a.counters().chunks_delivered, b.counters().chunks_delivered);
+  EXPECT_EQ(b.counters().discovery.nat_relayed, 0u);
+  EXPECT_EQ(b.counters().discovery.nat_blocked, 0u);
+  EXPECT_GT(b.counters().discovery.nat_direct, 0u);
+}
+
+TEST(SwarmDiscovery, ExtractedTrackerKeepsProbesMeasuring) {
+  SwarmConfig cfg = base_config();
+  cfg.discovery.primary = DiscoveryBackendKind::kTracker;
+  Swarm swarm{topo(), table1_probes(), cfg};
+  swarm.run();
+  EXPECT_GT(swarm.counters().discovery.tracker_queries, 0u);
+  EXPECT_GT(swarm.counters().discovery.joins_ok, 0u);
+  for (std::size_t i = 0; i < swarm.probe_count(); ++i) {
+    EXPECT_GT(swarm.sink(i).flows().total_rx_bytes(), 0u) << "probe " << i;
+  }
+}
+
+TEST(SwarmDiscovery, TrackerOutageFailsOverToDht) {
+  SwarmConfig cfg = base_config();
+  cfg.discovery = outage_spec(DiscoveryBackendKind::kDht);
+  cfg.discovery.rejoin_deadline = SimTime::seconds(30);
+  Swarm swarm{topo(), table1_probes(), cfg};
+  swarm.run();
+  const auto& d = swarm.counters().discovery;
+  EXPECT_GT(d.tracker_failures, 0u);
+  EXPECT_GT(d.failovers, 0u);
+  EXPECT_GT(d.dht_lookups, 0u);
+  // Everyone re-joined inside the generous deadline.
+  EXPECT_EQ(swarm.discovery_report().rejoins_missed, 0u);
+  for (std::size_t i = 0; i < swarm.probe_count(); ++i) {
+    EXPECT_GT(swarm.sink(i).flows().total_rx_bytes(), 0u) << "probe " << i;
+  }
+}
+
+TEST(SwarmDiscovery, TrackerOutageFailsOverToGossip) {
+  SwarmConfig cfg = base_config();
+  cfg.discovery = outage_spec(DiscoveryBackendKind::kGossip);
+  Swarm swarm{topo(), table1_probes(), cfg};
+  swarm.run();
+  const auto& d = swarm.counters().discovery;
+  EXPECT_GT(d.failovers, 0u);
+  EXPECT_GT(d.gossip_exchanges, 0u);
+  for (std::size_t i = 0; i < swarm.probe_count(); ++i) {
+    EXPECT_GT(swarm.sink(i).flows().total_rx_bytes(), 0u) << "probe " << i;
+  }
+}
+
+TEST(SwarmDiscovery, NoFallbackOutageDegradesTheRun) {
+  // Tracker dies for the rest of the run with nothing to fail over
+  // to: join rounds keep failing, and with a deadline configured the
+  // report must show missed re-joins — the signal exp::run_experiment
+  // escalates into a distinct non-zero exit status.
+  SwarmConfig cfg = base_config();
+  cfg.discovery.primary = DiscoveryBackendKind::kTracker;
+  cfg.discovery.tracker_outage_start = SimTime::seconds(5);
+  cfg.discovery.tracker_outage_duration = SimTime::seconds(25);
+  cfg.discovery.rejoin_deadline = SimTime::seconds(5);
+  cfg.churn.probe_session_s = 6.0;  // crashes force re-join attempts
+  cfg.churn.probe_downtime_s = 1.0;
+  Swarm swarm{topo(), table1_probes(), cfg};
+  swarm.run();
+  EXPECT_GT(swarm.counters().discovery.tracker_failures, 0u);
+  EXPECT_GT(swarm.counters().discovery.join_retries, 0u);
+  EXPECT_GT(swarm.discovery_report().rejoins_missed, 0u);
+}
+
+TEST(SwarmDiscovery, FlashCrowdAndHeavyTailKeepTheSwarmAlive) {
+  SwarmConfig cfg = base_config();
+  cfg.discovery.primary = DiscoveryBackendKind::kTracker;
+  cfg.discovery.flash_crowd_at = SimTime::seconds(10);
+  cfg.discovery.flash_crowd_arrivals = 40;
+  cfg.discovery.zap_reuse = 0.5;
+  cfg.discovery.session_tail_alpha = 1.5;
+  Swarm swarm{topo(), table1_probes(), cfg};
+  swarm.run();
+  EXPECT_GT(swarm.counters().discovery.flash_arrivals, 0u);
+  for (std::size_t i = 0; i < swarm.probe_count(); ++i) {
+    EXPECT_GT(swarm.sink(i).flows().total_rx_bytes(), 0u) << "probe " << i;
+  }
+}
+
+TEST(SwarmDiscovery, OutageRunsAreDeterministicUnderFixedSeed) {
+  SwarmConfig cfg = base_config();
+  cfg.discovery = outage_spec(DiscoveryBackendKind::kDht);
+  cfg.discovery.nat.enabled = true;
+  Swarm a{topo(), table1_probes(), cfg};
+  Swarm b{topo(), table1_probes(), cfg};
+  a.run();
+  b.run();
+  EXPECT_EQ(total_rx(a), total_rx(b));
+  EXPECT_EQ(a.counters().discovery.failovers,
+            b.counters().discovery.failovers);
+  EXPECT_EQ(a.counters().discovery.dht_lookups,
+            b.counters().discovery.dht_lookups);
+  EXPECT_EQ(a.counters().discovery.nat_relayed,
+            b.counters().discovery.nat_relayed);
+  ASSERT_EQ(a.discovery_report().rejoin_latencies_s.size(),
+            b.discovery_report().rejoin_latencies_s.size());
+}
+
+}  // namespace
+}  // namespace peerscope::p2p

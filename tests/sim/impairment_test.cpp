@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "util/rng.hpp"
 #include "util/sim_time.hpp"
 
@@ -73,6 +76,46 @@ TEST(GilbertElliott, StationaryLossRateIsHonoured) {
   }
   const double observed = static_cast<double>(lost) / kDraws;
   EXPECT_NEAR(observed, 0.05, 0.01);
+}
+
+TEST(GilbertElliott, LongRunRateMatchesSteadyStateAcrossTheKnobGrid) {
+  // Statistical contract of the two-state chain: for every
+  // (loss_rate, loss_burst) combination the long-run empirical drop
+  // frequency must converge to the configured stationary rate, and the
+  // mean observed burst length to the configured loss_burst. Fixed
+  // seeds per combination keep the test deterministic; 400k draws make
+  // the sampling error a fraction of the tolerances below.
+  const double rates[] = {0.01, 0.05, 0.10};
+  const double bursts[] = {1.5, 3.0, 8.0};
+  constexpr int kDraws = 400000;
+  std::uint64_t seed = 1000;
+  for (const double rate : rates) {
+    for (const double burst : bursts) {
+      ImpairmentSpec spec;
+      spec.loss_rate = rate;
+      spec.loss_burst = burst;
+      Rng rng{seed++};
+      GilbertElliott channel;
+      int lost = 0, burst_count = 0;
+      bool prev = false;
+      for (int i = 0; i < kDraws; ++i) {
+        const bool drop = channel.lose(spec, rng);
+        if (drop) {
+          ++lost;
+          if (!prev) ++burst_count;  // a new burst starts
+        }
+        prev = drop;
+      }
+      const double observed = static_cast<double>(lost) / kDraws;
+      const double tol = std::max(0.15 * rate, 0.002);
+      EXPECT_NEAR(observed, rate, tol)
+          << "rate " << rate << " burst " << burst;
+      ASSERT_GT(burst_count, 0) << "rate " << rate << " burst " << burst;
+      const double mean_burst = static_cast<double>(lost) / burst_count;
+      EXPECT_NEAR(mean_burst, burst, 0.35 * burst)
+          << "rate " << rate << " burst " << burst;
+    }
+  }
 }
 
 TEST(GilbertElliott, BurstLossesAreCorrelated) {

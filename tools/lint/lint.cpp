@@ -31,6 +31,12 @@ constexpr std::string_view kMetricRegistryPath = "src/obs/metric_names.def";
 constexpr std::string_view kTraceRegistryPath = "src/obs/trace_names.def";
 constexpr std::string_view kSchemaRegistryPath =
     "src/obs/schema_versions.def";
+// Optional exit-code registry (`<value> <name>` per line): when the
+// file exists, every kExit* constant in tools/ must be pinned there
+// and every entry must name a live constant. Absent file = sub-check
+// skipped, so miniature fixture roots without one keep the original
+// uniqueness + README semantics.
+constexpr std::string_view kExitCodeRegistryPath = "tools/exit_codes.def";
 
 // The one file allowed to bypass util::write_file_atomic: it is the
 // implementation of util::write_file_atomic.
@@ -701,6 +707,62 @@ class Linter {
       report(*code.file, code.offset, kRuleExitCodes,
              code.name + " = " + std::to_string(code.value) +
                  " is not documented in the README exit-code table");
+    }
+
+    // Registry sub-check (tools/exit_codes.def, optional): names and
+    // values are pinned both ways, so adding a code — the discovery
+    // "degraded" status being the motivating case — forces the
+    // registry (and through it the docs review) in the same commit.
+    const fs::path registry_path = options_.root / kExitCodeRegistryPath;
+    const auto registry_text = read_file(registry_path);
+    if (!registry_text) return;
+    struct RegistryCode {
+      std::size_t line;
+      std::string name;
+      int value;
+      bool used = false;
+    };
+    std::vector<RegistryCode> registered;
+    std::size_t line_no = 0;
+    std::istringstream lines{*registry_text};
+    for (std::string line; std::getline(lines, line);) {
+      ++line_no;
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      std::istringstream fields{line};
+      int value = 0;
+      std::string name;
+      if (!(fields >> value >> name)) continue;
+      registered.push_back({line_no, name, value});
+    }
+    for (const auto& code : codes) {
+      bool found = false;
+      for (auto& entry : registered) {
+        if (entry.name != code.name) continue;
+        entry.used = true;
+        found = true;
+        if (entry.value != code.value) {
+          report(*code.file, code.offset, kRuleExitCodes,
+                 code.name + " = " + std::to_string(code.value) +
+                     " disagrees with " +
+                     std::string{kExitCodeRegistryPath} + " (" +
+                     std::to_string(entry.value) + ")");
+        }
+      }
+      if (!found) {
+        report(*code.file, code.offset, kRuleExitCodes,
+               code.name + " is not registered in " +
+                   std::string{kExitCodeRegistryPath} +
+                   "; add it in the same commit");
+      }
+    }
+    for (const auto& entry : registered) {
+      if (entry.used) continue;
+      result_.findings.push_back(
+          {registry_path, entry.line, std::string{kRuleExitCodes},
+           "exit code \"" + entry.name +
+               "\" is registered but no tools/ constant defines it; "
+               "delete the entry or restore the constant"});
     }
   }
 

@@ -49,6 +49,24 @@
 //   --bg-churn S      mean background-peer online session (s)
 //   --nat-fail P      P(contact to NAT'd/firewalled peer fails)
 //
+// Discovery flags (run/report; all default to off — the legacy inline
+// tracker path stays byte-identical without them):
+//   --discovery B         primary backend: tracker | dht | gossip
+//   --fallback B          failover backend after consecutive primary
+//                         failures (requires --discovery)
+//   --tracker-outage-at S tracker hard-outage start (s into the run)
+//   --tracker-outage-for S  tracker hard-outage duration (s)
+//   --rejoin-deadline S   re-join SLO: any probe whose discovery
+//                         re-join exceeds S seconds degrades the run
+//                         to exit code 8 (flight recorder dumped)
+//   --nat-matrix F        arm the NAT traversal matrix; F = fraction
+//                         of NAT'd peers that are symmetric (0..1)
+//   --flash-crowd N       channel-zap flash crowd of N arrivals
+//   --flash-crowd-at S    flash-crowd instant (default 1/3 into run)
+//   --zap-reuse P         known-peer fraction kept across the zap
+//   --session-tail A      Pareto shape for heavy-tailed sessions
+//                         (> 1 arms it; 0 keeps exponential draws)
+//
 // Apps: pplive | sopcast | tvants | pplive-popular | napawine-proto
 //
 // Global flags (any command):
@@ -76,7 +94,8 @@
 //               result; the report marks them), 6 bad capture
 //               directory (analyze), 7 bad trace file
 //               (trace-summary: unreadable, wrong schema, or no
-//               salvageable events).
+//               salvageable events), 8 degraded (the run completed
+//               but a discovery re-join missed --rejoin-deadline).
 
 #include <cstdlib>
 #include <cstring>
@@ -119,6 +138,10 @@ constexpr int kExitBadValue = 4;
 constexpr int kExitPartial = tools::kExitPartialSuccess;  // 5
 constexpr int kExitBadCapture = 6;
 constexpr int kExitBadTrace = 7;
+// A run that finished the simulation but missed its discovery re-join
+// SLO (exp::DiscoveryDegraded): distinct from 1 so the CI outage smoke
+// can tell "degraded as designed" from a genuine crash.
+constexpr int kExitDegraded = 8;
 
 int usage(int code = kExitUsage) {
   std::cerr <<
@@ -133,11 +156,16 @@ int usage(int code = kExitUsage) {
 supervision: --retries N  --deadline S  --resume
 fault flags: --loss P  --loss-burst N  --reorder P  --dup P
              --outage R  --outage-ms MS  --churn S  --bg-churn S  --nat-fail P
+discovery:   --discovery <tracker|dht|gossip>  --fallback <tracker|dht|gossip>
+             --tracker-outage-at S  --tracker-outage-for S
+             --rejoin-deadline S  --nat-matrix F  --flash-crowd N
+             --flash-crowd-at S  --zap-reuse P  --session-tail A
 global flags: --metrics PATH   (write metrics.json sidecar at exit)
               --trace PATH     (write trace.json event timeline at exit)
 
 exit codes: 0 ok, 1 runtime error, 2 usage, 3 unknown app, 4 bad value,
-            5 partial success, 6 bad capture directory, 7 bad trace file
+            5 partial success, 6 bad capture directory, 7 bad trace file,
+            8 degraded (discovery re-join missed --rejoin-deadline)
 
 apps: pplive | sopcast | tvants | pplive-popular | napawine-proto
 )";
@@ -167,6 +195,7 @@ struct RunArgs {
   bool resume = false;
   sim::ImpairmentSpec impairment;
   p2p::ChurnSpec churn;
+  p2p::DiscoverySpec discovery;
 };
 
 /// Strict numeric parse: the whole token must be a number in
@@ -178,6 +207,10 @@ std::optional<double> parse_double(const char* text, double lo, double hi) {
   const double v = std::strtod(text, &end);
   if (end == text || *end != '\0' || v < lo || v > hi) return std::nullopt;
   return v;
+}
+
+util::SimTime seconds_to_simtime(double s) {
+  return util::SimTime::nanos(static_cast<std::int64_t>(s * 1e9));
 }
 
 /// Parses run/report arguments. On failure returns nullopt with `err`
@@ -309,6 +342,52 @@ std::optional<RunArgs> parse_run_args(int argc, char** argv, int first,
       if (!numeric(0.0, 1.0, p)) return std::nullopt;
       args.churn.nat_connect_failure = p;
       args.churn.firewall_connect_failure = p;
+    } else if (flag == "--discovery" || flag == "--fallback") {
+      const char* name = value();
+      if (!name) {
+        std::cerr << flag << " needs a value\n";
+        return std::nullopt;
+      }
+      const auto kind = p2p::parse_backend_kind(name);
+      if (!kind) {
+        std::cerr << "invalid value for " << flag << ": " << name
+                  << " (expected tracker | dht | gossip)\n";
+        err = kExitBadValue;
+        return std::nullopt;
+      }
+      (flag == "--discovery" ? args.discovery.primary
+                             : args.discovery.fallback) = *kind;
+    } else if (flag == "--tracker-outage-at") {
+      double s = 0;
+      if (!numeric(0.0, 1e6, s)) return std::nullopt;
+      args.discovery.tracker_outage_start = seconds_to_simtime(s);
+    } else if (flag == "--tracker-outage-for") {
+      double s = 0;
+      if (!numeric(0.0, 1e6, s)) return std::nullopt;
+      args.discovery.tracker_outage_duration = seconds_to_simtime(s);
+    } else if (flag == "--rejoin-deadline") {
+      double s = 0;
+      if (!numeric(0.0, 1e6, s)) return std::nullopt;
+      args.discovery.rejoin_deadline = seconds_to_simtime(s);
+    } else if (flag == "--nat-matrix") {
+      double f = 0;
+      if (!numeric(0.0, 1.0, f)) return std::nullopt;
+      args.discovery.nat.enabled = true;
+      args.discovery.nat.symmetric_fraction = f;
+    } else if (flag == "--flash-crowd") {
+      double n = 0;
+      if (!numeric(1.0, 1e6, n)) return std::nullopt;
+      args.discovery.flash_crowd_arrivals = static_cast<int>(n);
+    } else if (flag == "--flash-crowd-at") {
+      double s = 0;
+      if (!numeric(0.0, 1e6, s)) return std::nullopt;
+      args.discovery.flash_crowd_at = seconds_to_simtime(s);
+    } else if (flag == "--zap-reuse") {
+      if (!numeric(0.0, 1.0, args.discovery.zap_reuse)) return std::nullopt;
+    } else if (flag == "--session-tail") {
+      if (!numeric(0.0, 50.0, args.discovery.session_tail_alpha)) {
+        return std::nullopt;
+      }
     } else {
       std::cerr << "unknown flag: " << flag << '\n';
       return std::nullopt;
@@ -317,6 +396,19 @@ std::optional<RunArgs> parse_run_args(int argc, char** argv, int first,
   if (!have_app) {
     std::cerr << "--app is required\n";
     return std::nullopt;
+  }
+  if (args.discovery.fallback != p2p::DiscoveryBackendKind::kNone &&
+      args.discovery.primary == p2p::DiscoveryBackendKind::kNone) {
+    std::cerr << "--fallback requires --discovery\n";
+    return std::nullopt;
+  }
+  if (args.discovery.flash_crowd_arrivals > 0 &&
+      args.discovery.flash_crowd_at <= util::SimTime::zero()) {
+    // Default zap instant: a third into the run — late enough for
+    // every probe to be bootstrapped, early enough to observe the
+    // re-join settle.
+    args.discovery.flash_crowd_at =
+        util::SimTime::seconds(args.duration_s / 3);
   }
   return args;
 }
@@ -384,6 +476,25 @@ void print_fault_counters(const p2p::Swarm::Counters& counters) {
             << counters.partners_blacklisted << " partners blacklisted\n";
 }
 
+void print_discovery_counters(const p2p::DiscoveryCounters& d) {
+  std::cerr << "discovery: " << d.joins_ok << " joins, " << d.join_retries
+            << " retries, " << d.failovers << " failovers, " << d.recoveries
+            << " recoveries, " << d.tracker_failures
+            << " tracker failures, " << d.dht_lookups << " DHT lookups, "
+            << d.gossip_exchanges << " gossip exchanges\n";
+  if (d.nat_direct + d.nat_relayed + d.nat_blocked > 0) {
+    std::cerr << "nat: " << d.nat_direct << " direct, " << d.nat_relayed
+              << " relayed, " << d.nat_blocked << " blocked\n";
+  }
+}
+
+/// Maps a supervised failure to the CLI exit code: a run that finished
+/// but missed its re-join SLO (exp::DiscoveryDegraded's message
+/// prefix) is "degraded" (8), anything else is a runtime error (1).
+int failure_exit_code(const std::string& error) {
+  return error.rfind("discovery degraded", 0) == 0 ? kExitDegraded : 1;
+}
+
 int cmd_run(const RunArgs& args) {
   if (args.out.empty()) {
     std::cerr << "--out is required for run\n";
@@ -401,6 +512,7 @@ int cmd_run(const RunArgs& args) {
   spec.keep_records = true;
   spec.impairment = args.impairment;
   spec.churn = args.churn;
+  spec.discovery = args.discovery;
 
   exp::SupervisorConfig supervision;
   supervision.retries = args.retries;
@@ -421,10 +533,17 @@ int cmd_run(const RunArgs& args) {
     config.keep_records = true;
     config.impairment = s.impairment;
     config.churn = s.churn;
+    config.discovery = s.discovery;
     config.cancel = s.cancel;
 
     p2p::Swarm swarm{t, testbed.probes(), config};
     swarm.run();
+    if (s.discovery.rejoin_deadline > util::SimTime::zero()) {
+      const auto report = swarm.discovery_report();
+      if (report.rejoins_missed > 0) {
+        throw exp::DiscoveryDegraded(report.rejoins_missed);
+      }
+    }
 
     const auto& population = swarm.population();
     exp::ExperimentMetadata meta;
@@ -480,13 +599,16 @@ int cmd_run(const RunArgs& args) {
   if (!run.ok()) {
     std::cerr << "run " << exp::to_string(run.state) << " after "
               << run.attempts << " attempt(s): " << run.error << '\n';
-    return 1;
+    return failure_exit_code(run.error);
   }
   if (run.attempts > 1) {
     std::cerr << "run succeeded on attempt " << run.attempts << '\n';
   }
   if (args.impairment.enabled() || args.churn.enabled()) {
     print_fault_counters(run.result->counters);
+  }
+  if (args.discovery.enabled()) {
+    print_discovery_counters(run.result->counters.discovery);
   }
   return 0;
 }
@@ -518,6 +640,7 @@ int cmd_report(const RunArgs& args) {
   spec.duration = util::SimTime::seconds(args.duration_s);
   spec.impairment = args.impairment;
   spec.churn = args.churn;
+  spec.discovery = args.discovery;
   std::cerr << "running " << spec.profile.name << " (seed " << args.seed
             << ", " << args.duration_s << " s)...\n";
 
@@ -533,11 +656,14 @@ int cmd_report(const RunArgs& args) {
   if (!run.ok()) {
     std::cerr << "run " << exp::to_string(run.state) << " after "
               << run.attempts << " attempt(s): " << run.error << '\n';
-    return 1;
+    return failure_exit_code(run.error);
   }
   print_analysis(run.result->observations);
   if (args.impairment.enabled() || args.churn.enabled()) {
     print_fault_counters(run.result->counters);
+  }
+  if (args.discovery.enabled()) {
+    print_discovery_counters(run.result->counters.discovery);
   }
   return 0;
 }
