@@ -3,6 +3,7 @@
 // so every binary prints paper-vs-measured rows.
 #pragma once
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdint>
@@ -25,6 +26,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_summary.hpp"
 #include "util/atomic_file.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -65,11 +67,15 @@ inline std::uint64_t env_u64_or_die(const char* var, const char* text,
 /// profile-default populations. Override via environment for quick
 /// runs: PEERSCOPE_BENCH_SECONDS, PEERSCOPE_BENCH_SEED; set
 /// PEERSCOPE_BENCH_OUTDIR to archive machine-readable CSVs of every
-/// regenerated table/figure. Malformed values abort with a usage
-/// message (exit 2) instead of running at a silently-mangled scale.
+/// regenerated table/figure; set PEERSCOPE_BENCH_FULL_SCALE (any
+/// value) to run each application at the paper's full observed-peer
+/// count (Table II: 181,729 / 4,057 / 550) with no count scaling.
+/// Malformed values abort with a usage message (exit 2) instead of
+/// running at a silently-mangled scale.
 struct BenchConfig {
   std::int64_t seconds = 300;
   std::uint64_t seed = 42;
+  bool full_scale = false;
   std::optional<std::filesystem::path> outdir;
 
   static BenchConfig from_env() {
@@ -79,6 +85,7 @@ struct BenchConfig {
       cfg.seconds = static_cast<std::int64_t>(detail::env_u64_or_die(
           "PEERSCOPE_BENCH_SECONDS", s, 31'536'000ULL));
     }
+    cfg.full_scale = std::getenv("PEERSCOPE_BENCH_FULL_SCALE") != nullptr;
     if (const char* s = std::getenv("PEERSCOPE_BENCH_SEED")) {
       cfg.seed = detail::env_u64_or_die(
           "PEERSCOPE_BENCH_SEED", s,
@@ -162,16 +169,27 @@ class TraceSession {
 
 /// PEERSCOPE_BENCH_JSON hook: machine-readable performance summary for
 /// CI trend tracking. When the variable names a path, the session
-/// measures the bench's wall time, simulation throughput and peak RSS,
-/// and writes them at scope exit as a one-object JSON document (schema
-/// peerscope.bench/1) via the atomic-write path, so a killed bench
-/// never leaves a torn artifact. When unset this is inert.
+/// measures the bench's wall time, simulation throughput, peak RSS and
+/// per-phase span attribution, and writes them at scope exit as a
+/// one-object JSON document (schema peerscope.bench/2) via the
+/// atomic-write path, so a killed bench never leaves a torn artifact.
+/// When unset this is inert.
 ///
-/// Construct it FIRST in main (before MetricsSession): when no metrics
-/// registry is requested the session installs a private one to count
-/// sim.events_executed; when PEERSCOPE_BENCH_METRICS already claimed
-/// the global slot the session leaves it alone and reports throughput
-/// as 0 (the full counter is in that sidecar instead).
+/// The `phases` array carries one row per traced span path —
+/// count, total wall ns and self wall ns (total minus directly nested
+/// children), sorted by path — computed with the same
+/// obs::attribute_spans pass `peerscope trace-summary` uses. That is
+/// what lets the CI trajectory gate localize a wall-time regression to
+/// a phase instead of just flagging the end-to-end number.
+///
+/// Construct it FIRST in main (before MetricsSession/TraceSession):
+/// when no metrics registry is requested the session installs a
+/// private one to count sim.events_executed, and when no tracer is
+/// requested it installs a private recorder to capture span events;
+/// when PEERSCOPE_BENCH_METRICS / PEERSCOPE_BENCH_TRACE already
+/// claimed the global slots the session leaves them alone and reports
+/// throughput as 0 / phases as empty (the full data is in those
+/// sidecars instead).
 class BenchJsonSession {
  public:
   explicit BenchJsonSession(std::string name) : name_(std::move(name)) {
@@ -181,6 +199,10 @@ class BenchJsonSession {
       if (!obs::enabled() && !std::getenv("PEERSCOPE_BENCH_METRICS")) {
         registry_ = std::make_unique<obs::MetricsRegistry>();
         obs::install(registry_.get());
+      }
+      if (!obs::trace_enabled() && !std::getenv("PEERSCOPE_BENCH_TRACE")) {
+        recorder_ = std::make_unique<obs::TraceRecorder>();
+        obs::install_tracer(recorder_.get());
       }
     }
   }
@@ -197,13 +219,29 @@ class BenchJsonSession {
       const auto it = snapshot.counters.find("sim.events_executed");
       if (it != snapshot.counters.end()) events = it->second;
     }
+    std::vector<obs::SpanAttribution> phases;
+    if (recorder_) {
+      obs::install_tracer(nullptr);
+      phases = obs::attribute_spans(recorder_->snapshot().events);
+      std::sort(phases.begin(), phases.end(),
+                [](const obs::SpanAttribution& a,
+                   const obs::SpanAttribution& b) { return a.path < b.path; });
+    }
     ::rusage usage{};
     ::getrusage(RUSAGE_SELF, &usage);
     std::ostringstream out;
-    out << "{\"schema\":\"peerscope.bench/1\",\"bench\":\"" << name_
+    out << "{\"schema\":\"peerscope.bench/2\",\"bench\":\"" << name_
         << "\",\"wall_s\":" << wall_s << ",\"events_executed\":" << events
         << ",\"events_per_s\":" << (wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0)
-        << ",\"peak_rss_kb\":" << usage.ru_maxrss << "}\n";
+        << ",\"peak_rss_kb\":" << usage.ru_maxrss << ",\"phases\":[";
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      const obs::SpanAttribution& row = phases[i];
+      if (i != 0) out << ',';
+      out << "{\"path\":\"" << row.path << "\",\"count\":" << row.count
+          << ",\"total_ns\":" << row.total_ns
+          << ",\"self_ns\":" << row.self_ns << '}';
+    }
+    out << "]}\n";
     try {
       util::write_file_atomic(path_, out.str());
       std::cerr << "bench-json: wrote " << path_.string() << '\n';
@@ -220,25 +258,8 @@ class BenchJsonSession {
   std::filesystem::path path_;
   std::chrono::steady_clock::time_point started_;
   std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::TraceRecorder> recorder_;
 };
-
-/// Runs PPLive, SopCast and TVAnts concurrently; results ordered
-/// [pplive, sopcast, tvants].
-inline std::vector<exp::RunResult> run_three_apps(
-    const net::AsTopology& topo, const BenchConfig& cfg) {
-  std::vector<exp::RunSpec> specs;
-  for (auto profile :
-       {p2p::SystemProfile::pplive(), p2p::SystemProfile::sopcast(),
-        p2p::SystemProfile::tvants()}) {
-    exp::RunSpec spec;
-    spec.profile = std::move(profile);
-    spec.seed = cfg.seed;
-    spec.duration = util::SimTime::seconds(cfg.seconds);
-    specs.push_back(std::move(spec));
-  }
-  util::ThreadPool pool;
-  return exp::run_experiments(topo, specs, pool);
-}
 
 inline std::string fmt(double v, int precision = 1) {
   return util::TextTable::num(v, precision);
@@ -325,6 +346,36 @@ inline constexpr PaperAsRatio kPaperFig2Ratios[] = {
 
 inline std::string paper_cell(double v, int precision = 1) {
   return v < 0 ? "-" : fmt(v, precision);
+}
+
+/// Runs PPLive, SopCast and TVAnts concurrently; results ordered
+/// [pplive, sopcast, tvants]. With cfg.full_scale each application's
+/// background population is set to the paper's full observed-peer
+/// count (Table II's "observed total" column) — no count scaling;
+/// the calendar-queue engine + SoA peer state carry the 181,729-peer
+/// PPLive swarm directly.
+inline std::vector<exp::RunResult> run_three_apps(
+    const net::AsTopology& topo, const BenchConfig& cfg) {
+  std::vector<exp::RunSpec> specs;
+  for (auto profile :
+       {p2p::SystemProfile::pplive(), p2p::SystemProfile::sopcast(),
+        p2p::SystemProfile::tvants()}) {
+    exp::RunSpec spec;
+    spec.profile = std::move(profile);
+    if (cfg.full_scale) {
+      for (const PaperSummary& row : kPaperTable2) {
+        if (spec.profile.name == row.app) {
+          spec.profile.population.background_peers =
+              static_cast<std::size_t>(row.observed_total);
+        }
+      }
+    }
+    spec.seed = cfg.seed;
+    spec.duration = util::SimTime::seconds(cfg.seconds);
+    specs.push_back(std::move(spec));
+  }
+  util::ThreadPool pool;
+  return exp::run_experiments(topo, specs, pool);
 }
 
 }  // namespace peerscope::bench

@@ -18,6 +18,16 @@
 
 namespace peerscope::exp {
 
+/// The engine's cancellation poll cadence, re-exported where the
+/// supervisor's deadline handling lives: once a CancelToken trips (or
+/// its deadline passes), the event loop notices within at most this
+/// many executed events — the bound
+/// tests/exp/supervisor_test.cpp:CancelPollStride pins. One constant,
+/// two names: sim::Engine::kCancelStride is the implementation,
+/// this alias is the supervision-facing contract.
+inline constexpr std::uint64_t kCancelPollStride =
+    sim::Engine::kCancelStride;
+
 struct RunSpec {
   p2p::SystemProfile profile;
   std::uint64_t seed = 42;

@@ -518,12 +518,16 @@ DiscoveryService::~DiscoveryService() = default;
 std::unique_ptr<DiscoveryBackend> DiscoveryService::make_backend(
     DiscoveryBackendKind kind) {
   switch (kind) {
+    // Backend factories run at join/failover time, not per event.
     case DiscoveryBackendKind::kTracker:
+      // peerscope-lint: allow(engine-hot-path)
       return std::make_unique<TrackerBackend>(*this, host_, counters_);
     case DiscoveryBackendKind::kDht:
+      // peerscope-lint: allow(engine-hot-path)
       return std::make_unique<DhtBackend>(spec_.dht, host_, counters_,
                                           seed_);
     case DiscoveryBackendKind::kGossip:
+      // peerscope-lint: allow(engine-hot-path)
       return std::make_unique<GossipBackend>(spec_.gossip, host_, counters_);
     case DiscoveryBackendKind::kNone:
       break;

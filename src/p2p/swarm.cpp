@@ -35,12 +35,14 @@ struct Swarm::HostImpl final : DiscoveryHost {
            swarm.topo_.path(eb, ea).one_way_delay;
   }
   [[nodiscard]] PeerId tracker_sample(PeerId self) override {
-    const ProbeState& ps = *swarm.probes_[swarm.probe_by_peer_.at(self)];
+    const ProbeState& ps =
+        swarm.probes_[static_cast<std::size_t>(swarm.probe_slot_[self])];
     return swarm.sample_peer(ps, swarm.config_.profile.discovery_as_bias);
   }
   [[nodiscard]] std::span<const PeerId> known_peers(
       PeerId self) const override {
-    return swarm.probes_[swarm.probe_by_peer_.at(self)]->known_list;
+    return swarm.probes_[static_cast<std::size_t>(swarm.probe_slot_[self])]
+        .known_list;
   }
 
   Swarm& swarm;
@@ -64,20 +66,34 @@ Swarm::Swarm(const net::AsTopology& topo, std::span<const ProbeSpec> probes,
       chunk_interval_(config_.profile.stream.chunk_interval()) {
   up_.resize(population_.size());
   down_.resize(population_.size());
+  // SoA mirrors of the hot per-peer facts (one pass over the
+  // population; see the member comments in swarm.hpp).
+  peer_kind_.resize(population_.size(), kBackground);
+  probe_slot_.resize(population_.size(), -1);
+  lag_scale_.reserve(population_.size());
+  for (const PeerInfo& peer : population_.peers()) {
+    if (peer.is_probe) peer_kind_[peer.id] = kProbe;
+    if (peer.is_source) peer_kind_[peer.id] = kSource;
+    probe_slot_[peer.id] = peer.probe_index;
+    lag_scale_.push_back(peer.lag_scale);
+  }
   sinks_.reserve(population_.probe_ids().size());
   probes_.reserve(population_.probe_ids().size());
   for (const PeerId id : population_.probe_ids()) {
     const std::size_t index = probes_.size();
+    // peerscope-lint: allow(engine-hot-path)
     sinks_.push_back(std::make_unique<trace::ProbeSink>(
         population_.peer(id).ep.addr, config_.keep_records));
-    auto ps = std::make_unique<ProbeState>();
-    ps->id = id;
-    ps->index = index;
-    probe_by_peer_.emplace(id, index);
+    ProbeState ps;
+    ps.id = id;
+    ps.index = index;
+    ps.known_bits.assign(population_.size(), false);
     probes_.push_back(std::move(ps));
   }
   if (config_.discovery.backend_active()) {
+    // peerscope-lint: allow(engine-hot-path)
     discovery_host_ = std::make_unique<HostImpl>(*this);
+    // peerscope-lint: allow(engine-hot-path)
     discovery_ = std::make_unique<DiscoveryService>(
         config_.discovery, *discovery_host_, config_.seed);
   }
@@ -89,17 +105,17 @@ ChunkIndex Swarm::source_newest() const {
   return engine_.now() / chunk_interval_ - 1;
 }
 
-double Swarm::bg_lag_s(const PeerInfo& peer, util::SimTime now) const {
+double Swarm::bg_lag_s(PeerId id, util::SimTime now) const {
   const auto& spec = config_.profile.population;
   // Per-peer phase so epoch boundaries are not synchronised.
-  util::SplitMix64 phase_mix{config_.seed ^ (0x1a9f37ULL + peer.id)};
+  util::SplitMix64 phase_mix{config_.seed ^ (0x1a9f37ULL + id)};
   const double phase = static_cast<double>(phase_mix.next() >> 11) *
                        0x1.0p-53 * spec.lag_epoch_s;
   const auto epoch = static_cast<std::uint64_t>(
       (now.seconds() + phase) / spec.lag_epoch_s);
 
   // Deterministic lognormal draw keyed on (seed, peer, epoch).
-  util::SplitMix64 mix{config_.seed ^ (static_cast<std::uint64_t>(peer.id)
+  util::SplitMix64 mix{config_.seed ^ (static_cast<std::uint64_t>(id)
                                        << 32) ^ epoch};
   double u1 = static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
   if (u1 < 1e-12) u1 = 1e-12;
@@ -107,20 +123,22 @@ double Swarm::bg_lag_s(const PeerInfo& peer, util::SimTime now) const {
   const double normal = std::sqrt(-2.0 * std::log(u1)) *
                         std::cos(2.0 * 3.14159265358979323846 * u2);
   const double sample = std::exp(spec.lag_mu + spec.lag_sigma * normal);
-  return spec.lag_floor_s + sample * peer.lag_scale;
+  return spec.lag_floor_s + sample * lag_scale_[id];
 }
 
 bool Swarm::peer_online(PeerId id, util::SimTime now) const {
-  const PeerInfo& peer = population_.peer(id);
-  if (peer.is_source) return true;
-  if (peer.is_probe) return probes_[probe_by_peer_.at(id)]->online;
+  const std::uint8_t kind = peer_kind_[id];
+  if (kind == kSource) return true;
+  if (kind == kProbe) {
+    return probes_[static_cast<std::size_t>(probe_slot_[id])].online;
+  }
   if (!config_.churn.bg_churn()) return true;
   // Deterministic duty cycle with a per-peer hash phase: flapping never
   // consumes RNG draws, so the audience schedule is a pure function of
   // (seed, peer, time).
   const double cycle =
       config_.churn.bg_session_s + config_.churn.bg_downtime_s;
-  util::SplitMix64 mix{config_.seed ^ (0xf1a90ULL + peer.id)};
+  util::SplitMix64 mix{config_.seed ^ (0xf1a90ULL + id)};
   const double phase =
       static_cast<double>(mix.next() >> 11) * 0x1.0p-53 * cycle;
   const double pos = std::fmod(now.seconds() + phase, cycle);
@@ -146,7 +164,16 @@ void Swarm::on_request_failed(ProbeState& ps, ChunkIndex chunk, PeerId from) {
         it->consecutive_failures >= config_.churn.blacklist_after) {
       // Repeated timeouts: the peer is gone or unreachable. Drop it and
       // refuse to re-admit it for a while.
-      ps.blacklist_until[from] = now + config_.churn.blacklist_duration;
+      const SimTime until = now + config_.churn.blacklist_duration;
+      bool found = false;
+      for (auto& [banned, t] : ps.blacklist_until) {
+        if (banned == from) {
+          t = until;
+          found = true;
+          break;
+        }
+      }
+      if (!found) ps.blacklist_until.emplace_back(from, until);
       ps.belief_cache[from] = it->belief_mbps;
       ps.partners.erase(it);
       ++counters_.partners_blacklisted;
@@ -155,15 +182,34 @@ void Swarm::on_request_failed(ProbeState& ps, ChunkIndex chunk, PeerId from) {
   }
   // Exponential backoff before this chunk is retried: repeated failures
   // on the same chunk usually mean the same root cause.
-  auto& failures = ps.chunk_failures[chunk];
-  ++failures;
+  int* failures = nullptr;
+  for (auto& [c, count] : ps.chunk_failures) {
+    if (c == chunk) {
+      failures = &count;
+      break;
+    }
+  }
+  if (failures == nullptr) {
+    failures = &ps.chunk_failures.emplace_back(chunk, 0).second;
+  }
+  ++*failures;
   std::int64_t backoff_ns = config_.churn.retry_backoff.ns();
-  for (int i = 1; i < failures && backoff_ns < config_.churn.retry_backoff_max.ns();
+  for (int i = 1; i < *failures &&
+                  backoff_ns < config_.churn.retry_backoff_max.ns();
        ++i) {
     backoff_ns *= 2;
   }
   backoff_ns = std::min(backoff_ns, config_.churn.retry_backoff_max.ns());
-  ps.retry_after[chunk] = now + SimTime::nanos(backoff_ns);
+  const SimTime retry_at = now + SimTime::nanos(backoff_ns);
+  bool retry_found = false;
+  for (auto& [c, t] : ps.retry_after) {
+    if (c == chunk) {
+      t = retry_at;
+      retry_found = true;
+      break;
+    }
+  }
+  if (!retry_found) ps.retry_after.emplace_back(chunk, retry_at);
   ++counters_.chunks_retried;
 }
 
@@ -189,7 +235,7 @@ void Swarm::schedule_probe_crash(std::size_t probe_index) {
 
 void Swarm::crash_probe(std::size_t probe_index) {
   if (engine_.now() >= config_.duration) return;
-  ProbeState& ps = *probes_[probe_index];
+  ProbeState& ps = probes_[probe_index];
   if (ps.online) {
     ps.online = false;
     ++counters_.probe_crashes;
@@ -211,7 +257,7 @@ void Swarm::crash_probe(std::size_t probe_index) {
 
 void Swarm::rejoin_probe(std::size_t probe_index) {
   if (engine_.now() >= config_.duration) return;
-  ProbeState& ps = *probes_[probe_index];
+  ProbeState& ps = probes_[probe_index];
   ps.online = true;
   ps.bootstrapped = false;  // restart from tracker, as a fresh client
   // Re-join latency is measured from the instant the client is back
@@ -219,8 +265,8 @@ void Swarm::rejoin_probe(std::size_t probe_index) {
   if (discovery_) discovery_->begin_join(ps.id, engine_.now());
   const std::uint64_t epoch = ps.tick_epoch;
   engine_.schedule_after(SimTime::millis(50), [this, probe_index, epoch] {
-    if (probes_[probe_index]->tick_epoch == epoch) {
-      tick(*probes_[probe_index]);
+    if (probes_[probe_index].tick_epoch == epoch) {
+      tick(probes_[probe_index]);
     }
   });
   schedule_probe_crash(probe_index);
@@ -228,16 +274,17 @@ void Swarm::rejoin_probe(std::size_t probe_index) {
 
 bool Swarm::peer_has_chunk(PeerId id, ChunkIndex chunk) const {
   if (chunk < 0) return false;
-  const PeerInfo& peer = population_.peer(id);
-  if (peer.is_source) return chunk <= source_newest();
-  if (peer.is_probe) {
-    return probes_[probe_by_peer_.at(id)]->buffer.has(chunk);
+  const std::uint8_t kind = peer_kind_[id];
+  if (kind == kSource) return chunk <= source_newest();
+  if (kind == kProbe) {
+    return probes_[static_cast<std::size_t>(probe_slot_[id])].buffer.has(
+        chunk);
   }
   // Background peer: the chunk reached it its current lag after the
   // source finished emitting it.
   const SimTime now = engine_.now();
   const SimTime available = chunk_interval_ * (chunk + 1) +
-                            SimTime::from_seconds(bg_lag_s(peer, now));
+                            SimTime::from_seconds(bg_lag_s(id, now));
   return now >= available;
 }
 
@@ -250,7 +297,10 @@ double Swarm::cached_belief(const ProbeState& ps, PeerId id) const {
 
 void Swarm::note_known(ProbeState& ps, PeerId id) {
   if (id == ps.id) return;
-  if (ps.known_set.insert(id).second) ps.known_list.push_back(id);
+  if (!ps.known_bits[id]) {
+    ps.known_bits[id] = true;
+    ps.known_list.push_back(id);
+  }
 }
 
 PeerId Swarm::sample_peer(const ProbeState& ps, double as_bias) {
@@ -282,9 +332,9 @@ PeerId Swarm::sample_peer(const ProbeState& ps, double as_bias) {
   if (!ps.partners.empty() &&
       rng_.chance(config_.profile.signaling.pex_fraction)) {
     const Partner& via = ps.partners[rng_.below(ps.partners.size())];
-    if (const auto it = probe_by_peer_.find(via.id);
-        it != probe_by_peer_.end()) {
-      const ProbeState& qs = *probes_[it->second];
+    if (probe_slot_[via.id] >= 0) {
+      const ProbeState& qs =
+          probes_[static_cast<std::size_t>(probe_slot_[via.id])];
       if (!qs.partners.empty()) {
         const PeerId pick = qs.partners[rng_.below(qs.partners.size())].id;
         if (pick != ps.id) return pick;
@@ -356,16 +406,16 @@ bool Swarm::contact(ProbeState& ps, PeerId target) {
                        SimTime::millis(2) + nat_extra;
     sink.signaling_tx(other.ep.addr, tx, bytes);
     sink.signaling_rx(other.ep.addr, rx, bytes, sim::ttl_after(rev.hops));
-    if (const auto it = probe_by_peer_.find(target);
-        it != probe_by_peer_.end()) {
-      trace::ProbeSink& peer_sink = *sinks_[it->second];
+    if (probe_slot_[target] >= 0) {
+      const auto slot = static_cast<std::size_t>(probe_slot_[target]);
+      trace::ProbeSink& peer_sink = *sinks_[slot];
       peer_sink.signaling_rx(self.ep.addr,
                              tx + fwd.one_way_delay + nat_extra, bytes,
                              sim::ttl_after(fwd.hops));
       peer_sink.signaling_tx(
           self.ep.addr,
           tx + fwd.one_way_delay + nat_extra + SimTime::millis(2), bytes);
-      note_known(*probes_[it->second], ps.id);
+      note_known(probes_[slot], ps.id);
     }
   }
   note_known(ps, target);
@@ -457,7 +507,7 @@ void Swarm::discovery_join(ProbeState& ps) {
   engine_.schedule_at(
       now + round.latency,
       [this, index, epoch, peers = std::move(round.peers)] {
-        ProbeState& p = *probes_[index];
+        ProbeState& p = probes_[index];
         if (p.tick_epoch != epoch) return;  // crashed since scheduling
         if (faults_active_ && !p.online) return;
         discovery_join_landed(p, peers);
@@ -491,7 +541,7 @@ void Swarm::schedule_join_retry(ProbeState& ps) {
   const std::size_t index = ps.index;
   const std::uint64_t epoch = ps.tick_epoch;
   engine_.schedule_at(now + delay, [this, index, epoch] {
-    ProbeState& p = *probes_[index];
+    ProbeState& p = probes_[index];
     if (p.tick_epoch != epoch) return;
     if (faults_active_ && !p.online) return;
     discovery_join(p);
@@ -515,9 +565,9 @@ void Swarm::send_keepalives(ProbeState& ps) {
     sink.signaling_tx(other.ep.addr, now, sig.keepalive_bytes);
     sink.signaling_rx(other.ep.addr, rx, sig.keepalive_bytes,
                       sim::ttl_after(rev.hops));
-    if (const auto it = probe_by_peer_.find(partner.id);
-        it != probe_by_peer_.end()) {
-      trace::ProbeSink& peer_sink = *sinks_[it->second];
+    if (probe_slot_[partner.id] >= 0) {
+      trace::ProbeSink& peer_sink =
+          *sinks_[static_cast<std::size_t>(probe_slot_[partner.id])];
       peer_sink.signaling_rx(self.ep.addr, now + fwd.one_way_delay,
                              sig.keepalive_bytes, sim::ttl_after(fwd.hops));
       peer_sink.signaling_tx(self.ep.addr,
@@ -578,7 +628,7 @@ void Swarm::maintain_partners(ProbeState& ps) {
   while (deficit > 0 && attempts-- > 0) {
     const PeerId pick = ps.known_list[rng_.below(ps.known_list.size())];
     if (pick == ps.id || population_.peer(pick).is_source) continue;
-    if (faults_active_ && ps.blacklist_until.contains(pick)) continue;
+    if (faults_active_ && ps.blacklisted(pick)) continue;
     const bool already =
         std::any_of(ps.partners.begin(), ps.partners.end(),
                     [pick](const Partner& p) { return p.id == pick; });
@@ -604,17 +654,19 @@ void Swarm::schedule_requests(ProbeState& ps) {
 
   // Expire timed-out requests so the chunk can be retried elsewhere.
   const SimTime now = engine_.now();
-  for (auto it = ps.inflight.begin(); it != ps.inflight.end();) {
-    if (it->second.deadline < now) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < ps.inflight.size(); ++i) {
+    const ProbeState::Inflight entry = ps.inflight[i];
+    if (entry.deadline < now) {
       ++counters_.timeouts;
       if (faults_active_) {
-        on_request_failed(ps, it->first, it->second.from);
+        on_request_failed(ps, entry.chunk, entry.from);
       }
-      it = ps.inflight.erase(it);
     } else {
-      ++it;
+      ps.inflight[kept++] = entry;
     }
   }
+  ps.inflight.resize(kept);
   if (faults_active_) {
     // Garbage-collect recovery state that slid out of the window and
     // blacklist entries that served their sentence.
@@ -633,16 +685,16 @@ void Swarm::schedule_requests(ProbeState& ps) {
   const PeerInfo& self = population_.peer(ps.id);
   for (ChunkIndex c = lo; c <= hi; ++c) {
     if (static_cast<int>(ps.inflight.size()) >= sched.max_inflight) break;
-    if (ps.buffer.has(c) || ps.inflight.contains(c)) continue;
+    if (ps.buffer.has(c) || ps.inflight_contains(c)) continue;
     // Two-speed scheduling: chunks still young are pulled
     // opportunistically, overdue ones urgently.
     const bool urgent = newest - c >= sched.due_chunks;
     if (faults_active_) {
       // Honour the retry backoff set when this chunk last timed out.
-      if (const auto it = ps.retry_after.find(c);
-          it != ps.retry_after.end() && now < it->second) {
-        continue;
-      }
+      const auto it = std::find_if(
+          ps.retry_after.begin(), ps.retry_after.end(),
+          [c](const auto& kv) { return kv.first == c; });
+      if (it != ps.retry_after.end() && now < it->second) continue;
     }
     if (!urgent && !rng_.chance(sched.eager_prob)) continue;
 
@@ -653,8 +705,7 @@ void Swarm::schedule_requests(ProbeState& ps) {
       Partner& partner = ps.partners[slot];
       if (partner.inflight >= 3) continue;
       if (faults_active_ &&
-          (!peer_online(partner.id, now) ||
-           ps.blacklist_until.contains(partner.id))) {
+          (!peer_online(partner.id, now) || ps.blacklisted(partner.id))) {
         continue;
       }
       if (!peer_has_chunk(partner.id, c)) continue;
@@ -694,9 +745,8 @@ void Swarm::request_chunk(ProbeState& ps, Partner& partner, ChunkIndex chunk) {
     // Dead request: the partner crashed or flapped offline since it was
     // admitted. The request packet is spent, nothing comes back, and
     // the timeout path turns this into a retry.
-    ps.inflight.emplace(
-        chunk, ProbeState::Inflight{
-                   partner.id, now + config_.profile.sched.request_timeout});
+    ps.inflight.push_back(
+        {chunk, partner.id, now + config_.profile.sched.request_timeout});
     ++partner.inflight;
     return;
   }
@@ -715,9 +765,9 @@ void Swarm::request_chunk(ProbeState& ps, Partner& partner, ChunkIndex chunk) {
 
   sink.video_train_rx(other.ep.addr, train.arrivals, stream.packet_bytes,
                       sim::ttl_after(rev.hops));
-  if (const auto it = probe_by_peer_.find(partner.id);
-      it != probe_by_peer_.end()) {
-    trace::ProbeSink& peer_sink = *sinks_[it->second];
+  if (probe_slot_[partner.id] >= 0) {
+    trace::ProbeSink& peer_sink =
+        *sinks_[static_cast<std::size_t>(probe_slot_[partner.id])];
     peer_sink.signaling_rx(self.ep.addr, now + fwd.one_way_delay,
                            config_.profile.signaling.request_bytes,
                            sim::ttl_after(fwd.hops));
@@ -738,9 +788,8 @@ void Swarm::request_chunk(ProbeState& ps, Partner& partner, ChunkIndex chunk) {
     }
   }
 
-  ps.inflight.emplace(
-      chunk, ProbeState::Inflight{
-                 partner.id, now + config_.profile.sched.request_timeout});
+  ps.inflight.push_back(
+      {chunk, partner.id, now + config_.profile.sched.request_timeout});
   ++partner.inflight;
   const PeerId from = partner.id;
   const auto bytes = static_cast<std::uint64_t>(train.arrivals.size()) *
@@ -750,7 +799,7 @@ void Swarm::request_chunk(ProbeState& ps, Partner& partner, ChunkIndex chunk) {
   const std::size_t probe_index = ps.index;
   engine_.schedule_at(train.completed(), [this, probe_index, from, chunk, now,
                                           rate_mbps, bytes] {
-    complete_chunk(*probes_[probe_index], from, chunk, now, rate_mbps, bytes);
+    complete_chunk(probes_[probe_index], from, chunk, now, rate_mbps, bytes);
   });
 }
 
@@ -758,13 +807,17 @@ void Swarm::complete_chunk(ProbeState& ps, PeerId from, ChunkIndex chunk,
                            util::SimTime /*requested*/, double train_rate_mbps,
                            std::uint64_t bytes) {
   if (faults_active_ && !ps.online) return;  // crashed mid-delivery
-  const auto it = ps.inflight.find(chunk);
-  if (it != ps.inflight.end() && it->second.from == from) {
+  const auto it = std::find_if(
+      ps.inflight.begin(), ps.inflight.end(),
+      [chunk](const ProbeState::Inflight& f) { return f.chunk == chunk; });
+  if (it != ps.inflight.end() && it->from == from) {
     ps.inflight.erase(it);
   }
   if (faults_active_) {
-    ps.chunk_failures.erase(chunk);
-    ps.retry_after.erase(chunk);
+    std::erase_if(ps.chunk_failures,
+                  [chunk](const auto& kv) { return kv.first == chunk; });
+    std::erase_if(ps.retry_after,
+                  [chunk](const auto& kv) { return kv.first == chunk; });
   }
   if (ps.buffer.mark(chunk)) {
     ++counters_.chunks_delivered;
@@ -800,6 +853,9 @@ void Swarm::try_spawn_requester(ProbeState& ps) {
     }
     if (found) {
       const PeerInfo& cand = population_.peer(pick);
+      // A Requester lives for the probe's whole partnership with
+      // this peer, not per event.
+      // peerscope-lint: allow(engine-hot-path)
       auto req = std::make_shared<Requester>();
       req->id = pick;
       req->stream_share =
@@ -817,7 +873,7 @@ void Swarm::try_spawn_requester(ProbeState& ps) {
       note_known(ps, pick);
       const std::size_t probe_index = ps.index;
       engine_.schedule_after(SimTime::millis(5), [this, probe_index, req] {
-        requester_loop(*probes_[probe_index], req);
+        requester_loop(probes_[probe_index], req);
       });
     }
   }
@@ -835,7 +891,7 @@ void Swarm::spawn_requester(ProbeState& ps) {
   const std::size_t probe_index = ps.index;
   engine_.schedule_after(
       SimTime::from_seconds(rng_.exponential(1.0 / rate)),
-      [this, probe_index] { spawn_requester(*probes_[probe_index]); });
+      [this, probe_index] { spawn_requester(probes_[probe_index]); });
 }
 
 void Swarm::requester_loop(ProbeState& ps, std::shared_ptr<Requester> req) {
@@ -859,7 +915,7 @@ void Swarm::requester_loop(ProbeState& ps, std::shared_ptr<Requester> req) {
       rng_.uniform(0.85, 1.15));
   const std::size_t probe_index = ps.index;
   engine_.schedule_after(next_period, [this, probe_index, req] {
-    requester_loop(*probes_[probe_index], req);
+    requester_loop(probes_[probe_index], req);
   });
 
   if (faults_active_ && !peer_online(req->id, now)) {
@@ -918,8 +974,8 @@ void Swarm::zap_probe(ProbeState& ps) {
     if (discovery_rng_.chance(reuse)) kept.push_back(id);
   }
   ps.known_list = std::move(kept);
-  ps.known_set.clear();
-  ps.known_set.insert(ps.known_list.begin(), ps.known_list.end());
+  std::fill(ps.known_bits.begin(), ps.known_bits.end(), false);
+  for (const PeerId id : ps.known_list) ps.known_bits[id] = true;
   ps.bootstrapped = false;  // the next tick re-joins through discovery
   if (discovery_) discovery_->begin_join(ps.id, engine_.now());
 }
@@ -928,9 +984,9 @@ void Swarm::flash_crowd() {
   const SimTime now = engine_.now();
   if (now >= config_.duration) return;
   PEERSCOPE_TRACE_INSTANT("p2p.discovery.flash_crowd");
-  for (const auto& ps : probes_) {
-    if (faults_active_ && !ps->online) continue;
-    zap_probe(*ps);
+  for (ProbeState& ps : probes_) {
+    if (faults_active_ && !ps.online) continue;
+    zap_probe(ps);
   }
   // Correlated arrival burst: the zapped channel's new audience hits
   // the probes' uplinks within a couple of seconds, not as a Poisson
@@ -941,7 +997,7 @@ void Swarm::flash_crowd() {
     const SimTime at =
         now + SimTime::from_seconds(discovery_rng_.exponential(0.5));
     engine_.schedule_at(at, [this, index] {
-      ProbeState& ps = *probes_[index];
+      ProbeState& ps = probes_[index];
       if (engine_.now() >= config_.duration) return;
       if (faults_active_ && !ps.online) return;
       ++counters_.discovery.flash_arrivals;
@@ -976,7 +1032,7 @@ void Swarm::tick(ProbeState& ps) {
   const std::uint64_t epoch = ps.tick_epoch;
   engine_.schedule_after(config_.profile.sched.period,
                          [this, probe_index, epoch] {
-    ProbeState& next = *probes_[probe_index];
+    ProbeState& next = probes_[probe_index];
     if (next.tick_epoch != epoch) return;  // crashed since scheduling
     tick(next);
   });
@@ -994,13 +1050,13 @@ void Swarm::run() {
                         [this] { flash_crowd(); });
   }
 
-  for (const auto& ps : probes_) {
-    const std::size_t probe_index = ps->index;
+  for (const ProbeState& ps : probes_) {
+    const std::size_t probe_index = ps.index;
     // Staggered joins within the first two seconds.
     const SimTime start =
         SimTime::from_seconds(0.1 + rng_.uniform01() * 2.0);
     engine_.schedule_at(start,
-                        [this, probe_index] { tick(*probes_[probe_index]); });
+                        [this, probe_index] { tick(probes_[probe_index]); });
 
     // Probe crash/rejoin process rides alongside the protocol.
     if (config_.churn.probe_churn()) {
@@ -1011,14 +1067,14 @@ void Swarm::run() {
     struct Maintenance {
       static void fire(Swarm* swarm, std::size_t index) {
         if (swarm->engine_.now() >= swarm->config_.duration) return;
-        if (swarm->faults_active_ && !swarm->probes_[index]->online) {
+        if (swarm->faults_active_ && !swarm->probes_[index].online) {
           // Crashed: keep the cadence alive, skip the work.
           swarm->engine_.schedule_after(
               swarm->config_.profile.sched.maintenance_period,
               [swarm, index] { Maintenance::fire(swarm, index); });
           return;
         }
-        swarm->maintain_partners(*swarm->probes_[index]);
+        swarm->maintain_partners(swarm->probes_[index]);
         swarm->engine_.schedule_after(
             swarm->config_.profile.sched.maintenance_period,
             [swarm, index] { Maintenance::fire(swarm, index); });
@@ -1033,7 +1089,7 @@ void Swarm::run() {
         start + SimTime::from_seconds(
                     rng_.exponential(
                         1.0 / config_.profile.upload.requester_arrival_per_s)),
-        [this, probe_index] { spawn_requester(*probes_[probe_index]); });
+        [this, probe_index] { spawn_requester(probes_[probe_index]); });
   }
 
   engine_.run_until(config_.duration);

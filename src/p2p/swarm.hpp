@@ -127,20 +127,30 @@ class Swarm {
     util::SimTime leaves{0};
   };
 
+  /// Per-probe protocol state, laid out flat (DESIGN.md §14): the
+  /// request-window maps of the first implementation (inflight, retry
+  /// bookkeeping, blacklist) are small dense vectors scanned linearly —
+  /// their population is bounded by the scheduling window, so a scan
+  /// beats hashing and the per-event node allocations it came with.
+  /// Membership in the (population-sized) known set is one bit per
+  /// peer. `belief_cache` stays a hash map: its domain is the whole
+  /// population but its occupancy is sparse, and it is only ever
+  /// point-queried.
   struct ProbeState {
     PeerId id = 0;
     std::size_t index = 0;  // into probes_/sinks_
-    std::unordered_set<PeerId> known_set;
+    std::vector<bool> known_bits;  // sized population; mirrors known_list
     std::vector<PeerId> known_list;
     std::vector<Partner> partners;
     std::unordered_map<PeerId, double> belief_cache;
     ChunkBuffer buffer{256};
     ChunkIndex next_request = 0;  // earliest chunk worth requesting
     struct Inflight {
-      PeerId from;
-      util::SimTime deadline;
+      ChunkIndex chunk = 0;
+      PeerId from = 0;
+      util::SimTime deadline{0};
     };
-    std::unordered_map<ChunkIndex, Inflight> inflight;
+    std::vector<Inflight> inflight;  // unique chunks, insertion order
     int active_requesters = 0;
     double discovery_credit = 0.0;
     bool bootstrapped = false;
@@ -150,9 +160,24 @@ class Swarm {
     /// epoch at schedule time and die when it no longer matches, so a
     /// rejoin never double-ticks.
     std::uint64_t tick_epoch = 0;
-    std::unordered_map<ChunkIndex, int> chunk_failures;
-    std::unordered_map<ChunkIndex, util::SimTime> retry_after;
-    std::unordered_map<PeerId, util::SimTime> blacklist_until;
+    // Window-bounded: entries below the request window are GC'd every
+    // tick, so linear scans stay O(window).
+    std::vector<std::pair<ChunkIndex, int>> chunk_failures;
+    std::vector<std::pair<ChunkIndex, util::SimTime>> retry_after;
+    std::vector<std::pair<PeerId, util::SimTime>> blacklist_until;
+
+    [[nodiscard]] bool inflight_contains(ChunkIndex chunk) const {
+      for (const Inflight& f : inflight) {
+        if (f.chunk == chunk) return true;
+      }
+      return false;
+    }
+    [[nodiscard]] bool blacklisted(PeerId peer) const {
+      for (const auto& [banned, until] : blacklist_until) {
+        if (banned == peer) return true;
+      }
+      return false;
+    }
   };
 
   // --- protocol steps (each runs at engine-now) ---
@@ -195,8 +220,7 @@ class Swarm {
 
   // --- helpers ---
   [[nodiscard]] ChunkIndex source_newest() const;
-  [[nodiscard]] double bg_lag_s(const PeerInfo& peer,
-                                util::SimTime now) const;
+  [[nodiscard]] double bg_lag_s(PeerId id, util::SimTime now) const;
   [[nodiscard]] bool peer_has_chunk(PeerId id, ChunkIndex chunk) const;
   [[nodiscard]] PeerId sample_peer(const ProbeState& ps, double as_bias);
   /// Discovery handshake; false when it was refused (offline peer,
@@ -233,8 +257,15 @@ class Swarm {
   std::vector<sim::LinkCursor> up_;
   std::vector<sim::LinkCursor> down_;
   std::vector<std::unique_ptr<trace::ProbeSink>> sinks_;
-  std::vector<std::unique_ptr<ProbeState>> probes_;
-  std::unordered_map<PeerId, std::size_t> probe_by_peer_;
+  std::vector<ProbeState> probes_;
+  /// Struct-of-arrays mirrors of the per-peer facts the inner loops
+  /// touch (DESIGN.md §14): peer_has_chunk / peer_online test these
+  /// for every candidate partner per scheduled chunk, and indexing a
+  /// byte (or an int) beats dragging the full PeerInfo cache line in.
+  enum PeerKind : std::uint8_t { kBackground = 0, kProbe = 1, kSource = 2 };
+  std::vector<std::uint8_t> peer_kind_;
+  std::vector<std::int32_t> probe_slot_;  // dense probe index, -1 = none
+  std::vector<double> lag_scale_;
   /// Discovery backends + failover state machine; null unless a
   /// backend is configured. HostImpl adapts this swarm to the
   /// DiscoveryHost interface (defined in swarm.cpp).

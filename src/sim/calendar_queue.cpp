@@ -1,0 +1,195 @@
+#include "sim/calendar_queue.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace peerscope::sim {
+
+namespace {
+
+// Size bounds for the calendar. The floor keeps tiny queues cheap to
+// rebuild; the ceiling (256k buckets, ~10 MB of empty buckets) is far
+// above the 8x-size trigger for any realistic swarm.
+constexpr std::size_t kMinBuckets = 8;
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 18;
+
+// Bucket widths stay within [1 ns, ~18 min] — outside that range the
+// calendar degenerates to a sorted list either way.
+constexpr std::uint32_t kMinShift = 0;
+constexpr std::uint32_t kMaxShift = 40;
+
+// Ascending (at, seq): the bucket sort order; min() is the first live
+// entry.
+constexpr bool entry_before(const CalendarQueue::Entry& a,
+                            const CalendarQueue::Entry& b) {
+  if (a.at != b.at) return a.at < b.at;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+CalendarQueue::CalendarQueue()
+    : buckets_(kMinBuckets),
+      shift_(20),  // 1.05 ms days until the first adaptive resize
+      mask_(kMinBuckets - 1),
+      cur_bucket_(0),
+      bucket_top_(std::uint64_t{1} << 20),
+      cached_min_bucket_(kNoCache) {}
+
+void CalendarQueue::seek_to(std::int64_t at) {
+  const std::uint64_t slot = slot_of(at);
+  cur_bucket_ = static_cast<std::size_t>(slot & mask_);
+  bucket_top_ = (slot + 1) << shift_;
+}
+
+void CalendarQueue::place(Bucket& bucket, const Entry& entry) {
+  if (bucket.empty() && bucket.head != 0) {
+    bucket.data.clear();
+    bucket.head = 0;
+  }
+  // Typical case: seq is monotone, so a same-instant burst (every
+  // peer's tick on the same grid timestamp) always appends — probe
+  // back() before paying for a binary search.
+  if (bucket.data.empty() || entry_before(bucket.data.back(), entry)) {
+    bucket.data.push_back(entry);
+  } else if (bucket.head > 0 && entry_before(entry, bucket.min())) {
+    // A new global-ish minimum can reuse a popped slot directly.
+    bucket.data[--bucket.head] = entry;
+  } else {
+    bucket.data.insert(
+        std::upper_bound(
+            bucket.data.begin() + static_cast<std::ptrdiff_t>(bucket.head),
+            bucket.data.end(), entry, entry_before),
+        entry);
+  }
+}
+
+void CalendarQueue::push(std::int64_t at, std::uint64_t seq,
+                         std::uint32_t node) {
+  // Keep the cursor invariant — no unpopped entry lives in a slot
+  // before the cursor's — by seeking back whenever an entry lands in
+  // an earlier day (possible: callbacks may schedule at now() exactly
+  // while the cursor has advanced past empty near days).
+  if (size_ == 0 || slot_of(at) < (bucket_top_ >> shift_) - 1) {
+    seek_to(at);
+  }
+  place(buckets_[static_cast<std::size_t>(slot_of(at) & mask_)],
+        Entry{at, seq, node});
+  ++size_;
+  cached_min_bucket_ = kNoCache;
+  if (size_ > 8 * buckets_.size() && buckets_.size() < kMaxBuckets) {
+    resize(buckets_.size() * 2);
+  }
+}
+
+std::size_t CalendarQueue::find_min_bucket() {
+  if (cached_min_bucket_ != kNoCache) return cached_min_bucket_;
+  // Walk the calendar from the current day: the first bucket whose
+  // minimum falls inside its current day holds the global minimum
+  // (days are examined in ascending order and a day maps to exactly
+  // one bucket per year).
+  for (std::size_t step = 0; step < buckets_.size(); ++step) {
+    const Bucket& bucket = buckets_[cur_bucket_];
+    if (!bucket.empty() &&
+        static_cast<std::uint64_t>(bucket.min().at) < bucket_top_) {
+      cached_min_bucket_ = cur_bucket_;
+      return cur_bucket_;
+    }
+    cur_bucket_ = (cur_bucket_ + 1) & mask_;
+    bucket_top_ += width();
+  }
+  // A full year is empty of due events: every remaining entry is far
+  // in the future. Fall back to a direct scan of bucket minima and
+  // jump the cursor to the winner's day (Brown's "direct search").
+  std::size_t best = kNoCache;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b].empty()) continue;
+    if (best == kNoCache ||
+        entry_before(buckets_[b].min(), buckets_[best].min())) {
+      best = b;
+    }
+  }
+  seek_to(buckets_[best].min().at);
+  cached_min_bucket_ = best;
+  return best;
+}
+
+const CalendarQueue::Entry& CalendarQueue::min() {
+  return buckets_[find_min_bucket()].min();
+}
+
+CalendarQueue::Entry CalendarQueue::pop_min() {
+  const std::size_t b = find_min_bucket();
+  Bucket& bucket = buckets_[b];
+  const Entry entry = bucket.data[bucket.head++];
+  if (bucket.head == bucket.data.size()) {
+    bucket.data.clear();
+    bucket.head = 0;
+  } else if (bucket.head > 64 &&
+             bucket.head > bucket.data.size() - bucket.head) {
+    // A bucket that never fully drains (a far-future entry keeps it
+    // alive across cursor passes) would otherwise grow its dead prefix
+    // without bound. Compacting once the prefix outweighs the live
+    // tail is amortized O(1) per pop.
+    bucket.data.erase(
+        bucket.data.begin(),
+        bucket.data.begin() + static_cast<std::ptrdiff_t>(bucket.head));
+    bucket.head = 0;
+  }
+  --size_;
+  // The cache stays valid only if this bucket still fronts its day.
+  if (bucket.empty() ||
+      static_cast<std::uint64_t>(bucket.min().at) >= bucket_top_) {
+    cached_min_bucket_ = kNoCache;
+  }
+  if (size_ < 2 * buckets_.size() && buckets_.size() > kMinBuckets) {
+    resize(std::max(kMinBuckets, buckets_.size() / 2));
+  }
+  return entry;
+}
+
+void CalendarQueue::resize(std::size_t nbuckets) {
+  std::vector<Entry> all;
+  all.reserve(size_);
+  std::int64_t min_at = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max_at = std::numeric_limits<std::int64_t>::min();
+  for (Bucket& bucket : buckets_) {
+    for (std::size_t i = bucket.head; i < bucket.data.size(); ++i) {
+      const Entry& entry = bucket.data[i];
+      min_at = std::min(min_at, entry.at);
+      max_at = std::max(max_at, entry.at);
+      all.push_back(entry);
+    }
+    bucket.data.clear();
+    bucket.head = 0;
+  }
+  // Re-derive the day width from the observed spread so a day holds
+  // ~16 events on average: fat days keep the bucket directory small
+  // enough to stay cache-resident at six-figure pending sets, and the
+  // head-cursor layout keeps inserts O(1) regardless of day size.
+  // Empty/degenerate spreads keep the old width.
+  if (size_ > 1 && max_at > min_at) {
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(max_at - min_at);
+    const std::uint64_t target = std::max<std::uint64_t>(
+        1, 16 * span / static_cast<std::uint64_t>(size_));
+    shift_ = std::clamp(
+        static_cast<std::uint32_t>(std::bit_width(target) - 1), kMinShift,
+        kMaxShift);
+  }
+  buckets_.assign(nbuckets, {});
+  mask_ = nbuckets - 1;
+  for (const Entry& entry : all) {
+    place(buckets_[static_cast<std::size_t>(slot_of(entry.at) & mask_)],
+          entry);
+  }
+  if (size_ > 0) {
+    seek_to(min_at);
+  } else {
+    seek_to(0);
+  }
+  cached_min_bucket_ = kNoCache;
+}
+
+}  // namespace peerscope::sim

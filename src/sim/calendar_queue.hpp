@@ -1,0 +1,104 @@
+// Calendar-queue event scheduler (Brown 1988; DESIGN.md §14).
+//
+// The engine's old std::priority_queue cost O(log n) compares per
+// push/pop with n in the hundreds of thousands at full swarm scale.
+// A calendar queue hashes each event by timestamp into one of N
+// "day" buckets of fixed width W ns and pops by walking the calendar
+// from the current day, giving O(1) amortized insert and extract when
+// N tracks the queue size (the structure resizes itself to keep
+// 0.5 <= n/N <= 2 and re-derives W from the observed event spacing).
+//
+// Determinism contract (DESIGN.md §5.1): pop order is EXACTLY
+// ascending (at, seq) — the same total order the binary heap
+// produced. Two events tie on `at` only within one bucket (the bucket
+// index is a pure function of `at`), where entries are kept sorted,
+// so the calendar's bucket walk can never reorder ties; and resizing
+// is triggered by size thresholds alone, so a given push/pop sequence
+// always rebuilds at the same points regardless of wall-clock
+// behaviour.
+//
+// Buckets are sorted ASCENDING by (at, seq) behind a popped-prefix
+// cursor (`head`): swarms mass-schedule at identical instants (every
+// peer's tick lands on the same tick-grid timestamp), and since `seq`
+// is a monotone counter each new same-instant event is the largest key
+// in its tie group — ascending order makes that a push_back and makes
+// pops a head increment, both O(1). A descending layout (min at
+// back()) inverts the tie order and turns every such push into a
+// whole-bucket memmove, which is quadratic on exactly the workloads
+// the engine is built for.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace peerscope::sim {
+
+/// Min-queue over (at, seq) keys carrying a 32-bit payload (the
+/// engine's event-pool index). Not a template: the engine is its only
+/// intended user and a concrete type keeps the hot loop inlinable.
+class CalendarQueue {
+ public:
+  struct Entry {
+    std::int64_t at = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t node = 0;
+  };
+
+  CalendarQueue();
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+
+  /// `at` must be non-negative (simulation time starts at zero) and
+  /// (at, seq) pairs must be unique — both hold by construction in the
+  /// engine (seq is a monotone counter).
+  void push(std::int64_t at, std::uint64_t seq, std::uint32_t node);
+
+  /// The (at, seq)-smallest entry. Undefined when empty. The search
+  /// result is cached, so a min()/pop_min() pair costs one walk.
+  [[nodiscard]] const Entry& min();
+
+  /// Removes and returns the smallest entry. Undefined when empty.
+  Entry pop_min();
+
+ private:
+  // Entries sorted ASCENDING by (at, seq); [0, head) is the popped
+  // prefix, min() is data[head]. The dead prefix is reclaimed when the
+  // bucket drains (the common case: the cursor sweep empties a day
+  // completely before moving on).
+  struct Bucket {
+    std::vector<Entry> data;
+    std::size_t head = 0;
+    [[nodiscard]] bool empty() const { return head == data.size(); }
+    [[nodiscard]] const Entry& min() const { return data[head]; }
+  };
+
+  [[nodiscard]] std::uint64_t width() const {
+    return std::uint64_t{1} << shift_;
+  }
+  [[nodiscard]] std::uint64_t slot_of(std::int64_t at) const {
+    return static_cast<std::uint64_t>(at) >> shift_;
+  }
+  /// Sorted insert into one bucket, O(1) for monotone (at, seq) keys.
+  static void place(Bucket& bucket, const Entry& entry);
+  /// Points the dequeue cursor at the calendar slot containing `at`.
+  void seek_to(std::int64_t at);
+  /// Locates the bucket holding the global minimum (cached).
+  [[nodiscard]] std::size_t find_min_bucket();
+  /// Rebuilds with `nbuckets` buckets and a bucket width re-derived
+  /// from the current entries' timestamp spread.
+  void resize(std::size_t nbuckets);
+
+  std::vector<Bucket> buckets_;
+  std::size_t size_ = 0;
+  std::uint32_t shift_;       // log2 of bucket width in ns
+  std::uint64_t mask_;        // bucket_count - 1 (power of two)
+  std::size_t cur_bucket_;    // dequeue cursor: bucket being examined
+  std::uint64_t bucket_top_;  // exclusive upper bound of its current slot
+  std::size_t cached_min_bucket_;  // result of find_min_bucket, or npos
+  static constexpr std::size_t kNoCache = static_cast<std::size_t>(-1);
+};
+
+}  // namespace peerscope::sim

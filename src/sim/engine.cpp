@@ -1,39 +1,18 @@
 #include "sim/engine.hpp"
 
-#include <stdexcept>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace peerscope::sim {
 
-Engine::Handle Engine::schedule_at(util::SimTime at, Callback cb) {
-  if (at < now_) {
-    throw std::logic_error("Engine: scheduling into the past");
-  }
-  if (!cb) {
-    throw std::invalid_argument("Engine: null callback");
-  }
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(Item{at, seq});
-  live_.emplace(seq, std::move(cb));
-  return Handle{seq};
-}
-
-Engine::Handle Engine::schedule_after(util::SimTime delay, Callback cb) {
-  if (delay < util::SimTime::zero()) {
-    throw std::logic_error("Engine: negative delay");
-  }
-  return schedule_at(now_ + delay, std::move(cb));
-}
-
-bool Engine::cancel(Handle handle) {
-  if (handle.id_ == 0) return false;
-  return live_.erase(handle.id_) > 0;
-}
-
 void Engine::run_until(util::SimTime horizon) {
   const std::uint64_t executed_before = executed_;
+  // Callbacks execute from this stack frame, not from their pool node:
+  // the node is recycled first, so a callback that schedules new work
+  // may land in its own slot.
+  alignas(kEventInlineAlign) unsigned char frame[kEventInlineBytes];
   while (!queue_.empty()) {
     if (cancel_ != nullptr && executed_ % kCancelStride == 0 &&
         cancel_->cancelled()) {
@@ -46,16 +25,19 @@ void Engine::run_until(util::SimTime horizon) {
                             std::to_string(now_.seconds()) + "s after " +
                             std::to_string(executed_) + " events");
     }
-    const Item item = queue_.top();
-    if (item.at > horizon) break;
-    queue_.pop();
-    const auto it = live_.find(item.seq);
-    if (it == live_.end()) continue;  // cancelled
+    if (queue_.min().at > horizon.ns()) break;
+    const CalendarQueue::Entry item = queue_.pop_min();
+    EventNode& node = pool_[item.node];
+    if (node.seq != item.seq || node.ops == nullptr) continue;  // cancelled
     // Move the callback out before invoking: the callback may schedule
-    // new events and rehash `live_`.
-    Callback cb = std::move(it->second);
-    live_.erase(it);
-    now_ = item.at;
+    // new events and must be free to reuse this node.
+    const EventOps* ops = node.ops;
+    ops->transfer(frame, node.storage);
+    node.ops = nullptr;
+    node.seq = 0;
+    pool_.release(item.node);
+    --live_;
+    now_ = util::SimTime{item.at};
     ++executed_;
     // Deterministic trace checkpoints: the sample points depend only
     // on the executed-event count, so the sampled values — and the
@@ -66,7 +48,22 @@ void Engine::run_until(util::SimTime horizon) {
       PEERSCOPE_TRACE_COUNTER("sim.events_executed",
                               static_cast<std::int64_t>(executed_));
     }
-    cb();
+    // Overlap the next event's cold slab fetch with this callback's
+    // execution. min() here is the same walk the next iteration would
+    // pay anyway (and is cached for it); the hint goes stale only when
+    // the callback schedules something even earlier, which costs
+    // nothing but the wasted prefetch.
+    if (!queue_.empty()) {
+      pool_.prefetch(queue_.min().node);
+    }
+    // Destroy the moved-out callable even when it throws — the same
+    // cleanup the old out-of-line std::function got from unwinding.
+    struct FrameGuard {
+      const EventOps* ops;
+      void* p;
+      ~FrameGuard() { ops->destroy(p); }
+    } guard{ops, frame};
+    ops->invoke(frame);
   }
   // One batched publish per drive, not one per event: the event loop
   // is the simulator's innermost hot path.

@@ -1,17 +1,26 @@
 // Discrete-event simulation engine.
 //
-// A single-threaded binary-heap scheduler with a total event order:
+// A single-threaded calendar-queue scheduler with a total event order:
 // ties on timestamp break on insertion sequence, so a given seed always
-// replays the exact same execution (DESIGN.md §5.1). Parallelism lives
-// one level up — independent experiments each own an Engine.
+// replays the exact same execution (DESIGN.md §5.1, §14). Parallelism
+// lives one level up — independent experiments each own an Engine.
+//
+// Hot-path layout (DESIGN.md §14): timestamps live in a CalendarQueue
+// (O(1) amortized push/pop), callbacks live inline in slab-allocated
+// EventNodes (no per-event heap traffic), and a Handle is an
+// {index, seq} pair validated in O(1) — the binary heap and the
+// unordered_map of std::functions this replaces cost two mallocs and
+// an O(log n) sift per event.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <vector>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
 
+#include "sim/calendar_queue.hpp"
+#include "sim/event_pool.hpp"
 #include "util/cancel.hpp"
 #include "util/sim_time.hpp"
 
@@ -19,6 +28,9 @@ namespace peerscope::sim {
 
 class Engine {
  public:
+  /// Interop alias: any callable invocable as `void()` schedules
+  /// directly (stored inline when it fits, see event_pool.hpp); this
+  /// alias remains for signatures that need a named owning type.
   using Callback = std::function<void()>;
 
   /// Identifies a scheduled event for cancellation. Value-semantic;
@@ -26,12 +38,14 @@ class Engine {
   class Handle {
    public:
     Handle() = default;
-    [[nodiscard]] bool valid() const { return id_ != 0; }
+    [[nodiscard]] bool valid() const { return seq_ != 0; }
 
    private:
     friend class Engine;
-    explicit Handle(std::uint64_t id) : id_(id) {}
-    std::uint64_t id_ = 0;  // 0 = null handle
+    Handle(std::uint32_t node, std::uint64_t seq)
+        : node_(node), seq_(seq) {}
+    std::uint32_t node_ = 0;
+    std::uint64_t seq_ = 0;  // 0 = null handle
   };
 
   Engine() = default;
@@ -39,19 +53,70 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   [[nodiscard]] util::SimTime now() const { return now_; }
-  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] std::size_t pending() const { return live_; }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
-  /// Schedules `cb` at absolute time `at`; scheduling in the past
-  /// (before now()) is a logic error and throws.
-  Handle schedule_at(util::SimTime at, Callback cb);
+  /// Schedules `fn` at absolute time `at`; scheduling in the past
+  /// (before now()) is a logic error and throws. A null target —
+  /// nullptr, an empty std::function, a null function pointer —
+  /// throws std::invalid_argument.
+  template <typename F>
+  Handle schedule_at(util::SimTime at, F&& fn) {
+    using D = std::decay_t<F>;
+    if constexpr (std::is_same_v<D, std::nullptr_t>) {
+      (void)at;
+      throw std::invalid_argument("Engine: null callback");
+    } else {
+      static_assert(std::is_invocable_v<D&>,
+                    "Engine callbacks take no arguments");
+      if (at < now_) {
+        throw std::logic_error("Engine: scheduling into the past");
+      }
+      if constexpr (requires(const D& f) { f == nullptr; }) {
+        if (fn == nullptr) {
+          throw std::invalid_argument("Engine: null callback");
+        }
+      }
+      const std::uint32_t index = pool_.allocate();
+      EventNode& node = pool_[index];
+      try {
+        EventPool::emplace(node, std::forward<F>(fn));
+        queue_.push(at.ns(), next_seq_, index);
+      } catch (...) {
+        if (node.ops != nullptr) EventPool::discard(node);
+        pool_.release(index);
+        throw;
+      }
+      const std::uint64_t seq = next_seq_++;
+      node.at = at.ns();
+      node.seq = seq;
+      ++live_;
+      return Handle{index, seq};
+    }
+  }
 
-  /// Schedules `cb` after a non-negative delay from now().
-  Handle schedule_after(util::SimTime delay, Callback cb);
+  /// Schedules `fn` after a non-negative delay from now().
+  template <typename F>
+  Handle schedule_after(util::SimTime delay, F&& fn) {
+    if (delay < util::SimTime::zero()) {
+      throw std::logic_error("Engine: negative delay");
+    }
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Cancels a pending event. Returns false if the event already ran,
-  /// was already cancelled, or the handle is null.
-  bool cancel(Handle handle);
+  /// was already cancelled, or the handle is null. O(1): the queue
+  /// entry stays behind and is skipped when popped (its seq no longer
+  /// matches the node's).
+  bool cancel(Handle handle) {
+    if (handle.seq_ == 0 || handle.node_ >= pool_.capacity()) return false;
+    EventNode& node = pool_[handle.node_];
+    if (node.seq != handle.seq_ || node.ops == nullptr) return false;
+    EventPool::discard(node);
+    pool_.release(handle.node_);
+    --live_;
+    return true;
+  }
 
   /// Installs a cancellation token polled between events (every
   /// kCancelStride executed events, so a deadline lands at simulation-
@@ -66,6 +131,8 @@ class Engine {
   /// Poll stride for the cancellation token: coarse enough that the
   /// steady-clock read in deadline checks never shows up in profiles,
   /// fine enough that a deadline cuts a run off within microseconds.
+  /// exp::kCancelPollStride re-exports this for the supervisor's
+  /// latency math — keep them one constant.
   static constexpr std::uint64_t kCancelStride = 256;
 
   /// Sample stride for trace checkpoints (power of two; the loop
@@ -86,25 +153,13 @@ class Engine {
   void run() { run_until(util::SimTime::max()); }
 
  private:
-  struct Item {
-    util::SimTime at;
-    std::uint64_t seq;
-    // std::priority_queue is a max-heap; invert for earliest-first,
-    // with sequence as the deterministic tiebreak.
-    bool operator<(const Item& other) const {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
-    }
-  };
-
   util::SimTime now_{0};
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;  // scheduled, not yet run or cancelled
   const util::CancelToken* cancel_ = nullptr;
-  std::priority_queue<Item> queue_;
-  // Callbacks live out-of-line so heap items stay 16 bytes; erasing
-  // from `live_` doubles as cancellation.
-  std::unordered_map<std::uint64_t, Callback> live_;
+  CalendarQueue queue_;
+  EventPool pool_;
 };
 
 }  // namespace peerscope::sim

@@ -87,6 +87,34 @@ TEST(Runner, ParallelMatchesSerial) {
   EXPECT_EQ(sum_rx(parallel[1]), sum_rx(serial1));
 }
 
+TEST(Runner, PoolSizeOneAndFourAgreeOnShardedState) {
+  // Four concurrent swarms — each owning its SoA peer state (slab
+  // event pool, probe arrays, calendar queue) — against the same specs
+  // run one-at-a-time. Identical results prove the shards share
+  // nothing; under the TSan preset (which runs test_exp) this is also
+  // the data-race check for the engine rework.
+  const RunSpec specs[] = {tiny_spec(1), tiny_spec(2), tiny_spec(3),
+                           tiny_spec(4)};
+  util::ThreadPool serial_pool{1};
+  util::ThreadPool wide_pool{4};
+  const auto serial = run_experiments(topo(), specs, serial_pool);
+  const auto wide = run_experiments(topo(), specs, wide_pool);
+  ASSERT_EQ(serial.size(), 4u);
+  ASSERT_EQ(wide.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(serial[i].counters.chunks_delivered,
+              wide[i].counters.chunks_delivered);
+    EXPECT_EQ(serial[i].counters.timeouts, wide[i].counters.timeouts);
+    ASSERT_EQ(serial[i].observations.per_probe.size(),
+              wide[i].observations.per_probe.size());
+    for (std::size_t p = 0; p < serial[i].observations.per_probe.size();
+         ++p) {
+      EXPECT_EQ(serial[i].observations.per_probe[p].size(),
+                wide[i].observations.per_probe[p].size());
+    }
+  }
+}
+
 TEST(Runner, InvalidDurationThrows) {
   RunSpec spec = tiny_spec();
   spec.duration = SimTime::zero();

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <functional>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -16,6 +17,8 @@
 
 #include "exp/journal.hpp"
 #include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+#include "util/cancel.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_summary.hpp"
 
@@ -35,6 +38,16 @@ RunSpec tiny_spec(std::uint64_t seed = 1) {
   spec.profile.population.background_peers = 120;
   spec.seed = seed;
   spec.duration = SimTime::seconds(25);
+  return spec;
+}
+
+/// Spec whose wall time comfortably exceeds the 20 ms deadline used by
+/// the timeout tests no matter how fast the event core gets: same tiny
+/// swarm, but a simulated horizon long enough to keep the engine busy
+/// past the deadline on any hardware.
+RunSpec deadline_spec(std::uint64_t seed = 1) {
+  RunSpec spec = tiny_spec(seed);
+  spec.duration = SimTime::seconds(3600);
   return spec;
 }
 
@@ -133,6 +146,33 @@ TEST_F(SupervisorTest, PermanentFailureExhaustsRetries) {
   EXPECT_EQ(counters.at("exp.run_retries"), 2u);
 }
 
+// --- cancellation poll cadence ---------------------------------------
+
+TEST(CancelPollStride, SupervisorConstantIsTheEngineStride) {
+  // One constant, two names: the supervision-facing alias must track
+  // the engine's actual poll cadence or the latency bound below lies.
+  EXPECT_EQ(kCancelPollStride, sim::Engine::kCancelStride);
+}
+
+TEST(CancelPollStride, CancellationLatencyStaysBounded) {
+  // An unbounded self-rescheduling event chain trips the token from
+  // inside a callback; the engine must notice at the next poll
+  // boundary — within kCancelPollStride executed events — no matter
+  // how much work remains scheduled.
+  sim::Engine engine;
+  util::CancelToken token;
+  engine.set_cancel(&token);
+  constexpr std::uint64_t kTripAfter = 100;
+  std::function<void()> tick = [&] {
+    if (engine.executed() == kTripAfter) token.request();
+    engine.schedule_after(SimTime::nanos(10), tick);
+  };
+  engine.schedule_after(SimTime::nanos(10), tick);
+  EXPECT_THROW(engine.run_until(SimTime::seconds(1)), util::Cancelled);
+  EXPECT_GE(engine.executed(), kTripAfter);
+  EXPECT_LE(engine.executed(), kTripAfter + kCancelPollStride);
+}
+
 TEST(BackoffDelay, InjectedConstantJitterMakesDelaysExact) {
   // With a pinned multiplier the ladder is pure arithmetic: base *
   // 2^(attempt-1), capped at the 2^16 scale.
@@ -199,7 +239,7 @@ TEST_F(SupervisorTest, DeadlineCutsOffRealRunWithoutRetry) {
   // A real simulation against a deadline far shorter than its runtime:
   // the engine's cancellation poll must unwind it, and a timeout must
   // NOT burn the retry budget (same spec, same deadline, same result).
-  const RunSpec specs[] = {tiny_spec(1)};
+  const RunSpec specs[] = {deadline_spec(1)};
   SupervisorConfig config;
   config.retries = 2;
   config.deadline_s = 0.02;
@@ -278,7 +318,7 @@ TEST_F(SupervisorTest, FlightRecorderCoversTimeoutsOfRealRuns) {
   // A real simulation cancelled by its deadline: the dump must exist
   // and record the timeout marker (plus whatever span/counter tail the
   // engine left in the ring).
-  const RunSpec specs[] = {tiny_spec(1)};
+  const RunSpec specs[] = {deadline_spec(1)};
   SupervisorConfig config;
   config.journal = dir_ / "experiment.journal";
   config.deadline_s = 0.02;

@@ -1,0 +1,13 @@
+// Fixture: identical tokens outside src/sim and src/p2p are out of the
+// engine-hot-path rule's scope and must stay clean.
+#include <memory>
+#include <queue>
+
+void cold_path() {
+  std::priority_queue<int> heap;
+  heap.push(1);
+  auto p = std::make_unique<int>(2);
+  int* q = new int(3);
+  delete q;
+  (void)p;
+}

@@ -1,0 +1,24 @@
+// Fixture: engine-hot-path violations and suppressions in src/p2p.
+#include <memory>
+
+void bad_factory() {
+  auto a = std::make_unique<int>(1);  // line 5: banned in hot path
+  auto b = std::make_shared<int>(2);  // line 6: banned in hot path
+  (void)a;
+  (void)b;
+}
+
+void suppressed_setup() {
+  // One-time construction, amortised over the whole run.
+  // peerscope-lint: allow(engine-hot-path)
+  auto sink = std::make_unique<int>(3);
+  auto r = std::make_shared<int>(4);  // peerscope-lint: allow(engine-hot-path)
+  (void)sink;
+  (void)r;
+}
+
+void comments_do_not_fire() {
+  // std::priority_queue and new and std::make_unique in a comment.
+  const char* s = "std::priority_queue new std::make_shared";
+  (void)s;
+}

@@ -1,0 +1,17 @@
+// Fixture: deliberate engine-hot-path violations in src/sim.
+#include <queue>
+
+void bad_scheduler() {
+  std::priority_queue<int> heap;  // line 5: banned container
+  heap.push(1);
+}
+
+void bad_alloc() {
+  int* leak = new int(7);  // line 10: per-event heap allocation
+  delete leak;
+}
+
+void boxed() {
+  auto* p = ::new (static_cast<void*>(nullptr)) int{0};  // placement: clean
+  (void)p;
+}

@@ -288,6 +288,48 @@ TEST(HeaderRule, CleanAndSuppressedHeadersAreQuiet) {
   EXPECT_EQ(findings.size(), 2u);
 }
 
+// --- engine-hot-path --------------------------------------------------
+
+TEST(EngineHotPathRule, PriorityQueueInSimIsAFinding) {
+  const auto findings = lint_fixture("engine", kRuleEngineHotPath);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("src/sim/hot.cpp:5"),
+                             HasSubstr("std::priority_queue"),
+                             HasSubstr("sim::CalendarQueue"))));
+}
+
+TEST(EngineHotPathRule, PlainNewIsAFindingPlacementNewIsNot) {
+  const auto findings = lint_fixture("engine", kRuleEngineHotPath);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("src/sim/hot.cpp:10"),
+                             HasSubstr("heap allocation (new)"))));
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("hot.cpp:15"))));
+}
+
+TEST(EngineHotPathRule, SmartPointerFactoriesInP2pAreFindings) {
+  const auto findings = lint_fixture("engine", kRuleEngineHotPath);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("src/p2p/hot.cpp:5"),
+                             HasSubstr("std::make_unique"))));
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("src/p2p/hot.cpp:6"),
+                             HasSubstr("std::make_shared"))));
+}
+
+TEST(EngineHotPathRule, AllowAnnotationsSuppress) {
+  const auto findings = lint_fixture("engine", kRuleEngineHotPath);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("hot.cpp:14"))));
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("hot.cpp:15"))));
+}
+
+TEST(EngineHotPathRule, OutOfScopeDirsAndCommentsAreClean) {
+  const auto findings = lint_fixture("engine", kRuleEngineHotPath);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("cold.cpp"))));
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("hot.cpp:21"))));
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("hot.cpp:22"))));
+  EXPECT_EQ(findings.size(), 4u);
+}
+
 // --- no-committed-build-artifacts (path-list core) --------------------
 
 TEST(BuildArtifactRule, FlagsBuildTreesAndObjectFiles) {

@@ -432,6 +432,7 @@ class Linter {
     if (enabled(kRuleHeaderHygiene) && is_header(file.path)) {
       check_header_hygiene(file);
     }
+    if (enabled(kRuleEngineHotPath)) check_engine_hot_path(file);
   }
 
   // (1) no-raw-artifact-io: every write-capable file-open primitive in
@@ -631,6 +632,76 @@ class Linter {
     }
   }
 
+  // (7) engine-hot-path: src/sim and src/p2p are the per-event hot
+  // loop; the calendar queue + slab event pool (DESIGN.md §14) exist
+  // so nothing there schedules through std::priority_queue or
+  // allocates per event. The compiler happily accepts both, so the
+  // regression is only visible as a bench slope — this rule catches it
+  // at review time instead. Legit one-time construction sites carry an
+  // allow(engine-hot-path) annotation; placement news must use the
+  // qualified `::new (ptr)` form, which is recognised and skipped.
+  void check_engine_hot_path(const FileContext& file) {
+    if (file.rel.rfind("src/sim/", 0) != 0 &&
+        file.rel.rfind("src/p2p/", 0) != 0) {
+      return;
+    }
+    struct Token {
+      const char* pattern;
+      const char* message;
+    };
+    static const std::array<Token, 4> kTokens = {{
+        {R"(std::priority_queue\b)",
+         "std::priority_queue in an engine hot path; schedule through "
+         "sim::CalendarQueue (DESIGN.md section 14)"},
+        {R"(std::make_unique\b)",
+         "per-event heap allocation (std::make_unique) in an engine hot "
+         "path; use the slab event pool, or annotate a one-time "
+         "construction site with allow(engine-hot-path)"},
+        {R"(std::make_shared\b)",
+         "per-event heap allocation (std::make_shared) in an engine hot "
+         "path; use the slab event pool, or annotate a one-time "
+         "construction site with allow(engine-hot-path)"},
+        {R"(\bnew\b)",
+         "per-event heap allocation (new) in an engine hot path; use "
+         "the slab event pool, write placement news as `::new (ptr)`, "
+         "or annotate a one-time construction site with "
+         "allow(engine-hot-path)"},
+    }};
+    const std::string& text = file.code;
+    for (const auto& token : kTokens) {
+      const std::regex re{token.pattern};
+      for (auto it = std::cregex_iterator{text.data(),
+                                          text.data() + text.size(), re};
+           it != std::cregex_iterator{}; ++it) {
+        const auto offset = static_cast<std::size_t>(it->position(0));
+        if (token.pattern == std::string_view{R"(\bnew\b)"}) {
+          std::size_t before = offset;
+          while (before > 0 &&
+                 (std::isspace(static_cast<unsigned char>(
+                      text[before - 1])) != 0)) {
+            --before;
+          }
+          const char prev = before > 0 ? text[before - 1] : '\0';
+          // `#include <new>` names the header, not an allocation.
+          if (prev == '<') continue;
+          std::size_t after =
+              offset + static_cast<std::size_t>(it->length(0));
+          while (after < text.size() &&
+                 (std::isspace(static_cast<unsigned char>(text[after])) !=
+                  0)) {
+            ++after;
+          }
+          // `::new (ptr) T` is placement construction into storage the
+          // pool already owns — the pattern the pool itself relies on.
+          if (prev == ':' && after < text.size() && text[after] == '(') {
+            continue;
+          }
+        }
+        report(file, offset, kRuleEngineHotPath, token.message);
+      }
+    }
+  }
+
   // Registry entries nothing referenced: dead metrics/schemas drift
   // out of docs silently, so they are findings too.
   void finish_registries() {
@@ -801,8 +872,9 @@ class Linter {
 }  // namespace
 
 std::vector<std::string_view> rule_names() {
-  return {kRuleRawIo,      kRuleMetricNames,   kRuleSchemaVersions,
-          kRuleExitCodes,  kRuleHeaderHygiene, kRuleBuildArtifacts};
+  return {kRuleRawIo,         kRuleMetricNames,   kRuleSchemaVersions,
+          kRuleExitCodes,     kRuleHeaderHygiene, kRuleBuildArtifacts,
+          kRuleEngineHotPath};
 }
 
 std::string to_string(const Finding& finding) {

@@ -35,6 +35,7 @@ inline constexpr std::string_view kRuleExitCodes = "exit-code-uniqueness";
 inline constexpr std::string_view kRuleHeaderHygiene = "header-hygiene";
 inline constexpr std::string_view kRuleBuildArtifacts =
     "no-committed-build-artifacts";
+inline constexpr std::string_view kRuleEngineHotPath = "engine-hot-path";
 
 /// All rule names, in reporting order.
 [[nodiscard]] std::vector<std::string_view> rule_names();

@@ -88,6 +88,17 @@
 // --deterministic prints the canonical reproducible rendering
 // instead (what CI diffs across fixed-seed runs).
 //
+// bench-diff: `peerscope bench-diff COMMITTED FRESH [--budget-pct P]`
+// diffs a fresh PEERSCOPE_BENCH_JSON document against the committed
+// bench/trajectory/BENCH_<name>.json snapshot. A wall-time increase
+// or events/sec drop beyond the budget (default 15%) exits 9 — the
+// CI perf gate, overridable only via the documented
+// `perf-regression-ok` PR label.
+//
+// bench-trajectory: `peerscope bench-trajectory PATH...` renders
+// bench snapshots (files, or a directory holding BENCH_*.json) as a
+// markdown table — what CI appends to $GITHUB_STEP_SUMMARY.
+//
 // Exit codes: 0 success, 1 runtime error, 2 usage error,
 //             3 unknown application, 4 invalid flag value,
 //             5 partial success (some supervised runs produced no
@@ -95,8 +106,10 @@
 //               directory (analyze), 7 bad trace file
 //               (trace-summary: unreadable, wrong schema, or no
 //               salvageable events), 8 degraded (the run completed
-//               but a discovery re-join missed --rejoin-deadline).
+//               but a discovery re-join missed --rejoin-deadline),
+//             9 bench regression (bench-diff: past --budget-pct).
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -108,6 +121,7 @@
 
 #include "aware/observation.hpp"
 #include "aware/report.hpp"
+#include "bench_gate.hpp"
 #include "exp/capture.hpp"
 #include "exp/metadata.hpp"
 #include "exp/runner.hpp"
@@ -142,6 +156,11 @@ constexpr int kExitBadTrace = 7;
 // SLO (exp::DiscoveryDegraded): distinct from 1 so the CI outage smoke
 // can tell "degraded as designed" from a genuine crash.
 constexpr int kExitDegraded = 8;
+// bench-diff found a wall-time or events/sec regression past the
+// budget: distinct from 1 so the CI bench gate (and its
+// deliberate-regression dry run) can assert "the gate fired" rather
+// than "something crashed".
+constexpr int kExitBenchRegression = 9;
 
 int usage(int code = kExitUsage) {
   std::cerr <<
@@ -152,6 +171,8 @@ int usage(int code = kExitUsage) {
   peerscope report --app <name> [--seed N] [--duration S] [supervision] [fault flags]
   peerscope reproduce [--out FILE] [--seed N] [--duration S] [supervision]
   peerscope trace-summary PATH [--top N] [--deterministic]
+  peerscope bench-diff COMMITTED FRESH [--budget-pct P]
+  peerscope bench-trajectory PATH...
 
 supervision: --retries N  --deadline S  --resume
 fault flags: --loss P  --loss-burst N  --reorder P  --dup P
@@ -165,7 +186,8 @@ global flags: --metrics PATH   (write metrics.json sidecar at exit)
 
 exit codes: 0 ok, 1 runtime error, 2 usage, 3 unknown app, 4 bad value,
             5 partial success, 6 bad capture directory, 7 bad trace file,
-            8 degraded (discovery re-join missed --rejoin-deadline)
+            8 degraded (discovery re-join missed --rejoin-deadline),
+            9 bench regression (bench-diff past --budget-pct)
 
 apps: pplive | sopcast | tvants | pplive-popular | napawine-proto
 )";
@@ -701,6 +723,68 @@ int cmd_trace_summary(const std::filesystem::path& path, std::size_t top_n,
   return 0;
 }
 
+// The CI perf gate: fresh bench JSON vs the committed trajectory
+// snapshot. Within budget -> 0, regression -> kExitBenchRegression,
+// unreadable/foreign input -> 1.
+int cmd_bench_diff(const std::filesystem::path& committed,
+                   const std::filesystem::path& fresh, double budget_pct) {
+  tools::BenchSnapshot base;
+  tools::BenchSnapshot now;
+  try {
+    base = tools::read_bench_snapshot(committed);
+    now = tools::read_bench_snapshot(fresh);
+  } catch (const std::exception& error) {
+    std::cerr << "bench-diff: " << error.what() << '\n';
+    return 1;
+  }
+  if (base.bench != now.bench) {
+    std::cerr << "bench-diff: snapshot mismatch: \"" << base.bench
+              << "\" vs \"" << now.bench << "\"\n";
+    return 1;
+  }
+  std::cout << tools::render_bench_diff(base, now, budget_pct);
+  return tools::diff_snapshots(base, now).regressed(budget_pct)
+             ? kExitBenchRegression
+             : 0;
+}
+
+// Markdown table over snapshot files (a directory argument expands to
+// its BENCH_*.json files, sorted by name): the $GITHUB_STEP_SUMMARY
+// payload.
+int cmd_bench_trajectory(const std::vector<std::filesystem::path>& paths) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& path : paths) {
+    if (std::filesystem::is_directory(path)) {
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        const std::string name = entry.path().filename().string();
+        if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+            entry.path().extension() == ".json") {
+          files.push_back(entry.path());
+        }
+      }
+    } else {
+      files.push_back(path);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<tools::BenchSnapshot> rows;
+  rows.reserve(files.size());
+  try {
+    for (const auto& file : files) {
+      rows.push_back(tools::read_bench_snapshot(file));
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "bench-trajectory: " << error.what() << '\n';
+    return 1;
+  }
+  if (rows.empty()) {
+    std::cerr << "bench-trajectory: no BENCH_*.json snapshots found\n";
+    return 1;
+  }
+  std::cout << tools::render_trajectory_markdown(rows);
+  return 0;
+}
+
 int dispatch(int argc, char** argv) {
   if (argc < 2) return usage(kExitUsage);
   const std::string command = argv[1];
@@ -804,6 +888,50 @@ int dispatch(int argc, char** argv) {
         return usage(kExitUsage);
       }
       return cmd_trace_summary(path, top_n, deterministic);
+    }
+    if (command == "bench-diff") {
+      std::vector<std::filesystem::path> paths;
+      double budget_pct = 15.0;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (arg == "--budget-pct" && value) {
+          const auto parsed = parse_double(value, 0.0, 1'000.0);
+          if (!parsed) {
+            std::cerr << "invalid value for --budget-pct: " << value << '\n';
+            return usage(kExitBadValue);
+          }
+          budget_pct = *parsed;
+          ++i;
+        } else if (!arg.empty() && arg[0] != '-') {
+          paths.emplace_back(arg);
+        } else {
+          std::cerr << "unknown flag: " << arg << '\n';
+          return usage(kExitUsage);
+        }
+      }
+      if (paths.size() != 2) {
+        std::cerr << "bench-diff needs COMMITTED and FRESH paths\n";
+        return usage(kExitUsage);
+      }
+      return cmd_bench_diff(paths[0], paths[1], budget_pct);
+    }
+    if (command == "bench-trajectory") {
+      std::vector<std::filesystem::path> paths;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (!arg.empty() && arg[0] != '-') {
+          paths.emplace_back(arg);
+        } else {
+          std::cerr << "unknown flag: " << arg << '\n';
+          return usage(kExitUsage);
+        }
+      }
+      if (paths.empty()) {
+        std::cerr << "bench-trajectory needs at least one path\n";
+        return usage(kExitUsage);
+      }
+      return cmd_bench_trajectory(paths);
     }
     std::cerr << "unknown command: " << command << '\n';
   } catch (const std::exception& error) {
