@@ -3,10 +3,11 @@
 #include <cctype>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <sstream>
 
 #include "util/atomic_file.hpp"
+#include "util/crc32c.hpp"
+#include "util/io_faults.hpp"
 
 namespace peerscope::exp {
 
@@ -263,8 +264,9 @@ void journal_append(const std::filesystem::path& path,
 std::map<std::string, JournalEntry> journal_replay(
     const std::filesystem::path& path) {
   std::map<std::string, JournalEntry> entries;
-  std::ifstream in(path);
-  if (!in) return entries;  // no journal yet: nothing to replay
+  const auto buf = util::io::read_file(path);
+  if (!buf) return entries;  // no journal yet: nothing to replay
+  std::istringstream in(*buf);
   std::string line;
   if (!std::getline(in, line) ||
       json_string_field(line, "schema") != std::string{kJournalSchema}) {
@@ -341,13 +343,42 @@ void write_run_result(const std::filesystem::path& path,
       out << ' ' << o.rx_ipg_samples << ' ' << o.rx_hops << '\n';
     }
   }
+  // Integrity line: CRC-32C over every byte above it. A torn or
+  // bit-rotted blob fails verification on --resume and the run is
+  // simply re-executed instead of trusted.
+  char crc_line[16];
+  std::snprintf(crc_line, sizeof crc_line, "crc %08x\n",
+                util::crc32c(out.str()));
+  out << crc_line;
   out << "end\n";
   util::write_file_atomic(path, out.str());
 }
 
 std::optional<RunResult> read_run_result(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
+  const auto buf = util::io::read_file(path);
+  if (!buf) return std::nullopt;
+
+  // Verify the integrity line before believing anything else. Blobs
+  // from before the crc line was introduced simply lack it and are
+  // validated structurally like before.
+  if (const std::size_t at = buf->rfind("\ncrc ");
+      at != std::string::npos) {
+    const std::string_view rest = std::string_view(*buf).substr(at + 5);
+    if (rest.size() < 9 || rest.substr(8, 1) != "\n") return std::nullopt;
+    std::uint32_t stored = 0;
+    for (const char c : rest.substr(0, 8)) {
+      const int digit = c >= '0' && c <= '9'   ? c - '0'
+                        : c >= 'a' && c <= 'f' ? c - 'a' + 10
+                                               : -1;
+      if (digit < 0) return std::nullopt;
+      stored = stored << 4 | static_cast<std::uint32_t>(digit);
+    }
+    if (stored != util::crc32c(std::string_view(*buf).substr(0, at + 1))) {
+      return std::nullopt;
+    }
+  }
+
+  std::istringstream in(*buf);
   std::string line;
   if (!std::getline(in, line) || line != kResultHeader) return std::nullopt;
 
@@ -433,6 +464,8 @@ std::optional<RunResult> read_run_result(const std::filesystem::path& path) {
         observations.push_back(o);
       }
       data.per_probe.push_back(std::move(observations));
+    } else if (key == "crc") {
+      // Already verified against the bytes above; nothing to parse.
     } else if (key == "end") {
       complete = true;
       break;

@@ -1,10 +1,10 @@
 #include "exp/metadata.hpp"
 
-#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 #include "util/atomic_file.hpp"
+#include "util/io_faults.hpp"
 
 namespace peerscope::exp {
 
@@ -66,8 +66,9 @@ void write_metadata(const std::filesystem::path& path,
 }
 
 ExperimentMetadata read_metadata(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  if (!in) fail(path, "cannot open");
+  const auto buf = util::io::read_file(path);
+  if (!buf) fail(path, "cannot open");
+  std::istringstream in(*buf);
   std::string line;
   if (!std::getline(in, line) || line != kHeader) {
     fail(path, "bad header");

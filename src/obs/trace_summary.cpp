@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
-#include <fstream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 
+#include "util/io_faults.hpp"
 #include "util/table.hpp"
 
 namespace peerscope::obs {
@@ -68,10 +69,11 @@ std::optional<TraceEventType> type_from_phase(const std::string& ph) {
 }  // namespace
 
 TraceFile read_trace_file(const std::filesystem::path& path) {
-  std::ifstream in{path};
-  if (!in) {
+  const auto buf = util::io::read_file(path);
+  if (!buf) {
     throw std::runtime_error("trace: cannot open " + path.string());
   }
+  std::istringstream in{*buf};
   TraceFile file;
   std::string line;
   bool header_seen = false;

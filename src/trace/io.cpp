@@ -2,13 +2,13 @@
 
 #include <array>
 #include <cstring>
-#include <fstream>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
 #include "util/atomic_file.hpp"
+#include "util/io_faults.hpp"
 
 namespace peerscope::trace {
 
@@ -77,31 +77,24 @@ void write_trace(const std::filesystem::path& path, net::Ipv4Addr probe,
   }
 }
 
-TraceFile read_trace(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("read_trace: cannot open " + path.string());
-  }
-  std::string buf((std::istreambuf_iterator<char>(in)),
-                  std::istreambuf_iterator<char>());
+TraceFile parse_trace(std::string_view buf, const std::string& origin) {
   if (buf.size() < 16) {
-    throw std::runtime_error("read_trace: truncated header in " +
-                             path.string());
+    throw std::runtime_error("read_trace: truncated header in " + origin);
   }
   const char* ptr = buf.data();
   if (get<std::uint32_t>(ptr) != kTraceMagic) {
-    throw std::runtime_error("read_trace: bad magic in " + path.string());
+    throw std::runtime_error("read_trace: bad magic in " + origin);
   }
   if (get<std::uint16_t>(ptr) != kTraceVersion) {
     throw std::runtime_error("read_trace: unsupported version in " +
-                             path.string());
+                             origin);
   }
   (void)get<std::uint16_t>(ptr);  // reserved
   TraceFile file;
   file.probe = net::Ipv4Addr{get<std::uint32_t>(ptr)};
   const auto count = get<std::uint32_t>(ptr);
   if (buf.size() != 16 + static_cast<std::size_t>(count) * kRecordSize) {
-    throw std::runtime_error("read_trace: size mismatch in " + path.string());
+    throw std::runtime_error("read_trace: size mismatch in " + origin);
   }
   file.records.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -113,7 +106,7 @@ TraceFile read_trace(const std::filesystem::path& path) {
     const auto kind = get<std::uint8_t>(ptr);
     if (dir > 1 || kind > 1) {
       throw std::runtime_error("read_trace: corrupt record in " +
-                               path.string());
+                               origin);
     }
     r.dir = static_cast<Direction>(dir);
     r.kind = static_cast<sim::PacketKind>(kind);
@@ -128,19 +121,11 @@ TraceFile read_trace(const std::filesystem::path& path) {
   return file;
 }
 
-TraceFile read_trace_salvage(const std::filesystem::path& path,
-                             SalvageReport* report) {
+TraceFile parse_trace_salvage(std::string_view buf,
+                              SalvageReport* report) {
   SalvageReport local;
   SalvageReport& rep = report ? *report : local;
   rep = SalvageReport{};
-
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("read_trace_salvage: cannot open " +
-                             path.string());
-  }
-  std::string buf((std::istreambuf_iterator<char>(in)),
-                  std::istreambuf_iterator<char>());
 
   TraceFile file;
   if (buf.size() < 16) {
@@ -214,6 +199,24 @@ TraceFile read_trace_salvage(const std::filesystem::path& path,
     obs::counter("trace.bytes_discarded").add(rep.bytes_discarded);
   }
   return file;
+}
+
+TraceFile read_trace(const std::filesystem::path& path) {
+  const auto buf = util::io::read_file(path);
+  if (!buf) {
+    throw std::runtime_error("read_trace: cannot open " + path.string());
+  }
+  return parse_trace(*buf, path.string());
+}
+
+TraceFile read_trace_salvage(const std::filesystem::path& path,
+                             SalvageReport* report) {
+  const auto buf = util::io::read_file(path);
+  if (!buf) {
+    throw std::runtime_error("read_trace_salvage: cannot open " +
+                             path.string());
+  }
+  return parse_trace_salvage(*buf, report);
 }
 
 void write_trace_csv(const std::filesystem::path& path, net::Ipv4Addr probe,

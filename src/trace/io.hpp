@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/ipv4.hpp"
@@ -34,6 +35,15 @@ void write_trace(const std::filesystem::path& path, net::Ipv4Addr probe,
 
 /// Reads a trace file; throws std::runtime_error on malformed input.
 [[nodiscard]] TraceFile read_trace(const std::filesystem::path& path);
+
+/// Buffer-level parsers behind read_trace / read_trace_salvage, for
+/// callers that already hold the bytes (capture ingestion sniffs the
+/// magic and dispatches between PSCT and PSBT from one slurp).
+/// `origin` names the source in error messages.
+[[nodiscard]] TraceFile parse_trace(std::string_view buf,
+                                    const std::string& origin);
+[[nodiscard]] TraceFile parse_trace_salvage(std::string_view buf,
+                                            SalvageReport* report = nullptr);
 
 /// Salvage-mode reader: recovers every parseable record from a
 /// possibly-corrupt trace (truncated tail, bad records, trailing

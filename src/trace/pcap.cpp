@@ -1,11 +1,11 @@
 #include "trace/pcap.hpp"
 
 #include <cstring>
-#include <fstream>
 #include <stdexcept>
 
 #include "sim/packet.hpp"
 #include "util/atomic_file.hpp"
+#include "util/io_faults.hpp"
 
 namespace peerscope::trace {
 
@@ -132,12 +132,11 @@ void write_pcap(const std::filesystem::path& path, net::Ipv4Addr probe,
 
 std::vector<PacketRecord> read_pcap(const std::filesystem::path& path,
                                     net::Ipv4Addr probe) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  const auto slurped = util::io::read_file(path);
+  if (!slurped) {
     throw std::runtime_error("read_pcap: cannot open " + path.string());
   }
-  std::string buf((std::istreambuf_iterator<char>(in)),
-                  std::istreambuf_iterator<char>());
+  const std::string& buf = *slurped;
   if (buf.size() < 24) {
     throw std::runtime_error("read_pcap: truncated global header");
   }
@@ -157,15 +156,20 @@ std::vector<PacketRecord> read_pcap(const std::filesystem::path& path,
 
   std::vector<PacketRecord> records;
   while (p < end) {
-    if (end - p < 16) {
+    if (static_cast<std::size_t>(end - p) < 16) {
       throw std::runtime_error("read_pcap: truncated record header");
     }
     const std::uint32_t sec = read_u32(p);
     const std::uint32_t usec = read_u32(p);
     const std::uint32_t incl = read_u32(p);
     const std::uint32_t orig = read_u32(p);
-    if (incl < 28 || end - p < incl) {
+    if (incl < 28 || static_cast<std::size_t>(end - p) < incl) {
       throw std::runtime_error("read_pcap: truncated packet");
+    }
+    if (orig < 28 || orig > 65535 || incl > orig) {
+      // The writer stores original length as a 16-bit IPv4 total; a
+      // value outside it would alias to a negative byte count below.
+      throw std::runtime_error("read_pcap: implausible original length");
     }
     const char* ip = p;
     p += incl;
@@ -210,13 +214,12 @@ std::vector<PacketRecord> read_pcap_salvage(const std::filesystem::path& path,
   SalvageReport& rep = report ? *report : local;
   rep = SalvageReport{};
 
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  const auto slurped = util::io::read_file(path);
+  if (!slurped) {
     throw std::runtime_error("read_pcap_salvage: cannot open " +
                              path.string());
   }
-  std::string buf((std::istreambuf_iterator<char>(in)),
-                  std::istreambuf_iterator<char>());
+  const std::string& buf = *slurped;
 
   std::vector<PacketRecord> records;
   if (buf.size() < 24) {
@@ -244,7 +247,7 @@ std::vector<PacketRecord> read_pcap_salvage(const std::filesystem::path& path,
   rep.header_valid = true;
 
   while (p < end) {
-    if (end - p < 16) {
+    if (static_cast<std::size_t>(end - p) < 16) {
       rep.truncated = true;
       rep.bytes_discarded += static_cast<std::size_t>(end - p);
       if (rep.note.empty()) rep.note = "truncated record header";
@@ -254,7 +257,7 @@ std::vector<PacketRecord> read_pcap_salvage(const std::filesystem::path& path,
     const std::uint32_t usec = read_u32(p);
     const std::uint32_t incl = read_u32(p);
     const std::uint32_t orig = read_u32(p);
-    if (end - p < incl) {
+    if (static_cast<std::size_t>(end - p) < incl) {
       // The captured length points past EOF: the writer died
       // mid-record. Nothing after this point is trustworthy.
       rep.truncated = true;
@@ -267,6 +270,13 @@ std::vector<PacketRecord> read_pcap_salvage(const std::filesystem::path& path,
     if (incl < 28 || (static_cast<std::uint8_t>(ip[0]) >> 4) != 4) {
       ++rep.records_skipped;  // headers unparseable or not IPv4
       if (rep.note.empty()) rep.note = "unparseable packet";
+      continue;
+    }
+    if (orig < 28 || orig > 65535 || incl > orig) {
+      // Would alias to a negative/implausible byte count; the frame
+      // boundary held, so only this record is lost.
+      ++rep.records_skipped;
+      if (rep.note.empty()) rep.note = "implausible original length";
       continue;
     }
     const auto ttl = static_cast<std::uint8_t>(ip[8]);

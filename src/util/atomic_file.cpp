@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/io_faults.hpp"
+
 namespace peerscope::util {
 
 namespace {
@@ -19,18 +21,24 @@ namespace {
                            std::strerror(errno));
 }
 
-void write_all(int fd, std::string_view contents, const std::string& op,
-               const std::filesystem::path& path) {
+/// `base_offset` is where `contents` starts within the destination
+/// file (non-zero only for appends) so the fault shim can key
+/// disk-full and bit-flip schedules on absolute file position.
+void write_all(int fd, std::string_view contents, std::uint64_t base_offset,
+               const std::string& op, const std::filesystem::path& path) {
   const char* data = contents.data();
   std::size_t left = contents.size();
+  std::size_t done = 0;
   while (left > 0) {
-    const ssize_t n = ::write(fd, data, left);
+    const ssize_t n =
+        io::write_some(fd, data, left, base_offset + done, path);
     if (n < 0) {
       if (errno == EINTR) continue;
       fail(op, path);
     }
     data += n;
     left -= static_cast<std::size_t>(n);
+    done += static_cast<std::size_t>(n);
   }
 }
 
@@ -41,7 +49,7 @@ void sync_parent_dir(const std::filesystem::path& path) {
   if (dir.empty()) dir = ".";
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
   if (fd < 0) fail("atomic write: cannot open directory", dir);
-  const int rc = ::fsync(fd);
+  const int rc = io::fsync_file(fd, dir);
   ::close(fd);
   if (rc != 0) fail("atomic write: fsync directory", dir);
 }
@@ -59,8 +67,8 @@ void write_file_atomic(const std::filesystem::path& path,
                         O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) fail("atomic write: cannot create", tmp);
   try {
-    write_all(fd, contents, "atomic write: short write to", tmp);
-    if (durable && ::fsync(fd) != 0) {
+    write_all(fd, contents, 0, "atomic write: short write to", tmp);
+    if (durable && io::fsync_file(fd, tmp) != 0) {
       fail("atomic write: fsync", tmp);
     }
   } catch (...) {
@@ -72,7 +80,7 @@ void write_file_atomic(const std::filesystem::path& path,
     ::unlink(tmp.c_str());
     fail("atomic write: close", tmp);
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (io::rename_file(tmp, path) != 0) {
     ::unlink(tmp.c_str());
     fail("atomic write: rename to", path);
   }
@@ -82,6 +90,12 @@ void write_file_atomic(const std::filesystem::path& path,
 void append_line_durable(const std::filesystem::path& path,
                          std::string_view line) {
   const bool existed = std::filesystem::exists(path);
+  std::uint64_t base = 0;
+  if (existed) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (!ec) base = size;
+  }
   const int fd = ::open(path.c_str(),
                         O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
   if (fd < 0) fail("journal append: cannot open", path);
@@ -90,8 +104,8 @@ void append_line_durable(const std::filesystem::path& path,
   buf.append(line);
   buf.push_back('\n');
   try {
-    write_all(fd, buf, "journal append: short write to", path);
-    if (::fsync(fd) != 0) fail("journal append: fsync", path);
+    write_all(fd, buf, base, "journal append: short write to", path);
+    if (io::fsync_file(fd, path) != 0) fail("journal append: fsync", path);
   } catch (...) {
     ::close(fd);
     throw;

@@ -1,0 +1,41 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+
+namespace peerscope::util {
+
+namespace {
+
+// Byte-at-a-time table for the reflected Castagnoli polynomial,
+// generated once at static-init time. The artifacts checksummed here
+// are written at most once per run; the table walk is nowhere near a
+// hot path.
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) != 0 ? (crc >> 1) ^ 0x82f63b78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t seed, std::string_view data) {
+  std::uint32_t crc = ~seed;
+  for (const char c : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<std::uint8_t>(c)) & 0xff];
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32c(std::string_view data) {
+  return crc32c_extend(0, data);
+}
+
+}  // namespace peerscope::util

@@ -1,0 +1,26 @@
+// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78).
+//
+// The checksum behind every self-validating artifact in the tree: the
+// binary trace format's per-record and header checksums
+// (trace/binary_format.hpp) and the experiment journal's result-blob
+// integrity line (exp/journal.cpp). CRC-32C is the iSCSI/ext4
+// polynomial — better burst-error detection than CRC-32/zlib and the
+// variant hardware crc32 instructions accelerate, should this ever
+// need to go faster than the table walk below.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace peerscope::util {
+
+/// CRC-32C of `data`, with the conventional ~0 pre/post conditioning
+/// (crc32c("") == 0, crc32c("123456789") == 0xe3069283).
+[[nodiscard]] std::uint32_t crc32c(std::string_view data);
+
+/// Streaming form: feed the previous return value back in as `seed`
+/// to checksum data that arrives in pieces. Start with seed 0.
+[[nodiscard]] std::uint32_t crc32c_extend(std::uint32_t seed,
+                                          std::string_view data);
+
+}  // namespace peerscope::util

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cstring>
 #include <functional>
 #include <mutex>
 #include <utility>
@@ -566,6 +567,99 @@ TEST(Journal, CorruptBlobReadsAsNullopt) {
       << "peerscope-runresult 1\napp X\nduration_ns 5\n";
   EXPECT_FALSE(read_run_result(dir / "torn.result").has_value());
   std::filesystem::remove_all(dir);
+}
+
+TEST(Journal, BitRotInTheBlobFailsTheCrcCheck) {
+  // Flip one digit in an otherwise perfectly parseable blob: without
+  // the integrity line this would read back as silently wrong data.
+  const RunResult original = run_experiment(topo(), tiny_spec(6));
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("peerscope_blob_crc_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const auto path = dir / "rot.result";
+  write_run_result(path, original);
+
+  std::string buf;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream tmp;
+    tmp << in.rdbuf();
+    buf = tmp.str();
+  }
+  const std::size_t at = buf.find("duration_ns ");
+  ASSERT_NE(at, std::string::npos);
+  char& digit = buf[at + std::strlen("duration_ns ")];
+  digit = digit == '9' ? '8' : static_cast<char>(digit + 1);
+  {
+    // peerscope-lint: allow(no-raw-artifact-io): writes a test fixture
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << buf;
+  }
+  EXPECT_FALSE(read_run_result(path).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Journal, LegacyBlobWithoutCrcLineStillParses) {
+  const RunResult original = run_experiment(topo(), tiny_spec(6));
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("peerscope_blob_legacy_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const auto path = dir / "legacy.result";
+  write_run_result(path, original);
+
+  std::string buf;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream tmp;
+    tmp << in.rdbuf();
+    buf = tmp.str();
+  }
+  const std::size_t at = buf.rfind("\ncrc ");
+  ASSERT_NE(at, std::string::npos);
+  buf.erase(at + 1, std::strlen("crc 00000000\n"));  // drop the line
+  {
+    // peerscope-lint: allow(no-raw-artifact-io): writes a test fixture
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << buf;
+  }
+  const auto reloaded = read_run_result(path);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(reloaded->counters.chunks_delivered,
+            original.counters.chunks_delivered);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(SupervisorTest, TornResultBlobIsRerunOnResume) {
+  // A blob cut mid-bytes (a crashed copy, a dying disk) must fail the
+  // CRC, read as unfinished, and be re-executed — never half-trusted.
+  const RunSpec specs[] = {tiny_spec(1), tiny_spec(2)};
+  SupervisorConfig config;
+  config.journal = dir_ / "experiment.journal";
+  config.run_fn = [](const net::AsTopology&, const RunSpec& spec) {
+    return fake_result(spec.seed);
+  };
+  util::ThreadPool pool{2};
+  (void)supervise_runs(topo(), specs, pool, config);
+
+  const auto entries = journal_replay(config.journal);
+  const auto blob = dir_ / "experiment.journal.d" /
+                    entries.at(spec_id(specs[0])).artifact;
+  const auto size = std::filesystem::file_size(blob);
+  ASSERT_GT(size, 10u);
+  std::filesystem::resize_file(blob, size / 2);
+  EXPECT_FALSE(read_run_result(blob).has_value());
+
+  std::atomic<int> calls{0};
+  config.resume = true;
+  config.run_fn = [&calls](const net::AsTopology&, const RunSpec& spec) {
+    ++calls;
+    return fake_result(spec.seed);
+  };
+  const auto second = supervise_runs(topo(), specs, pool, config);
+  EXPECT_EQ(calls.load(), 1);  // only the torn spec re-executed
+  EXPECT_EQ(second.runs[0].state, RunState::kOk);
+  EXPECT_EQ(second.runs[1].state, RunState::kSkipped);
+  EXPECT_TRUE(second.complete());
 }
 
 }  // namespace

@@ -1,0 +1,19 @@
+// Fixture: a raw read inside src/ bypasses the util::io fault shim
+// and must fire; a suppressed one must not.
+#include <fstream>
+#include <string>
+
+std::string unshimmed(const char* path) {
+  std::ifstream in{path};  // finding: std::ifstream
+  std::string text;
+  in >> text;
+  return text;
+}
+
+std::string excused(const char* path) {
+  // peerscope-lint: allow(no-raw-artifact-io): fixture reader
+  std::ifstream in{path};
+  std::string text;
+  in >> text;
+  return text;
+}

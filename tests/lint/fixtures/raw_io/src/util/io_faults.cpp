@@ -1,0 +1,3 @@
+// Fixture: the other allowlisted file. The fault shim is where raw
+// open(2) bottoms out — both read and write primitives are its job.
+int shim_open(const char* path) { return ::open(path, 0); }

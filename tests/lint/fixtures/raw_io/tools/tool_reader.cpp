@@ -1,0 +1,11 @@
+// Fixture: the read-side check is scoped to src/ — tools (and tests,
+// bench, examples) may slurp files however they like.
+#include <fstream>
+#include <string>
+
+std::string tool_read(const char* path) {
+  std::ifstream in{path};
+  std::string text;
+  in >> text;
+  return text;
+}

@@ -68,14 +68,30 @@ TEST(RawIoRule, FlagsEveryBannedPrimitiveWithFileAndLine) {
                                        HasSubstr("open(2)"))));
 }
 
-TEST(RawIoRule, AtomicFileImplementationIsAllowlisted) {
+TEST(RawIoRule, AtomicFileAndFaultShimAreAllowlisted) {
   const auto findings = lint_fixture("raw_io", kRuleRawIo);
   EXPECT_THAT(findings, Not(Contains(HasSubstr("atomic_file.cpp"))));
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("io_faults.cpp"))));
 }
 
-TEST(RawIoRule, ReadsAndCommentAndStringMentionsDoNotFire) {
+TEST(RawIoRule, CommentAndStringMentionsDoNotFire) {
   const auto findings = lint_fixture("raw_io", kRuleRawIo);
   EXPECT_THAT(findings, Not(Contains(HasSubstr("clean_reader.cpp"))));
+}
+
+TEST(RawIoRule, UnshimmedReadInsideSrcIsAFinding) {
+  const auto findings = lint_fixture("raw_io", kRuleRawIo);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("bad_reader.cpp:7"),
+                             HasSubstr("std::ifstream"),
+                             HasSubstr("util::io::read_file"))));
+  // The suppressed reader in the same file stays quiet.
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("bad_reader.cpp:15"))));
+}
+
+TEST(RawIoRule, ReadsOutsideSrcDoNotFire) {
+  const auto findings = lint_fixture("raw_io", kRuleRawIo);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("tool_reader.cpp"))));
 }
 
 TEST(RawIoRule, TrailingAndOwnLineAllowsSuppress) {
@@ -90,7 +106,7 @@ TEST(RawIoRule, AllowNamingADifferentRuleDoesNotSuppress) {
 }
 
 TEST(RawIoRule, FindingCountIsExact) {
-  EXPECT_EQ(lint_fixture("raw_io", kRuleRawIo).size(), 5u);
+  EXPECT_EQ(lint_fixture("raw_io", kRuleRawIo).size(), 6u);
 }
 
 // --- metric-name-registry --------------------------------------------
@@ -367,7 +383,7 @@ TEST(LintRun, FindingsAreSortedByFileThenLine) {
   options.rules.insert(std::string{kRuleRawIo});
   options.check_tracked = false;
   const LintResult result = run(options);
-  ASSERT_EQ(result.findings.size(), 5u);
+  ASSERT_EQ(result.findings.size(), 6u);
   EXPECT_TRUE(std::is_sorted(
       result.findings.begin(), result.findings.end(),
       [](const Finding& a, const Finding& b) {

@@ -225,6 +225,65 @@ TEST_F(SalvageTest, PcapTruncatedTailKeepsPrefix) {
   EXPECT_THROW((void)read_pcap(path, probe), std::runtime_error);
 }
 
+// Default snaplen is 28, so each pcap record is 16 + 28 bytes and
+// record i's header sits at 24 + i*44.
+constexpr std::streamoff kPcapRecord = 44;
+
+TEST_F(SalvageTest, PcapTruncatedFinalRecordHeaderIsAccounted) {
+  // The file ends 7 bytes into the last record's 16-byte header — the
+  // regression case where the salvage reader used to read past the
+  // buffer instead of stopping at the partial header.
+  const auto path = dir_ / "midhdr.pcap";
+  const Ipv4Addr probe{10, 0, 0, 1};
+  write_pcap(path, probe, sample_records());
+  std::filesystem::resize_file(path, 24 + 49 * kPcapRecord + 7);
+
+  SalvageReport report;
+  const auto salvaged = read_pcap_salvage(path, probe, &report);
+  EXPECT_EQ(salvaged.size(), 49u);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_EQ(report.bytes_discarded, 7u);
+  EXPECT_THROW((void)read_pcap(path, probe), std::runtime_error);
+}
+
+TEST_F(SalvageTest, PcapOversizedInclLengthDoesNotOverread) {
+  // A corrupt captured-length pointing past EOF must end the salvage,
+  // not send the reader out of bounds.
+  const auto path = dir_ / "incl.pcap";
+  const Ipv4Addr probe{10, 0, 0, 1};
+  write_pcap(path, probe, sample_records());
+  const std::streamoff incl_at = 24 + 49 * kPcapRecord + 8;
+  for (int i = 0; i < 4; ++i) {
+    patch_byte(path, incl_at + i, '\xff');
+  }
+
+  SalvageReport report;
+  const auto salvaged = read_pcap_salvage(path, probe, &report);
+  EXPECT_EQ(salvaged.size(), 49u);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_EQ(report.bytes_discarded, 44u);  // the whole last record
+  EXPECT_THROW((void)read_pcap(path, probe), std::runtime_error);
+}
+
+TEST_F(SalvageTest, PcapImplausibleOriginalLengthIsSkippedAlone) {
+  // original_length of 0 would alias to a nonsense byte count; the
+  // frame boundary holds, so salvage drops just that record.
+  const auto path = dir_ / "orig.pcap";
+  const Ipv4Addr probe{10, 0, 0, 1};
+  write_pcap(path, probe, sample_records());
+  const std::streamoff orig_at = 24 + 10 * kPcapRecord + 12;
+  for (int i = 0; i < 4; ++i) {
+    patch_byte(path, orig_at + i, '\0');
+  }
+
+  SalvageReport report;
+  const auto salvaged = read_pcap_salvage(path, probe, &report);
+  EXPECT_EQ(salvaged.size(), 49u);
+  EXPECT_EQ(report.records_skipped, 1u);
+  EXPECT_FALSE(report.truncated);
+  EXPECT_THROW((void)read_pcap(path, probe), std::runtime_error);
+}
+
 TEST_F(SalvageTest, PcapBadGlobalHeaderRecoversNothing) {
   const auto path = dir_ / "hdr.pcap";
   // peerscope-lint: allow(no-raw-artifact-io): writes a test fixture

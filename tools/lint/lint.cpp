@@ -38,9 +38,11 @@ constexpr std::string_view kSchemaRegistryPath =
 // uniqueness + README semantics.
 constexpr std::string_view kExitCodeRegistryPath = "tools/exit_codes.def";
 
-// The one file allowed to bypass util::write_file_atomic: it is the
-// implementation of util::write_file_atomic.
-constexpr std::string_view kRawIoAllowlist = "src/util/atomic_file.cpp";
+// The files allowed raw file I/O: the implementation of
+// util::write_file_atomic and the fault-injection shim whose hooks
+// (util::io::write_some/read_file/...) everything else routes through.
+constexpr std::array<std::string_view, 2> kRawIoAllowlist = {
+    "src/util/atomic_file.cpp", "src/util/io_faults.cpp"};
 
 [[nodiscard]] bool is_source_file(const fs::path& path) {
   const std::string ext = path.extension().string();
@@ -436,9 +438,15 @@ class Linter {
   }
 
   // (1) no-raw-artifact-io: every write-capable file-open primitive in
-  // the code view, outside the util::write_file_atomic implementation.
+  // the code view, outside the util::write_file_atomic implementation
+  // and the util::io fault shim. Within src/ the rule also covers the
+  // read side: every reader must route through util::io::read_file so
+  // the storage fault-injection layer sees all file I/O.
   void check_raw_io(const FileContext& file) {
-    if (file.rel == kRawIoAllowlist) return;
+    if (std::find(kRawIoAllowlist.begin(), kRawIoAllowlist.end(),
+                  file.rel) != kRawIoAllowlist.end()) {
+      return;
+    }
     struct Token {
       const char* pattern;
       const char* what;
@@ -471,6 +479,20 @@ class Linter {
                    " bypasses util::write_file_atomic; route artifact "
                    "writes through it (or suppress in tests)");
       }
+    }
+    // Read-side tokens, src/-only: tools and tests may slurp however
+    // they like, but library code must stay fault-injectable.
+    if (file.rel.rfind("src/", 0) != 0) return;
+    static const std::regex kReadRe{R"(std::ifstream\b)"};
+    for (auto it = std::cregex_iterator{file.code.data(),
+                                        file.code.data() +
+                                            file.code.size(),
+                                        kReadRe};
+         it != std::cregex_iterator{}; ++it) {
+      report(file, static_cast<std::size_t>(it->position(0)), kRuleRawIo,
+             "std::ifstream bypasses the util::io fault shim; route "
+             "src/ reads through util::io::read_file (or suppress with "
+             "an allow annotation)");
     }
   }
 

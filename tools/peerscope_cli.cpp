@@ -3,7 +3,8 @@
 //   peerscope testbed
 //       Print the Table I testbed.
 //   peerscope run --app <name> [--seed N] [--duration S] --out DIR
-//                 [--pcap] [--csv] [supervision flags] [fault flags]
+//                 [--trace-format classic|binary] [--pcap] [--csv]
+//                 [supervision flags] [fault flags]
 //       Run one experiment, store per-probe traces plus the experiment
 //       metadata sidecar needed for offline analysis. Injected faults
 //       are recorded in the sidecar. The run is supervised: failures
@@ -81,6 +82,20 @@
 //                     it with `peerscope trace-summary`, about:tracing,
 //                     or ui.perfetto.dev. Without the flag no recorder
 //                     is installed and the hooks are no-op.
+//   --io-faults SPEC  install a deterministic storage fault schedule
+//                     (DESIGN.md §15 grammar, e.g.
+//                     "enospc@4096:trace.bin,fsync-fail#2"); every
+//                     file peerscope reads or writes routes through
+//                     the injectable shim. Also via env
+//                     PEERSCOPE_IO_FAULTS (flag wins). A malformed
+//                     schedule exits 4.
+//   --io-faults-seed N  seed for fault offsets the schedule leaves
+//                     unset (env PEERSCOPE_IO_FAULTS_SEED).
+//
+// run --trace-format: `classic` (default) writes the fixed-record
+// PSCT format; `binary` writes the checksummed record-framed PSBT
+// format (per-record CRC-32C + sync markers, DESIGN.md §15). analyze
+// sniffs each trace's magic, so mixed captures load fine either way.
 //
 // trace-summary: `peerscope trace-summary PATH [--top N]
 // [--deterministic]` profiles a trace.json — per-span-path self/total
@@ -134,8 +149,10 @@
 #include "obs/trace_summary.hpp"
 #include "p2p/swarm.hpp"
 #include "tools/reproduce.hpp"
+#include "trace/binary_format.hpp"
 #include "trace/io.hpp"
 #include "trace/pcap.hpp"
+#include "util/io_faults.hpp"
 #include "util/table.hpp"
 
 using namespace peerscope;
@@ -166,7 +183,7 @@ int usage(int code = kExitUsage) {
   std::cerr <<
       R"(usage:
   peerscope testbed
-  peerscope run --app <name> [--seed N] [--duration S] --out DIR [--pcap] [--csv] [supervision] [fault flags]
+  peerscope run --app <name> [--seed N] [--duration S] --out DIR [--trace-format classic|binary] [--pcap] [--csv] [supervision] [fault flags]
   peerscope analyze DIR [--salvage]
   peerscope report --app <name> [--seed N] [--duration S] [supervision] [fault flags]
   peerscope reproduce [--out FILE] [--seed N] [--duration S] [supervision]
@@ -183,6 +200,8 @@ discovery:   --discovery <tracker|dht|gossip>  --fallback <tracker|dht|gossip>
              --flash-crowd-at S  --zap-reuse P  --session-tail A
 global flags: --metrics PATH   (write metrics.json sidecar at exit)
               --trace PATH     (write trace.json event timeline at exit)
+              --io-faults SPEC [--io-faults-seed N]
+                               (inject storage faults, DESIGN.md §15)
 
 exit codes: 0 ok, 1 runtime error, 2 usage, 3 unknown app, 4 bad value,
             5 partial success, 6 bad capture directory, 7 bad trace file,
@@ -210,6 +229,7 @@ struct RunArgs {
   std::uint64_t seed = 42;
   std::int64_t duration_s = 120;
   std::filesystem::path out;
+  bool binary_trace = false;
   bool pcap = false;
   bool csv = false;
   int retries = 0;
@@ -311,6 +331,20 @@ std::optional<RunArgs> parse_run_args(int argc, char** argv, int first,
         return std::nullopt;
       }
       args.out = v;
+    } else if (flag == "--trace-format") {
+      const char* v = value();
+      if (!v) {
+        std::cerr << "--trace-format needs a value\n";
+        return std::nullopt;
+      }
+      const std::string format = v;
+      if (format != "classic" && format != "binary") {
+        std::cerr << "invalid value for --trace-format: " << v
+                  << " (expected classic | binary)\n";
+        err = kExitBadValue;
+        return std::nullopt;
+      }
+      args.binary_trace = format == "binary";
     } else if (flag == "--pcap") {
       args.pcap = true;
     } else if (flag == "--csv") {
@@ -583,9 +617,16 @@ int cmd_run(const RunArgs& args) {
                              info.access.is_high_bandwidth(), label});
       auto records = swarm.sink(i).records();
       std::sort(records.begin(), records.end(), trace::record_before);
-      trace::write_trace(
-          args.out / exp::ExperimentMetadata::trace_filename(label),
-          swarm.sink(i).probe(), records);
+      // Same filename either way: analyze sniffs the magic, so a
+      // capture directory can mix classic and binary traces.
+      const auto trace_path =
+          args.out / exp::ExperimentMetadata::trace_filename(label);
+      if (args.binary_trace) {
+        trace::write_trace_binary(trace_path, swarm.sink(i).probe(),
+                                  records);
+      } else {
+        trace::write_trace(trace_path, swarm.sink(i).probe(), records);
+      }
       if (args.pcap) {
         trace::write_pcap(args.out / (label + ".pcap"),
                           swarm.sink(i).probe(), records);
@@ -950,6 +991,12 @@ int main(int argc, char** argv) {
   // runtime error, so a failing run still leaves its partial counters.
   std::filesystem::path metrics_path;
   std::filesystem::path trace_path;
+  // Storage fault injection: flag wins over env so a chaos sweep can
+  // set a baseline schedule and individual cells can override it.
+  const char* faults_env = std::getenv("PEERSCOPE_IO_FAULTS");
+  const char* faults_seed_env = std::getenv("PEERSCOPE_IO_FAULTS_SEED");
+  std::string fault_spec = faults_env ? faults_env : "";
+  std::string fault_seed_text = faults_seed_env ? faults_seed_env : "";
   std::vector<char*> filtered;
   filtered.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -965,9 +1012,42 @@ int main(int argc, char** argv) {
         return usage(kExitUsage);
       }
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--io-faults") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--io-faults needs a value\n";
+        return usage(kExitUsage);
+      }
+      fault_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--io-faults-seed") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--io-faults-seed needs a value\n";
+        return usage(kExitUsage);
+      }
+      fault_seed_text = argv[++i];
     } else {
       filtered.push_back(argv[i]);
     }
+  }
+
+  if (!fault_spec.empty()) {
+    std::uint64_t fault_seed = 0;
+    if (!fault_seed_text.empty()) {
+      char* end = nullptr;
+      fault_seed = std::strtoull(fault_seed_text.c_str(), &end, 10);
+      if (end == fault_seed_text.c_str() || *end != '\0') {
+        std::cerr << "invalid value for --io-faults-seed: "
+                  << fault_seed_text << '\n';
+        return kExitBadValue;
+      }
+    }
+    try {
+      util::io::install_faults(
+          util::io::FaultPlan::parse(fault_spec, fault_seed));
+    } catch (const std::invalid_argument& error) {
+      std::cerr << error.what() << '\n';
+      return kExitBadValue;
+    }
+    std::cerr << "io-faults: schedule armed (" << fault_spec << ")\n";
   }
 
   obs::MetricsRegistry registry;
