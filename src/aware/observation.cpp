@@ -17,7 +17,9 @@ std::vector<PairObservation> extract_observations(
   const net::AsId probe_as = registry.as_of(probe);
   const net::CountryCode probe_cc = registry.country_of(probe);
 
-  for (const auto& [remote, f] : flows.flows()) {
+  // Observation order is the flow table's hash order; every consumer
+  // (report tallies, JSON export) keys by address or sorts first.
+  for (const auto& [remote, f] : flows.flows()) {  // lint: ordered
     PairObservation obs;
     obs.probe = probe;
     obs.remote = remote;

@@ -78,7 +78,9 @@ StabilityStats session_stability(
   if (spans.empty()) return stats;
   std::vector<double> sessions;
   sessions.reserve(spans.size());
-  for (const auto& [addr, span] : spans) {
+  // Session lengths feed set-functions (mean, percentiles), so the
+  // collection order of the samples does not matter.
+  for (const auto& [addr, span] : spans) {  // lint: ordered
     sessions.push_back((span.second - span.first).seconds());
   }
   util::OnlineStats online;

@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <future>
 #include <iostream>
-#include <mutex>
 #include <thread>
 
 #include "exp/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/cancel.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 
 namespace peerscope::exp {
@@ -105,7 +105,7 @@ BatchOutcome supervise_runs(const net::AsTopology& topo,
 
   BatchOutcome outcome;
   outcome.runs.resize(specs.size());
-  std::mutex journal_mutex;
+  util::Mutex journal_mutex;
 
   std::vector<std::future<void>> futures;
   futures.reserve(specs.size());
@@ -216,9 +216,10 @@ BatchOutcome supervise_runs(const net::AsTopology& topo,
           entry.artifact = spec_artifact_name(status.spec);
           // Blob first, journal line second: an "ok" line on disk
           // always points at a complete, already-renamed blob.
+          // NOLINTNEXTLINE(bugprone-unchecked-optional-access): state == kOk implies result is engaged (set together in the run loop)
           write_run_result(blob_dir / entry.artifact, *status.result);
         }
-        const std::lock_guard lock{journal_mutex};
+        const util::MutexLock lock{journal_mutex};
         journal_append(config.journal, entry);
       } catch (const std::exception& error) {
         // Journal trouble must not demote a completed run: the result

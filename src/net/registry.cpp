@@ -32,7 +32,8 @@ const std::vector<Ipv4Prefix>& NetRegistry::prefixes_of(AsId as) const {
 std::vector<NetRegistry::Announcement> NetRegistry::dump() const {
   std::vector<Announcement> out;
   out.reserve(map_.size());
-  for (const auto& [as, prefixes] : by_as_) {
+  // Collected in hash order, then sorted by prefix base below.
+  for (const auto& [as, prefixes] : by_as_) {  // lint: ordered
     for (const auto& prefix : prefixes) {
       const auto entry = map_.exact(prefix);
       if (entry) out.push_back({prefix, entry->as, entry->country});

@@ -18,7 +18,7 @@ MetricsRegistry* registry() noexcept {
 
 MetricsRegistry::CounterCell* MetricsRegistry::counter_cell(
     std::string_view name) {
-  std::lock_guard lock{mutex_};
+  util::MutexLock lock{mutex_};
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
   CounterCell* cell = &counter_storage_.emplace_back();
@@ -29,7 +29,7 @@ MetricsRegistry::CounterCell* MetricsRegistry::counter_cell(
 MetricsRegistry::HistogramCell* MetricsRegistry::histogram_cell(
     std::string_view name, std::span<const std::int64_t> bounds,
     bool timing) {
-  std::lock_guard lock{mutex_};
+  util::MutexLock lock{mutex_};
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
   HistogramCell* cell = &histogram_storage_.emplace_back(
@@ -39,12 +39,12 @@ MetricsRegistry::HistogramCell* MetricsRegistry::histogram_cell(
 }
 
 void MetricsRegistry::set_gauge(std::string_view name, double value) {
-  std::lock_guard lock{mutex_};
+  util::MutexLock lock{mutex_};
   gauges_.insert_or_assign(std::string{name}, value);
 }
 
 void MetricsRegistry::record_span(const std::string& path, std::int64_t ns) {
-  std::lock_guard lock{mutex_};
+  util::MutexLock lock{mutex_};
   SpanStats& stats = spans_[path];
   if (stats.count == 0 || ns < stats.min_ns) stats.min_ns = ns;
   if (stats.count == 0 || ns > stats.max_ns) stats.max_ns = ns;
@@ -71,7 +71,7 @@ HistogramSnapshot MetricsRegistry::HistogramCell::merged() const {
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard lock{mutex_};
+  util::MutexLock lock{mutex_};
   for (const auto& [name, cell] : counters_) {
     snap.counters.emplace(name, cell->total());
   }

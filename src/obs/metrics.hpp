@@ -21,12 +21,14 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace peerscope::obs {
 
@@ -154,13 +156,19 @@ class MetricsRegistry {
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, CounterCell*, std::less<>> counters_;
-  std::deque<CounterCell> counter_storage_;
-  std::map<std::string, HistogramCell*, std::less<>> histograms_;
-  std::deque<HistogramCell> histogram_storage_;
-  std::map<std::string, double, std::less<>> gauges_;
-  std::map<std::string, SpanStats, std::less<>> spans_;
+  // The mutex guards registration and the gauge/span maps; the
+  // returned Counter/Histogram cells are sharded atomics written
+  // lock-free (their deque storage only grows under the mutex, and
+  // deque growth never moves existing cells).
+  mutable util::Mutex mutex_;
+  std::map<std::string, CounterCell*, std::less<>> counters_
+      PS_GUARDED_BY(mutex_);
+  std::deque<CounterCell> counter_storage_ PS_GUARDED_BY(mutex_);
+  std::map<std::string, HistogramCell*, std::less<>> histograms_
+      PS_GUARDED_BY(mutex_);
+  std::deque<HistogramCell> histogram_storage_ PS_GUARDED_BY(mutex_);
+  std::map<std::string, double, std::less<>> gauges_ PS_GUARDED_BY(mutex_);
+  std::map<std::string, SpanStats, std::less<>> spans_ PS_GUARDED_BY(mutex_);
 };
 
 /// Installs `registry` as the process-wide recording target (nullptr

@@ -1,16 +1,18 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <thread>
 
 #include "obs/metrics.hpp"
 #include "util/atomic_file.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace peerscope::obs {
 
@@ -19,7 +21,10 @@ namespace peerscope::obs {
 // recorder tail run under the recorder mutex but are always invoked
 // *by the owning thread*, so there is never a cross-thread access to
 // a ring — the mutex only protects the shared structures (buffer
-// registry, name table, central store).
+// registry, name table, central store). The rings are deliberately
+// NOT PS_GUARDED_BY the mutex: they are thread-hostile by design, and
+// the `owner` check below (free under NDEBUG) enforces the owner-only
+// contract the annotations cannot express.
 struct TraceRecorder::ThreadBuffer {
   struct Slot {
     std::uint32_t name_id = 0;
@@ -36,21 +41,27 @@ struct TraceRecorder::ThreadBuffer {
   /// min(written, capacity) of them.
   std::uint64_t written = 0;
   std::uint32_t tid;
+  /// The only thread allowed to touch this ring (debug-checked).
+  std::thread::id owner = std::this_thread::get_id();
   /// Owner-thread cache of the recorder-wide name table, so the hot
   /// path interns without taking the mutex.
   std::map<std::string, std::uint32_t, std::less<>> name_cache;
 };
 
 struct TraceRecorder::Impl {
-  TraceConfig config;
-  std::chrono::steady_clock::time_point epoch;
-  std::mutex mutex;
-  std::deque<ThreadBuffer> buffers;  // deque: stable addresses
-  std::map<std::thread::id, ThreadBuffer*> by_thread;
-  std::vector<std::string> names;
-  std::map<std::string, std::uint32_t, std::less<>> name_ids;
-  std::vector<TraceEvent> drained;
-  std::uint64_t drained_dropped = 0;
+  TraceConfig config;                         // set once in the ctor
+  std::chrono::steady_clock::time_point epoch;  // likewise
+  util::Mutex mutex;
+  // deque: stable addresses
+  std::deque<ThreadBuffer> buffers PS_GUARDED_BY(mutex);
+  std::map<std::thread::id, ThreadBuffer*> by_thread PS_GUARDED_BY(mutex);
+  std::vector<std::string> names PS_GUARDED_BY(mutex);
+  std::map<std::string, std::uint32_t, std::less<>> name_ids
+      PS_GUARDED_BY(mutex);
+  std::vector<TraceEvent> drained PS_GUARDED_BY(mutex);
+  std::uint64_t drained_dropped PS_GUARDED_BY(mutex) = 0;
+
+  std::uint64_t flush_locked(ThreadBuffer& buffer) PS_REQUIRES(mutex);
 };
 
 namespace {
@@ -94,7 +105,7 @@ TraceRecorder::ThreadBuffer* TraceRecorder::cached_buffer() noexcept {
 }
 
 TraceRecorder::ThreadBuffer& TraceRecorder::buffer_for_this_thread() {
-  std::lock_guard lock{impl_->mutex};
+  util::MutexLock lock{impl_->mutex};
   const std::thread::id id = std::this_thread::get_id();
   ThreadBuffer* buffer;
   const auto it = impl_->by_thread.find(id);
@@ -117,7 +128,7 @@ TraceRecorder::ThreadBuffer& TraceRecorder::buffer_for_this_thread() {
 }
 
 std::uint32_t TraceRecorder::intern(std::string_view name) {
-  std::lock_guard lock{impl_->mutex};
+  util::MutexLock lock{impl_->mutex};
   const auto it = impl_->name_ids.find(name);
   if (it != impl_->name_ids.end()) return it->second;
   const auto id = static_cast<std::uint32_t>(impl_->names.size());
@@ -130,6 +141,7 @@ void TraceRecorder::record(TraceEventType type, std::string_view name,
                            std::int64_t value) {
   ThreadBuffer* buffer = cached_buffer();
   if (buffer == nullptr) buffer = &buffer_for_this_thread();
+  assert(buffer->owner == std::this_thread::get_id());
   std::uint32_t name_id;
   const auto cached = buffer->name_cache.find(name);
   if (cached != buffer->name_cache.end()) {
@@ -165,16 +177,17 @@ void TraceRecorder::counter(std::string_view name, std::int64_t value) {
   record(TraceEventType::kCounter, name, value);
 }
 
-std::uint64_t TraceRecorder::flush_locked(ThreadBuffer& buffer) {
+std::uint64_t TraceRecorder::Impl::flush_locked(ThreadBuffer& buffer) {
+  assert(buffer.owner == std::this_thread::get_id());
   const std::uint64_t capacity = buffer.slots.size();
   const std::uint64_t dropped =
       buffer.written > capacity ? buffer.written - capacity : 0;
   for (std::uint64_t i = dropped; i < buffer.written; ++i) {
     const ThreadBuffer::Slot& slot = buffer.slots[i % capacity];
-    impl_->drained.push_back(TraceEvent{impl_->names[slot.name_id], slot.type,
-                                        buffer.tid, slot.ts_ns, slot.value});
+    drained.push_back(TraceEvent{names[slot.name_id], slot.type,
+                                 buffer.tid, slot.ts_ns, slot.value});
   }
-  impl_->drained_dropped += dropped;
+  drained_dropped += dropped;
   buffer.written = 0;
   return dropped;
 }
@@ -182,10 +195,10 @@ std::uint64_t TraceRecorder::flush_locked(ThreadBuffer& buffer) {
 void TraceRecorder::flush_current_thread() {
   std::uint64_t dropped = 0;
   {
-    std::lock_guard lock{impl_->mutex};
+    util::MutexLock lock{impl_->mutex};
     const auto it = impl_->by_thread.find(std::this_thread::get_id());
     if (it == impl_->by_thread.end()) return;
-    dropped = flush_locked(*it->second);
+    dropped = impl_->flush_locked(*it->second);
   }
   // Mirrored into metrics only when something was actually lost, so a
   // traced run with zero drops leaves metrics.json byte-identical to
@@ -197,7 +210,7 @@ void TraceRecorder::flush_current_thread() {
 
 std::vector<TraceEvent> TraceRecorder::recent_events(std::size_t max_events) {
   std::vector<TraceEvent> tail;
-  std::lock_guard lock{impl_->mutex};
+  util::MutexLock lock{impl_->mutex};
   const auto it = impl_->by_thread.find(std::this_thread::get_id());
   if (it == impl_->by_thread.end()) return tail;
   const ThreadBuffer& buffer = *it->second;
@@ -217,7 +230,7 @@ std::vector<TraceEvent> TraceRecorder::recent_events(std::size_t max_events) {
 TraceSnapshot TraceRecorder::snapshot() {
   flush_current_thread();
   TraceSnapshot snap;
-  std::lock_guard lock{impl_->mutex};
+  util::MutexLock lock{impl_->mutex};
   snap.events = impl_->drained;
   snap.dropped = impl_->drained_dropped;
   return snap;
@@ -366,7 +379,9 @@ std::string deterministic_trace(const TraceSnapshot& snapshot) {
   out += "dropped ";
   append_u64(out, snapshot.dropped);
   out += '\n';
-  for (const auto& [name, c] : spans) {
+  // `spans` here is a std::map (sorted); the name merely collides
+  // with unordered declarations elsewhere in src/.
+  for (const auto& [name, c] : spans) {  // lint: ordered
     out += "span " + name + " begin ";
     append_u64(out, c.begins);
     out += " end ";

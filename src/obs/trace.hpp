@@ -109,7 +109,6 @@ class TraceRecorder {
   [[nodiscard]] std::uint32_t intern(std::string_view name);
   void record(TraceEventType type, std::string_view name,
               std::int64_t value);
-  std::uint64_t flush_locked(ThreadBuffer& buffer);
 
   struct Impl;
   Impl* impl_;

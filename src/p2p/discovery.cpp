@@ -332,7 +332,9 @@ class DhtBackend final : public DiscoveryBackend {
   std::optional<PeerId> closest_unqueried(
       const RoutingTable& table, NodeId target,
       const std::unordered_set<PeerId>& queried) {
-    for (const PeerId peer :
+    // The range is closest()'s distance-sorted vector; `queried` only
+    // sizes the request.
+    for (const PeerId peer :                        // lint: ordered
          table.closest(target, queried.size() + 1)) {
       if (!queried.contains(peer)) return peer;
     }
@@ -687,7 +689,8 @@ std::size_t DiscoveryService::rejoins_missed(SimTime deadline,
   for (const SimTime latency : rejoin_latencies_) {
     if (latency > deadline) ++missed;
   }
-  for (const auto& [id, st] : states_) {
+  // Pure count over the member set: order-independent.
+  for (const auto& [id, st] : states_) {  // lint: ordered
     if (!st.satisfied && end - st.started > deadline) ++missed;
   }
   return missed;

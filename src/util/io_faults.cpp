@@ -9,12 +9,19 @@
 #include <cstdio>
 #include <cstring>
 #include <limits>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+// The one sanctioned edge below util in the layer DAG: the fault shim
+// reports injections through the obs hooks (relaxed load + branch
+// when no registry is installed), which is cheaper than an spmc
+// callback indirection and keeps injection counts in the same export
+// as everything else. tools/layers.def deliberately omits it so any
+// new util -> obs include still fails the module-layering rule.
+#include "obs/metrics.hpp"  // peerscope-lint: allow(module-layering)
+#include "obs/trace.hpp"    // peerscope-lint: allow(module-layering)
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace peerscope::util::io {
 
@@ -60,12 +67,13 @@ struct CondemnedPath {
 };
 
 struct State {
-  std::mutex mu;
-  std::vector<ArmedFault> armed;
-  std::vector<CondemnedPath> condemned;
-  std::uint64_t rng = 0;
-  std::uint32_t eintr_pending = 0;  // storm consumed by subsequent calls
-  FaultCounters counters;
+  Mutex mu;
+  std::vector<ArmedFault> armed PS_GUARDED_BY(mu);
+  std::vector<CondemnedPath> condemned PS_GUARDED_BY(mu);
+  std::uint64_t rng PS_GUARDED_BY(mu) = 0;
+  // storm consumed by subsequent calls
+  std::uint32_t eintr_pending PS_GUARDED_BY(mu) = 0;
+  FaultCounters counters PS_GUARDED_BY(mu);
 };
 
 State& state() {
@@ -77,7 +85,7 @@ std::atomic<bool> g_enabled{false};
 
 // splitmix64 — tiny, seedable, and plenty for picking corruption
 // sites; statistical quality is irrelevant here.
-std::uint64_t next_rand(State& s) {
+std::uint64_t next_rand(State& s) PS_REQUIRES(s.mu) {
   std::uint64_t z = (s.rng += 0x9e3779b97f4a7c15ull);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
@@ -92,7 +100,8 @@ bool path_matches(const FaultSpec& spec, const std::filesystem::path& path) {
 // Finds the first unspent fault of `kind` eligible for this call,
 // honouring each candidate's #nth countdown. Returns nullptr when
 // nothing fires.
-ArmedFault* match(State& s, FaultKind kind, const std::filesystem::path& path) {
+ArmedFault* match(State& s, FaultKind kind,
+                  const std::filesystem::path& path) PS_REQUIRES(s.mu) {
   for (ArmedFault& f : s.armed) {
     if (f.spent || f.spec.kind != kind || !path_matches(f.spec, path)) {
       continue;
@@ -106,7 +115,7 @@ ArmedFault* match(State& s, FaultKind kind, const std::filesystem::path& path) {
   return nullptr;
 }
 
-void note_injection(State& s, const FaultSpec& spec) {
+void note_injection(State& s, const FaultSpec& spec) PS_REQUIRES(s.mu) {
   ++s.counters.injected;
   PEERSCOPE_METRIC_ADD("io.faults_injected", 1);
   PEERSCOPE_TRACE_INSTANT("io.fault_injected");
@@ -215,7 +224,7 @@ FaultPlan FaultPlan::parse(std::string_view spec, std::uint64_t seed) {
 
 void install_faults(FaultPlan plan) {
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock{s.mu};
   s.armed.clear();
   for (FaultSpec& spec : plan.faults) {
     ArmedFault armed;
@@ -232,7 +241,7 @@ void install_faults(FaultPlan plan) {
 
 void clear_faults() {
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock{s.mu};
   s.armed.clear();
   s.condemned.clear();
   s.eintr_pending = 0;
@@ -245,7 +254,7 @@ bool faults_enabled() {
 
 FaultCounters fault_counters() {
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock{s.mu};
   return s.counters;
 }
 
@@ -256,7 +265,7 @@ ssize_t write_some(int fd, const char* data, std::size_t n,
     return raw_write(fd, data, n);
   }
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock{s.mu};
 
   // A pending EINTR storm swallows calls before any new fault can arm.
   if (s.eintr_pending > 0) {
@@ -354,7 +363,7 @@ ssize_t write_some(int fd, const char* data, std::size_t n,
 int fsync_file(int fd, const std::filesystem::path& path) {
   if (faults_enabled()) {
     State& s = state();
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock{s.mu};
     if (ArmedFault* f = match(s, FaultKind::kFsyncFail, path)) {
       note_injection(s, f->spec);
       ++s.counters.fsync_failures;
@@ -370,7 +379,7 @@ int rename_file(const std::filesystem::path& from,
                 const std::filesystem::path& to) {
   if (faults_enabled()) {
     State& s = state();
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock{s.mu};
     // Match on the destination — that is the name schedules know.
     if (ArmedFault* f = match(s, FaultKind::kRenameFail, to)) {
       note_injection(s, f->spec);
@@ -408,7 +417,7 @@ std::optional<std::string> read_file(const std::filesystem::path& path) {
 
   if (faults_enabled()) {
     State& s = state();
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock{s.mu};
     // An armed EINTR storm also covers reads: model the interrupted
     // retries the slurp loop above would have absorbed.
     if (ArmedFault* f = match(s, FaultKind::kEintr, path)) {

@@ -1,15 +1,17 @@
 #include "util/log.hpp"
 
 #include <cstdio>
-#include <mutex>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace peerscope::util {
 
 namespace {
 
-std::mutex g_mutex;
-LogLevel g_level = LogLevel::kWarn;
-Log::Sink g_sink;
+Mutex g_mutex;
+LogLevel g_level PS_GUARDED_BY(g_mutex) = LogLevel::kWarn;
+Log::Sink g_sink PS_GUARDED_BY(g_mutex);
 
 void default_sink(LogLevel level, std::string_view message) {
   std::fprintf(stderr, "[%s] %.*s\n", to_string(level).data(),
@@ -19,24 +21,24 @@ void default_sink(LogLevel level, std::string_view message) {
 }  // namespace
 
 void Log::set_level(LogLevel level) {
-  std::lock_guard lock{g_mutex};
+  MutexLock lock{g_mutex};
   g_level = level;
 }
 
 LogLevel Log::level() {
-  std::lock_guard lock{g_mutex};
+  MutexLock lock{g_mutex};
   return g_level;
 }
 
 void Log::set_sink(Sink sink) {
-  std::lock_guard lock{g_mutex};
+  MutexLock lock{g_mutex};
   g_sink = std::move(sink);
 }
 
 void Log::write(LogLevel level, std::string_view message) {
   Sink sink;
   {
-    std::lock_guard lock{g_mutex};
+    MutexLock lock{g_mutex};
     if (level < g_level) return;
     sink = g_sink;
   }

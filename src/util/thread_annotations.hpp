@@ -1,0 +1,82 @@
+// Clang thread-safety annotation macros (DESIGN.md §16).
+//
+// The ROADMAP's next step — sharding one 1M+-peer swarm across cores
+// with bounded-lag synchronization — multiplies the ways a stray
+// mutex breaks the §5.6 determinism contract. These macros make the
+// locking discipline machine-checked: every mutex-protected member is
+// declared PS_GUARDED_BY its mutex, every lock-requiring function
+// PS_REQUIRES it, and the clang CI legs build with
+// `-Wthread-safety -Werror`, so "accessed without the lock" is a
+// compile error rather than a TSan lottery ticket.
+//
+// The macros expand to clang's capability attributes and to nothing
+// elsewhere (gcc, msvc), so annotations are zero-cost and
+// ABI-invisible on every compiler. Use them through the annotated
+// util::Mutex / util::MutexLock wrappers (util/mutex.hpp) — the
+// lock-annotation lint rule bans raw std::mutex outside that wrapper
+// precisely so the analysis can see every lock in the tree.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define PS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define PS_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names it in
+/// diagnostics).
+#define PS_CAPABILITY(x) PS_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define PS_SCOPED_CAPABILITY PS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define PS_GUARDED_BY(x) PS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer
+/// itself may be read freely).
+#define PS_PT_GUARDED_BY(x) PS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry and does not
+/// release it.
+#define PS_REQUIRES(...) \
+  PS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define PS_ACQUIRE(...) \
+  PS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define PS_RELEASE(...) \
+  PS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; the first argument is the
+/// return value that means success.
+#define PS_TRY_ACQUIRE(...) \
+  PS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the capability
+/// (deadlock prevention: e.g. a callback-invoking function that
+/// re-enters the lock).
+#define PS_EXCLUDES(...) PS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Documents lock-ordering between two capabilities.
+#define PS_ACQUIRED_BEFORE(...) \
+  PS_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define PS_ACQUIRED_AFTER(...) \
+  PS_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define PS_RETURN_CAPABILITY(x) PS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Runtime assertion that the capability is held (for code the
+/// analysis cannot follow, e.g. callbacks invoked under a lock).
+#define PS_ASSERT_CAPABILITY(x) \
+  PS_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Escape hatch: disables analysis of one function body. Reserve for
+/// lock-juggling primitives (CondVar::wait) whose correctness is
+/// argued in a comment; never use it to silence a real finding.
+#define PS_NO_THREAD_SAFETY_ANALYSIS \
+  PS_THREAD_ANNOTATION_(no_thread_safety_analysis)

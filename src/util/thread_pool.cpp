@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 ThreadPool::~ThreadPool() {
   shutdown_.request();
   {
-    std::lock_guard lock{mutex_};
+    MutexLock lock{mutex_};
     stopping_ = true;
   }
   cv_.notify_all();
@@ -28,8 +28,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock{mutex_};
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock{mutex_};
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

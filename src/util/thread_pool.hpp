@@ -6,16 +6,18 @@
 // output (DESIGN.md §5.6).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
+#include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "util/cancel.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace peerscope::util {
 
@@ -48,7 +50,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lock{mutex_};
+      MutexLock lock{mutex_};
       if (stopping_) {
         throw std::runtime_error("ThreadPool::submit after shutdown");
       }
@@ -61,12 +63,12 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ PS_GUARDED_BY(mutex_);
   std::vector<std::thread> threads_;
   CancelToken shutdown_;
-  bool stopping_ = false;
+  bool stopping_ PS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace peerscope::util

@@ -1,0 +1,11 @@
+#pragma once
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct State {
+  std::unordered_map<int, int> table_;
+  std::vector<int> list_;
+  const std::unordered_set<int>& members() const { return members_; }
+  std::unordered_set<int> members_;
+};

@@ -1,0 +1,7 @@
+#include <unordered_map>
+
+int tool_sum(const std::unordered_map<int, int>& table_) {
+  int total = 0;
+  for (const auto& [k, v] : table_) total += v;
+  return total;
+}

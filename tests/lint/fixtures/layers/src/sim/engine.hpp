@@ -1,0 +1,4 @@
+#pragma once
+#include "net/route.hpp"
+#include "util/base.hpp"
+int engine();

@@ -1,0 +1,1 @@
+int freelancer() { return 0; }

@@ -1,0 +1,15 @@
+#include <condition_variable>
+#include <mutex>
+
+std::mutex g_mutex;
+std::condition_variable g_cv;
+
+void touch() {
+  std::lock_guard<std::mutex> lock{g_mutex};
+  // a comment naming std::mutex must not fire
+}
+
+void interop() {
+  std::unique_lock<std::mutex> lock{g_mutex};  // peerscope-lint: allow(lock-annotation)
+  g_cv.notify_one();
+}

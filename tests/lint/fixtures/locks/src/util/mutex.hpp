@@ -1,0 +1,14 @@
+#pragma once
+#include <mutex>
+
+// The one allowed definition site: the annotated wrapper itself.
+namespace util {
+class Mutex {
+ public:
+  void lock() { mu_.lock(); }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+}  // namespace util

@@ -1,0 +1,5 @@
+#include <mutex>
+
+// Tests are exempt: they synchronise scenario machinery, and gtest
+// helpers interoperate with std primitives directly.
+std::mutex g_test_mutex;

@@ -1,0 +1,3 @@
+#include <mutex>
+
+std::mutex g_tool_mutex;

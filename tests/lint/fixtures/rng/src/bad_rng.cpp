@@ -1,0 +1,15 @@
+#include <ctime>
+#include <random>
+
+unsigned roll() {
+  std::random_device rd;
+  std::mt19937 unseeded;
+  std::mt19937 seeded{12345};
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  unsigned total = static_cast<unsigned>(std::rand());
+  // peerscope-lint: allow(rng-discipline)
+  std::mt19937 tolerated;
+  // a comment naming std::random_device must not fire
+  total += rd() + unseeded() + seeded() + tolerated();
+  return total;
+}

@@ -1,0 +1,8 @@
+#include <random>
+
+// src/util/ implements the seed-derivation layer, so ambient entropy
+// is allowed here and only here.
+unsigned entropy() {
+  std::random_device rd;
+  return rd();
+}

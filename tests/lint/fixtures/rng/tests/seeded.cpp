@@ -1,0 +1,8 @@
+#include <random>
+
+// Tests are inside the rule's scope: a flaky seed in a test is as
+// unreplayable as one in src/.
+unsigned test_roll() {
+  std::random_device rd;
+  return rd();
+}

@@ -16,8 +16,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstddef>
 #include <filesystem>
+#include <fstream>
 #include <string>
+#include <system_error>
 #include <tuple>
 #include <vector>
 
@@ -442,13 +445,345 @@ TEST(NoCommentView, KeepsStringsDropsComments) {
 }
 
 TEST(FindingToString, FormatsFileLineRuleMessage) {
-  const Finding finding{"src/a.cpp", 12, "some-rule", "message"};
+  const Finding finding{"src/a.cpp", 12, "some-rule", "message", {}};
   EXPECT_EQ(to_string(finding), "src/a.cpp:12: [some-rule] message");
 }
 
 TEST(FindingToString, OmitsLineZero) {
-  const Finding finding{"build/x.o", 0, "some-rule", "committed"};
+  const Finding finding{"build/x.o", 0, "some-rule", "committed", {}};
   EXPECT_EQ(to_string(finding), "build/x.o: [some-rule] committed");
+}
+
+// --- nondeterministic-iteration --------------------------------------
+
+TEST(IterationRule, BareRangeForOverUnorderedMemberIsAFinding) {
+  const auto findings = lint_fixture("iteration", kRuleIteration);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("loops.cpp:5"),
+                             HasSubstr("`table_`"),
+                             HasSubstr("lint: ordered"))));
+}
+
+TEST(IterationRule, AccessorReturningUnorderedIsAFinding) {
+  const auto findings = lint_fixture("iteration", kRuleIteration);
+  EXPECT_THAT(findings, Contains(AllOf(HasSubstr("loops.cpp:7"),
+                                       HasSubstr("`members`"))));
+}
+
+TEST(IterationRule, OrderedContainersAreClean) {
+  const auto findings = lint_fixture("iteration", kRuleIteration);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("loops.cpp:6"))));
+}
+
+TEST(IterationRule, TrailingAndOwnLineOrderedMarkersSuppress) {
+  const auto findings = lint_fixture("iteration", kRuleIteration);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("loops.cpp:8"))));
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("loops.cpp:10"))));
+}
+
+TEST(IterationRule, CommentsAndNonSrcDirsAreOutOfScope) {
+  const auto findings = lint_fixture("iteration", kRuleIteration);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("loops.cpp:11"))));
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("tools/"))));
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+// --- rng-discipline ---------------------------------------------------
+
+TEST(RngRule, AmbientEntropyAndWallClockSeedingAreFindings) {
+  const auto findings = lint_fixture("rng", kRuleRng);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("bad_rng.cpp:5"),
+                             HasSubstr("std::random_device"))));
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("bad_rng.cpp:6"),
+                             HasSubstr("default-constructed"))));
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("bad_rng.cpp:8"),
+                             HasSubstr("wall-clock"))));
+  EXPECT_THAT(findings, Contains(AllOf(HasSubstr("bad_rng.cpp:9"),
+                                       HasSubstr("rand()"))));
+}
+
+TEST(RngRule, SeededEngineAndSuppressedLineAreClean) {
+  const auto findings = lint_fixture("rng", kRuleRng);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("bad_rng.cpp:7"))));
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("bad_rng.cpp:11"))));
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("bad_rng.cpp:12"))));
+}
+
+TEST(RngRule, SrcUtilIsExemptButTestsAreNot) {
+  const auto findings = lint_fixture("rng", kRuleRng);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("util/rng.cpp"))));
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("tests/seeded.cpp:6"),
+                             HasSubstr("std::random_device"))));
+  // bad_rng.cpp: device, unseeded engine, srand + time (one line,
+  // two findings), rand — plus the tests/ device.
+  EXPECT_EQ(findings.size(), 6u);
+}
+
+// --- lock-annotation --------------------------------------------------
+
+TEST(LockRule, RawStdLockTypesInSrcAreFindings) {
+  const auto findings = lint_fixture("locks", kRuleLocks);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("guarded.cpp:4"),
+                             HasSubstr("std::mutex"),
+                             HasSubstr("util::Mutex"))));
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("guarded.cpp:5"),
+                             HasSubstr("std::condition_variable"))));
+  EXPECT_THAT(findings, Contains(AllOf(HasSubstr("guarded.cpp:8"),
+                                       HasSubstr("std::lock_guard"))));
+}
+
+TEST(LockRule, ToolsAreInScopeTestsAreNot) {
+  const auto findings = lint_fixture("locks", kRuleLocks);
+  EXPECT_THAT(findings, Contains(HasSubstr("tools/locker.cpp:3")));
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("scenario.cpp"))));
+}
+
+TEST(LockRule, WrapperDefinitionSiteAndSuppressionsAreClean) {
+  const auto findings = lint_fixture("locks", kRuleLocks);
+  // The message itself names util/mutex.hpp, so match the file:line
+  // prefix a finding from the wrapper would carry.
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("src/util/mutex.hpp:"))));
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("guarded.cpp:9"))));
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("guarded.cpp:13"))));
+  // guarded.cpp: mutex, condition_variable, lock_guard + its <mutex>
+  // argument; locker.cpp: one.
+  EXPECT_EQ(findings.size(), 5u);
+}
+
+// --- module-layering --------------------------------------------------
+
+TEST(LayeringRule, UndeclaredDependencyIsAFinding) {
+  const auto findings = lint_fixture("layers", kRuleLayering);
+  EXPECT_THAT(findings,
+              Contains(AllOf(HasSubstr("route.cpp:3"),
+                             HasSubstr("\"sim/...\""),
+                             HasSubstr("layers.def"))));
+}
+
+TEST(LayeringRule, DeclaredEdgesSuppressionsAndForeignIncludesAreClean) {
+  const auto findings = lint_fixture("layers", kRuleLayering);
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("route.cpp:4"))));
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("route.cpp:5"))));
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("route.cpp:6"))));
+  EXPECT_THAT(findings, Not(Contains(HasSubstr("engine.hpp"))));
+  EXPECT_EQ(findings.size(), 1u);
+}
+
+TEST(LayeringRule, SrcDirMissingFromLayersDefIsAConfigError) {
+  Options options;
+  options.root = fixture_root("layers_unknown");
+  options.rules.insert(std::string{kRuleLayering});
+  options.check_tracked = false;
+  const LintResult result = run(options);
+  EXPECT_THAT(result.errors,
+              Contains(AllOf(HasSubstr("src/rogue"),
+                             HasSubstr("layers.def"))));
+}
+
+TEST(LayeringRule, AbsentLayersDefSkipsTheRuleSilently) {
+  Options options;
+  options.root = fixture_root("headers");  // no tools/layers.def
+  options.rules.insert(std::string{kRuleLayering});
+  options.check_tracked = false;
+  const LintResult result = run(options);
+  EXPECT_THAT(result.errors, IsEmpty());
+  EXPECT_THAT(result.findings, IsEmpty());
+}
+
+// --- fingerprints and baseline ---------------------------------------
+
+TEST(Fingerprint, MatchesTheDocumentedFnv1aConstruction) {
+  // Golden value cross-checked against an independent FNV-1a
+  // implementation of rule NUL rel-path NUL key.
+  EXPECT_EQ(fingerprint("rng-discipline", "src/a.cpp",
+                        "int x = std::rand();"),
+            "43f8d53763b586d8");
+  EXPECT_EQ(fingerprint("demo-rule", "demo/path.cpp", "line text"),
+            "dbb69ed88a68ac9c");
+}
+
+TEST(Fingerprint, IsLineNumberIndependentAndPathSensitive) {
+  EXPECT_NE(fingerprint("r", "a.cpp", "x"), fingerprint("r", "b.cpp", "x"));
+  EXPECT_NE(fingerprint("r", "a.cpp", "x"), fingerprint("q", "a.cpp", "x"));
+  // The separator keeps ("ab","c") distinct from ("a","bc").
+  EXPECT_NE(fingerprint("r", "ab", "c"), fingerprint("r", "a", "bc"));
+}
+
+TEST(Fingerprint, EveryFindingCarriesOne) {
+  Options options;
+  options.root = fixture_root("rng");
+  options.rules.insert(std::string{kRuleRng});
+  options.check_tracked = false;
+  const LintResult result = run(options);
+  ASSERT_FALSE(result.findings.empty());
+  for (const auto& finding : result.findings) {
+    EXPECT_EQ(finding.fingerprint.size(), 16u) << to_string(finding);
+    EXPECT_EQ(finding.fingerprint.find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+  }
+}
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            "peerscope_lint_baseline_test.txt";
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+
+  void write_baseline(const std::string& content) {
+    // Test scratch file, not a run artifact.
+    std::ofstream out{path_};  // peerscope-lint: allow(no-raw-artifact-io)
+    out << content;
+  }
+
+  [[nodiscard]] LintResult run_rng(bool with_baseline) const {
+    Options options;
+    options.root = fixture_root("rng");
+    options.rules.insert(std::string{kRuleRng});
+    options.check_tracked = false;
+    if (with_baseline) options.baseline = path_;
+    return run(options);
+  }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(BaselineTest, ListedFingerprintsAreSuppressedAndCounted) {
+  const LintResult before = run_rng(false);
+  ASSERT_FALSE(before.findings.empty());
+  std::string baseline = "# accepted debt\n";
+  for (const auto& finding : before.findings) {
+    baseline += finding.fingerprint + " " + finding.rule + " " +
+                finding.file.generic_string() + "\n";
+  }
+  write_baseline(baseline);
+  const LintResult after = run_rng(true);
+  EXPECT_THAT(after.errors, IsEmpty());
+  EXPECT_THAT(after.findings, IsEmpty());
+  EXPECT_EQ(after.baseline_suppressed, before.findings.size());
+}
+
+TEST_F(BaselineTest, StaleEntryBecomesAFinding) {
+  write_baseline("0123456789abcdef rng-discipline src/ghost.cpp\n");
+  const LintResult result = run_rng(true);
+  EXPECT_THAT(result.errors, IsEmpty());
+  EXPECT_EQ(result.baseline_suppressed, 0u);
+  bool found_stale = false;
+  for (const auto& finding : result.findings) {
+    if (finding.message.find("stale") != std::string::npos &&
+        finding.message.find("0123456789abcdef") != std::string::npos) {
+      found_stale = true;
+      EXPECT_EQ(finding.line, 1u);
+    }
+  }
+  EXPECT_TRUE(found_stale);
+}
+
+TEST_F(BaselineTest, MalformedLineIsAConfigError) {
+  write_baseline("not-a-fingerprint rng-discipline src/x.cpp\n");
+  const LintResult result = run_rng(true);
+  EXPECT_THAT(result.errors, Contains(HasSubstr("malformed baseline")));
+}
+
+TEST_F(BaselineTest, MissingBaselineFileIsAConfigError) {
+  const LintResult result = run_rng(true);  // path_ never written
+  EXPECT_THAT(result.errors, Contains(HasSubstr("cannot read baseline")));
+}
+
+// --- SARIF ------------------------------------------------------------
+
+/// Minimal structural JSON check: quotes/escapes tracked, braces and
+/// brackets balanced in order. Catches broken escaping or nesting
+/// without a full parser.
+bool json_well_formed(std::string_view text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      } else if (c == '\n') {
+        return false;  // raw newline inside a string
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(Sarif, RendersVersionRulesAndOneResultPerFinding) {
+  Options options;
+  options.root = fixture_root("locks");
+  options.rules.insert(std::string{kRuleLocks});
+  options.check_tracked = false;
+  const LintResult result = run(options);
+  ASSERT_FALSE(result.findings.empty());
+  const std::string sarif = to_sarif(result, options.root);
+  EXPECT_TRUE(json_well_formed(sarif));
+  EXPECT_THAT(sarif, HasSubstr("\"version\": \"2.1.0\""));
+  EXPECT_THAT(sarif, HasSubstr("sarif-2.1.0.json"));
+  EXPECT_THAT(sarif, HasSubstr("\"name\": \"peerscope-lint\""));
+  for (const auto rule : rule_names()) {
+    EXPECT_THAT(sarif, HasSubstr("\"id\": \"" + std::string{rule} + "\""));
+  }
+  std::size_t results = 0;
+  for (std::size_t pos = sarif.find("\"ruleId\"");
+       pos != std::string::npos;
+       pos = sarif.find("\"ruleId\"", pos + 1)) {
+    ++results;
+  }
+  EXPECT_EQ(results, result.findings.size());
+  // URIs are root-relative with forward slashes.
+  EXPECT_THAT(sarif, HasSubstr("\"uri\": \"src/guarded.cpp\""));
+  EXPECT_THAT(sarif, HasSubstr("\"startLine\": 4"));
+  EXPECT_THAT(sarif, HasSubstr("partialFingerprints"));
+}
+
+TEST(Sarif, EscapesMessagesAndOmitsRegionForLineZeroFindings) {
+  LintResult result;
+  result.findings.push_back({"src/a.cpp", 12, "demo-rule",
+                             "say \"hi\" back\\slash", "0011223344556677"});
+  result.findings.push_back(
+      {"build/x.o", 0, "demo-rule", "whole-file", "8899aabbccddeeff"});
+  const std::string sarif = to_sarif(result, ".");
+  EXPECT_TRUE(json_well_formed(sarif));
+  EXPECT_THAT(sarif,
+              HasSubstr("say \\\"hi\\\" back\\\\slash"));
+  EXPECT_THAT(sarif, HasSubstr("\"startLine\": 12"));
+  // Exactly one region: the line-0 finding must omit it.
+  EXPECT_EQ(sarif.find("\"region\""), sarif.rfind("\"region\""));
 }
 
 }  // namespace

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <system_error>
 #include <map>
 #include <memory>
 #include <optional>
@@ -37,6 +39,12 @@ constexpr std::string_view kSchemaRegistryPath =
 // skipped, so miniature fixture roots without one keep the original
 // uniqueness + README semantics.
 constexpr std::string_view kExitCodeRegistryPath = "tools/exit_codes.def";
+// Optional layer DAG (`<layer>: <dep> <dep>...` per line): when the
+// file exists, every `#include "<layer>/..."` in src/ must point at a
+// declared dependency of the including file's own layer. Absent file
+// = rule silently skipped (same contract as exit_codes.def), so
+// fixture roots opt in by checking one in.
+constexpr std::string_view kLayersPath = "tools/layers.def";
 
 // The files allowed raw file I/O: the implementation of
 // util::write_file_atomic and the fault-injection shim whose hooks
@@ -61,6 +69,30 @@ constexpr std::array<std::string_view, 2> kRawIoAllowlist = {
   std::ostringstream buf;
   buf << in.rdbuf();
   return std::move(buf).str();
+}
+
+/// The trimmed text of the 1-based `line` in `source` (empty when out
+/// of range) — the line-content half of a finding fingerprint.
+[[nodiscard]] std::string_view line_text(std::string_view source,
+                                         std::size_t line) {
+  std::size_t pos = 0;
+  for (std::size_t n = 1; n < line; ++n) {
+    pos = source.find('\n', pos);
+    if (pos == std::string_view::npos) return {};
+    ++pos;
+  }
+  std::size_t eol = source.find('\n', pos);
+  if (eol == std::string_view::npos) eol = source.size();
+  std::string_view text = source.substr(pos, eol - pos);
+  while (!text.empty() &&
+         (std::isspace(static_cast<unsigned char>(text.front())) != 0)) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         (std::isspace(static_cast<unsigned char>(text.back())) != 0)) {
+    text.remove_suffix(1);
+  }
+  return text;
 }
 
 /// Byte offset -> 1-based line number lookup.
@@ -240,6 +272,33 @@ Suppressions parse_suppressions(std::string_view source) {
   return out;
 }
 
+/// Lines covered by a `// lint: ordered` marker (the
+/// nondeterministic-iteration opt-out: "this loop's effects are
+/// order-independent, or the consumer sorts"). Same placement rule as
+/// allow(): trailing a statement covers that line, on a line of its
+/// own covers the next.
+std::set<std::size_t> parse_ordered_lines(std::string_view source) {
+  static const std::regex marker{R"(//\s*lint:\s*ordered\b)"};
+  std::set<std::size_t> out;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    ++line_no;
+    std::size_t eol = source.find('\n', pos);
+    if (eol == std::string_view::npos) eol = source.size();
+    const std::string line{source.substr(pos, eol - pos)};
+    std::smatch match;
+    if (std::regex_search(line, match, marker)) {
+      const bool own_line =
+          line.find_first_not_of(" \t") ==
+          static_cast<std::size_t>(match.position(0));
+      out.insert(own_line ? line_no + 1 : line_no);
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
 // --- registries -------------------------------------------------------
 
 struct RegistryEntry {
@@ -335,13 +394,16 @@ class Linter {
   LintResult run() {
     if (!init_rules()) return std::move(result_);
     load_registries();
+    load_layers();
     collect_files();
+    collect_unordered_names();
     for (const auto& file : files_) scan_file(*file);
     finish_registries();
     check_exit_codes();
     if (enabled(kRuleBuildArtifacts) && options_.check_tracked) {
       append(check_tracked_paths(tracked_files()));
     }
+    apply_baseline();
     std::sort(result_.findings.begin(), result_.findings.end(),
               [](const Finding& a, const Finding& b) {
                 return std::tie(a.file, a.line, a.rule) <
@@ -406,16 +468,31 @@ class Linter {
               [](const auto& a, const auto& b) { return a->rel < b->rel; });
   }
 
+  [[nodiscard]] std::string rel_of(const fs::path& path) const {
+    std::error_code ec;
+    const fs::path rel = fs::relative(path, options_.root, ec);
+    if (ec || rel.empty()) return path.generic_string();
+    return rel.generic_string();
+  }
+
   void report(const FileContext& file, std::size_t offset,
               std::string_view rule, std::string message) {
     const std::size_t line = file.lines.line_of(offset);
     if (file.suppressions.covers(rule, line)) return;
-    result_.findings.push_back(
-        {file.path, line, std::string{rule}, std::move(message)});
+    const std::string_view key =
+        line != 0 ? line_text(file.source, line)
+                  : std::string_view{message};
+    std::string print = fingerprint(rule, file.rel, key);
+    result_.findings.push_back({file.path, line, std::string{rule},
+                                std::move(message), std::move(print)});
   }
 
   void append(std::vector<Finding> extra) {
     for (auto& finding : extra) {
+      if (finding.fingerprint.empty()) {
+        finding.fingerprint = fingerprint(
+            finding.rule, finding.file.generic_string(), finding.message);
+      }
       result_.findings.push_back(std::move(finding));
     }
   }
@@ -435,6 +512,10 @@ class Linter {
       check_header_hygiene(file);
     }
     if (enabled(kRuleEngineHotPath)) check_engine_hot_path(file);
+    if (enabled(kRuleIteration)) check_iteration(file);
+    if (enabled(kRuleRng)) check_rng(file);
+    if (enabled(kRuleLocks)) check_locks(file);
+    if (enabled(kRuleLayering) && layers_) check_layering(file);
   }
 
   // (1) no-raw-artifact-io: every write-capable file-open primitive in
@@ -724,6 +805,313 @@ class Linter {
     }
   }
 
+  // (8) nondeterministic-iteration, src/ only: a range-for whose range
+  // expression mentions an identifier declared anywhere in src/ with
+  // an unordered container type. Hash iteration order varies across
+  // libstdc++ versions and (for pointer keys) across runs, so any such
+  // loop whose effects are order-sensitive breaks the §5.6 determinism
+  // contract. Loops that are genuinely order-independent (or sort
+  // before consuming) carry `// lint: ordered` on or above the `for`.
+  void collect_unordered_names() {
+    if (!enabled(kRuleIteration)) return;
+    static const std::regex decl{
+        R"(std::unordered_(?:map|set|multimap|multiset)\s*<)"};
+    for (const auto& file : files_) {
+      if (file->rel.rfind("src/", 0) != 0) continue;
+      const std::string& text = file->code;
+      for (auto it = std::cregex_iterator{text.data(),
+                                          text.data() + text.size(), decl};
+           it != std::cregex_iterator{}; ++it) {
+        // Balance the template argument list, then take the declared
+        // (or accessor) identifier after it.
+        std::size_t j = static_cast<std::size_t>(it->position(0)) +
+                        static_cast<std::size_t>(it->length(0));
+        int depth = 1;
+        while (j < text.size() && depth > 0) {
+          if (text[j] == '<') ++depth;
+          if (text[j] == '>') --depth;
+          ++j;
+        }
+        while (j < text.size() &&
+               ((std::isspace(static_cast<unsigned char>(text[j])) != 0) ||
+                text[j] == '&' || text[j] == '*')) {
+          ++j;
+        }
+        std::size_t end = j;
+        while (end < text.size() &&
+               ((std::isalnum(static_cast<unsigned char>(text[end])) !=
+                 0) ||
+                text[end] == '_')) {
+          ++end;
+        }
+        if (end > j &&
+            (std::isdigit(static_cast<unsigned char>(text[j])) == 0)) {
+          unordered_names_.insert(text.substr(j, end - j));
+        }
+      }
+    }
+  }
+
+  void check_iteration(const FileContext& file) {
+    if (file.rel.rfind("src/", 0) != 0 || unordered_names_.empty()) {
+      return;
+    }
+    const std::set<std::size_t> ordered = parse_ordered_lines(file.source);
+    static const std::regex for_head{R"(\bfor\s*\()"};
+    static const std::regex ident{R"([A-Za-z_]\w*)"};
+    const std::string& text = file.code;
+    for (auto it = std::cregex_iterator{text.data(),
+                                        text.data() + text.size(),
+                                        for_head};
+         it != std::cregex_iterator{}; ++it) {
+      const auto offset = static_cast<std::size_t>(it->position(0));
+      std::size_t open = offset + static_cast<std::size_t>(it->length(0));
+      // Find the matching close paren and the top-level range `:`
+      // (skipping `::`), if any.
+      int depth = 1;
+      std::size_t colon = std::string::npos;
+      std::size_t close = open;
+      for (std::size_t j = open; j < text.size() && depth > 0; ++j) {
+        const char c = text[j];
+        if (c == '(') ++depth;
+        if (c == ')') --depth;
+        if (depth == 0) {
+          close = j;
+          break;
+        }
+        if (c == ':' && depth == 1 && colon == std::string::npos) {
+          const char prev = j > 0 ? text[j - 1] : '\0';
+          const char next = j + 1 < text.size() ? text[j + 1] : '\0';
+          if (prev != ':' && next != ':') colon = j;
+        }
+      }
+      if (colon == std::string::npos || close <= colon) continue;
+      const std::string range{text.substr(colon + 1, close - colon - 1)};
+      for (auto id = std::sregex_iterator{range.begin(), range.end(),
+                                          ident};
+           id != std::sregex_iterator{}; ++id) {
+        const std::string name = id->str();
+        if (unordered_names_.count(name) == 0) continue;
+        if (ordered.count(file.lines.line_of(offset)) != 0) break;
+        report(file, offset, kRuleIteration,
+               "range-for over unordered container `" + name +
+                   "` has no deterministic order; iterate a sorted "
+                   "copy, or annotate `// lint: ordered` when the "
+                   "loop's effects are order-independent");
+        break;
+      }
+    }
+  }
+
+  // (9) rng-discipline, everywhere except src/util/ (which implements
+  // the seed-derived stream splitter everything else must use):
+  // ambient entropy and wall-clock seeding make replay impossible.
+  void check_rng(const FileContext& file) {
+    if (file.rel.rfind("src/util/", 0) == 0) return;
+    struct Token {
+      const char* pattern;
+      const char* message;
+    };
+    static const std::array<Token, 4> kTokens = {{
+        {R"(\b(?:std::)?s?rand\s*\()",
+         "C rand()/srand() is a hidden global stream; derive a "
+         "util::rng stream from the run seed instead"},
+        {R"(\bstd::random_device\b)",
+         "std::random_device is ambient entropy and unreplayable; "
+         "derive streams from the run seed (util::rng)"},
+        {R"(\b(?:std::)?time\s*\(\s*(?:nullptr|NULL|0)\s*\))",
+         "wall-clock seeding breaks fixed-seed replay; derive streams "
+         "from the run seed (util::rng)"},
+        {R"(\bstd::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|)"
+         R"(ranlux24(?:_base)?|ranlux48(?:_base)?|knuth_b)\s+)"
+         R"([A-Za-z_]\w*\s*(?:;|\{\s*\}|\(\s*\)))",
+         "default-constructed random engine hides its seed; seed "
+         "explicitly from the run seed (util::rng)"},
+    }};
+    const std::string& text = file.code;
+    for (const auto& token : kTokens) {
+      const std::regex re{token.pattern};
+      for (auto it = std::cregex_iterator{text.data(),
+                                          text.data() + text.size(), re};
+           it != std::cregex_iterator{}; ++it) {
+        report(file, static_cast<std::size_t>(it->position(0)), kRuleRng,
+               token.message);
+      }
+    }
+  }
+
+  // (10) lock-annotation, src/ + tools/ + bench/: raw std lock types
+  // are invisible to clang's -Wthread-safety analysis, so all
+  // production locking goes through the annotated util::Mutex wrapper.
+  // Tests are exempt (they drive scenarios, not guarded state);
+  // src/util/mutex.hpp is the one allowed definition site.
+  void check_locks(const FileContext& file) {
+    const bool in_scope = file.rel.rfind("src/", 0) == 0 ||
+                          file.rel.rfind("tools/", 0) == 0 ||
+                          file.rel.rfind("bench/", 0) == 0;
+    if (!in_scope || file.rel == "src/util/mutex.hpp") return;
+    static const std::regex re{
+        R"(\bstd::(?:mutex|recursive_mutex|timed_mutex|)"
+        R"(recursive_timed_mutex|shared_mutex|shared_timed_mutex|)"
+        R"(lock_guard|unique_lock|scoped_lock|)"
+        R"(condition_variable(?:_any)?)\b)"};
+    const std::string& text = file.code;
+    for (auto it = std::cregex_iterator{text.data(),
+                                        text.data() + text.size(), re};
+         it != std::cregex_iterator{}; ++it) {
+      report(file, static_cast<std::size_t>(it->position(0)), kRuleLocks,
+             it->str() + " is invisible to clang thread-safety "
+                         "analysis; use util::Mutex / util::MutexLock / "
+                         "util::CondVar (util/mutex.hpp), or annotate "
+                         "unavoidable std interop with "
+                         "allow(lock-annotation)");
+    }
+  }
+
+  // (11) module-layering, src/ only: `#include "<layer>/..."` edges
+  // must stay inside the DAG pinned in tools/layers.def, so a
+  // convenience include can never quietly invert a layer boundary.
+  void load_layers() {
+    if (!enabled(kRuleLayering)) return;
+    const fs::path path = options_.root / kLayersPath;
+    const auto content = read_file(path);
+    if (!content) return;  // opt-in file; absent = rule skipped
+    std::map<std::string, std::set<std::string, std::less<>>,
+             std::less<>>
+        layers;
+    std::istringstream in{*content};
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      if (line.find_first_not_of(" \t") == std::string::npos) continue;
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) {
+        result_.errors.push_back(
+            path.generic_string() + ":" + std::to_string(line_no) +
+            ": malformed layer line (want `<layer>: <dep>...`)");
+        continue;
+      }
+      std::istringstream name_in{line.substr(0, colon)};
+      std::string name;
+      name_in >> name;
+      std::istringstream deps{line.substr(colon + 1)};
+      auto& into = layers[name];
+      std::string dep;
+      while (deps >> dep) into.insert(dep);
+    }
+    layers_ = std::move(layers);
+  }
+
+  void check_layering(const FileContext& file) {
+    if (file.rel.rfind("src/", 0) != 0) return;
+    const std::size_t slash = file.rel.find('/', 4);
+    if (slash == std::string::npos) return;  // file directly in src/
+    const std::string layer = file.rel.substr(4, slash - 4);
+    const auto self = layers_->find(layer);
+    if (self == layers_->end()) {
+      if (layers_missing_.insert(layer).second) {
+        result_.errors.push_back(
+            "src/" + layer + "/ is not declared in " +
+            std::string{kLayersPath} + "; add the layer and its "
+            "dependencies");
+      }
+      return;
+    }
+    static const std::regex include{
+        R"re(#\s*include\s*"([A-Za-z0-9_]+)/[^"]*")re"};
+    const std::string& text = file.no_comment;
+    for (auto it = std::cregex_iterator{text.data(),
+                                        text.data() + text.size(),
+                                        include};
+         it != std::cregex_iterator{}; ++it) {
+      const std::string target = (*it)[1].str();
+      if (target == layer || layers_->count(target) == 0) continue;
+      if (self->second.count(target) != 0) continue;
+      report(file, static_cast<std::size_t>(it->position(0)),
+             kRuleLayering,
+             "include of \"" + target + "/...\" from layer `" + layer +
+                 "` violates " + std::string{kLayersPath} +
+                 "; declare the dependency there or invert the edge");
+    }
+  }
+
+  // --- baseline -------------------------------------------------------
+
+  // Accepted-debt ledger: findings whose fingerprint is listed are
+  // suppressed (counted, not printed); entries that match nothing are
+  // stale and become findings themselves, so the ledger ratchets
+  // toward empty instead of fossilising.
+  void apply_baseline() {
+    if (options_.baseline.empty()) return;
+    const auto content = read_file(options_.baseline);
+    if (!content) {
+      result_.errors.push_back("cannot read baseline " +
+                               options_.baseline.generic_string());
+      return;
+    }
+    struct Entry {
+      std::size_t line = 0;
+      std::string print;
+      std::string rule;
+      std::string path;
+      bool used = false;
+    };
+    std::vector<Entry> entries;
+    std::istringstream in{*content};
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      std::istringstream fields{line};
+      Entry entry;
+      entry.line = line_no;
+      if (!(fields >> entry.print)) continue;  // blank line
+      if (!(fields >> entry.rule >> entry.path) ||
+          entry.print.size() != 16 ||
+          entry.print.find_first_not_of("0123456789abcdef") !=
+              std::string::npos) {
+        result_.errors.push_back(
+            options_.baseline.generic_string() + ":" +
+            std::to_string(line_no) +
+            ": malformed baseline line (want `<fingerprint16> <rule> "
+            "<path>`)");
+        continue;
+      }
+      entries.push_back(std::move(entry));
+    }
+    std::vector<Finding> kept;
+    kept.reserve(result_.findings.size());
+    for (auto& finding : result_.findings) {
+      bool suppressed = false;
+      for (auto& entry : entries) {
+        if (entry.print == finding.fingerprint) {
+          entry.used = true;
+          suppressed = true;
+        }
+      }
+      if (suppressed) {
+        ++result_.baseline_suppressed;
+      } else {
+        kept.push_back(std::move(finding));
+      }
+    }
+    result_.findings = std::move(kept);
+    const std::string rel = rel_of(options_.baseline);
+    for (const auto& entry : entries) {
+      if (entry.used) continue;
+      result_.findings.push_back(
+          {options_.baseline, entry.line, entry.rule,
+           "baseline entry " + entry.print + " (" + entry.path +
+               ") no longer matches any finding; delete the stale line",
+           fingerprint(entry.rule, rel, "stale:" + entry.print)});
+    }
+  }
+
   // Registry entries nothing referenced: dead metrics/schemas drift
   // out of docs silently, so they are findings too.
   void finish_registries() {
@@ -737,7 +1125,9 @@ class Linter {
             {registry->file, entry.line, std::string{rule},
              std::string{what} + " \"" + entry.name +
                  "\" is registered but never used; delete the entry "
-                 "or wire the instrumentation"});
+                 "or wire the instrumentation",
+             fingerprint(rule, rel_of(registry->file),
+                         entry.kind + " " + entry.name)});
       }
     };
     if (enabled(kRuleMetricNames)) {
@@ -855,7 +1245,9 @@ class Linter {
           {registry_path, entry.line, std::string{kRuleExitCodes},
            "exit code \"" + entry.name +
                "\" is registered but no tools/ constant defines it; "
-               "delete the entry or restore the constant"});
+               "delete the entry or restore the constant",
+           fingerprint(kRuleExitCodes, rel_of(registry_path),
+                       entry.name)});
     }
   }
 
@@ -889,6 +1281,15 @@ class Linter {
   std::optional<Registry> metric_registry_;
   std::optional<Registry> trace_registry_;
   std::optional<Registry> schema_registry_;
+  /// Identifiers declared anywhere in src/ with an unordered container
+  /// type (members, locals, params, accessor names).
+  std::set<std::string, std::less<>> unordered_names_;
+  /// tools/layers.def: layer -> allowed dependency layers. nullopt =
+  /// no file, rule skipped.
+  std::optional<std::map<std::string, std::set<std::string, std::less<>>,
+                         std::less<>>>
+      layers_;
+  std::set<std::string, std::less<>> layers_missing_;
 };
 
 }  // namespace
@@ -896,7 +1297,76 @@ class Linter {
 std::vector<std::string_view> rule_names() {
   return {kRuleRawIo,         kRuleMetricNames,   kRuleSchemaVersions,
           kRuleExitCodes,     kRuleHeaderHygiene, kRuleBuildArtifacts,
-          kRuleEngineHotPath};
+          kRuleEngineHotPath, kRuleIteration,     kRuleRng,
+          kRuleLocks,         kRuleLayering};
+}
+
+std::string_view rule_description(std::string_view rule) {
+  if (rule == kRuleRawIo) {
+    return "artifact writes route through util::write_file_atomic and "
+           "src/ reads through the util::io fault shim";
+  }
+  if (rule == kRuleMetricNames) {
+    return "metric and trace-event name literals match src/obs/"
+           "metric_names.def / trace_names.def, both directions";
+  }
+  if (rule == kRuleSchemaVersions) {
+    return "peerscope.<thing>/<n> schema strings match "
+           "src/obs/schema_versions.def exactly";
+  }
+  if (rule == kRuleExitCodes) {
+    return "kExit* constants in tools/ stay unique, README-documented, "
+           "and pinned in tools/exit_codes.def";
+  }
+  if (rule == kRuleHeaderHygiene) {
+    return "headers carry #pragma once and never using-namespace";
+  }
+  if (rule == kRuleBuildArtifacts) {
+    return "build trees, objects, and generated databases are never "
+           "committed";
+  }
+  if (rule == kRuleEngineHotPath) {
+    return "no std::priority_queue or per-event heap allocation in "
+           "src/sim and src/p2p (DESIGN.md section 14)";
+  }
+  if (rule == kRuleIteration) {
+    return "range-for over an unordered container in src/ needs a "
+           "`// lint: ordered` order-independence annotation";
+  }
+  if (rule == kRuleRng) {
+    return "no rand()/std::random_device/wall-clock seeding or "
+           "default-constructed engines outside src/util";
+  }
+  if (rule == kRuleLocks) {
+    return "raw std lock types bypass the annotated util::Mutex "
+           "wrapper that clang thread-safety analysis checks";
+  }
+  if (rule == kRuleLayering) {
+    return "src/ #include edges stay inside the layer DAG pinned in "
+           "tools/layers.def";
+  }
+  return {};
+}
+
+std::string fingerprint(std::string_view rule, std::string_view rel_path,
+                        std::string_view key) {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&hash](std::string_view text) {
+    for (const char c : text) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;  // FNV prime
+    }
+    hash *= 1099511628211ull;  // NUL separator (xor with 0 is a no-op)
+  };
+  mix(rule);
+  mix(rel_path);
+  mix(key);
+  std::string out(16, '0');
+  for (std::size_t i = 16; i-- > 0;) {
+    out[i] = "0123456789abcdef"[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
 }
 
 std::string to_string(const Finding& finding) {
@@ -940,13 +1410,111 @@ std::vector<Finding> check_tracked_paths(
       why = "core dump is committed";
     }
     if (!why.empty()) {
-      out.push_back(
-          {path, 0, std::string{kRuleBuildArtifacts}, std::move(why)});
+      std::string print = fingerprint(kRuleBuildArtifacts, path, why);
+      out.push_back({path, 0, std::string{kRuleBuildArtifacts},
+                     std::move(why), std::move(print)});
     }
   }
   return out;
 }
 
 LintResult run(const Options& options) { return Linter{options}.run(); }
+
+namespace {
+
+[[nodiscard]] std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const LintResult& result,
+                     const std::filesystem::path& root) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"peerscope-lint\",\n"
+      "          \"rules\": [\n";
+  const auto rules = rule_names();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out += "            {\"id\": \"" + json_escape(rules[i]) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json_escape(rule_description(rules[i])) + "\"}}";
+    out += i + 1 < rules.size() ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& finding = result.findings[i];
+    std::error_code ec;
+    std::filesystem::path rel =
+        std::filesystem::relative(finding.file, root, ec);
+    if (ec || rel.empty()) rel = finding.file;
+    out += "        {\n";
+    out += "          \"ruleId\": \"" + json_escape(finding.rule) +
+           "\",\n";
+    out += "          \"level\": \"error\",\n";
+    out += "          \"message\": {\"text\": \"" +
+           json_escape(finding.message) + "\"},\n";
+    out += "          \"partialFingerprints\": {\"peerscopeLint/v1\": \"" +
+           json_escape(finding.fingerprint) + "\"},\n";
+    out += "          \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           json_escape(rel.generic_string()) + "\"}";
+    if (finding.line != 0) {
+      out += ", \"region\": {\"startLine\": " +
+             std::to_string(finding.line) + "}";
+    }
+    out += "}}]\n";
+    out += i + 1 < result.findings.size() ? "        },\n"
+                                          : "        }\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
 
 }  // namespace peerscope::lint

@@ -36,9 +36,18 @@ inline constexpr std::string_view kRuleHeaderHygiene = "header-hygiene";
 inline constexpr std::string_view kRuleBuildArtifacts =
     "no-committed-build-artifacts";
 inline constexpr std::string_view kRuleEngineHotPath = "engine-hot-path";
+inline constexpr std::string_view kRuleIteration =
+    "nondeterministic-iteration";
+inline constexpr std::string_view kRuleRng = "rng-discipline";
+inline constexpr std::string_view kRuleLocks = "lock-annotation";
+inline constexpr std::string_view kRuleLayering = "module-layering";
 
 /// All rule names, in reporting order.
 [[nodiscard]] std::vector<std::string_view> rule_names();
+
+/// One-line summary of what a rule enforces (for --list-rules and the
+/// SARIF rule table). Unknown names get an empty view.
+[[nodiscard]] std::string_view rule_description(std::string_view rule);
 
 /// One diagnostic. `line` is 1-based; 0 means the finding is about the
 /// file (or tree) as a whole rather than a specific line.
@@ -47,6 +56,12 @@ struct Finding {
   std::size_t line = 0;
   std::string rule;
   std::string message;
+  /// Stable identity for baselining: FNV-1a 64 of
+  /// rule NUL rel-path NUL trimmed-line-text, as 16 lowercase hex
+  /// digits. Line-number independent, so edits elsewhere in the file
+  /// never stale a baseline entry; two identical offending lines in
+  /// one file share a fingerprint (one entry suppresses both).
+  std::string fingerprint;
 };
 
 /// "file:line: [rule] message" — the format CI greps and humans click.
@@ -60,6 +75,11 @@ struct Options {
   /// Gates the git-backed no-committed-build-artifacts rule (tests
   /// drive check_tracked_paths directly instead).
   bool check_tracked = true;
+  /// Baseline file (`<fingerprint> <rule> <path>` per line, `#`
+  /// comments). Matching findings are suppressed and counted in
+  /// baseline_suppressed; entries that match nothing become stale-entry
+  /// findings so the baseline can only shrink. Empty = no baseline.
+  std::filesystem::path baseline;
 };
 
 struct LintResult {
@@ -67,6 +87,8 @@ struct LintResult {
   /// Configuration problems (missing registry, unknown rule): the tree
   /// was not fully checked and the caller should exit 2, not 1.
   std::vector<std::string> errors;
+  /// Findings swallowed by Options::baseline (not in `findings`).
+  std::size_t baseline_suppressed = 0;
 };
 
 /// Walks src/, tools/, bench/, tests/, examples/ under options.root
@@ -91,5 +113,21 @@ struct LintResult {
 /// repo-relative path per entry (what `git ls-files` prints).
 [[nodiscard]] std::vector<Finding> check_tracked_paths(
     const std::vector<std::string>& tracked);
+
+/// The Finding::fingerprint hash, exposed so tests (and baseline
+/// tooling) can compute expected values: FNV-1a 64 over
+/// `rule NUL rel_path NUL key`, rendered as 16 lowercase hex digits.
+/// `key` is the trimmed offending line for line findings, the message
+/// for file-level ones.
+[[nodiscard]] std::string fingerprint(std::string_view rule,
+                                      std::string_view rel_path,
+                                      std::string_view key);
+
+/// SARIF 2.1.0 rendering of a completed run: one run, the full rule
+/// table (id + shortDescription), one result per finding with
+/// level "error", the fingerprint under partialFingerprints, and
+/// file URIs relative to `root`. Line-0 findings omit the region.
+[[nodiscard]] std::string to_sarif(const LintResult& result,
+                                   const std::filesystem::path& root);
 
 }  // namespace peerscope::lint
