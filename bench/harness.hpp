@@ -25,6 +25,7 @@
 #include "net/topology.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_summary.hpp"
 #include "util/atomic_file.hpp"
@@ -165,6 +166,48 @@ class TraceSession {
  private:
   std::filesystem::path path_;
   std::unique_ptr<obs::TraceRecorder> recorder_;
+};
+
+/// PEERSCOPE_BENCH_SERIES hook: the time-series sibling of
+/// MetricsSession. When the variable names a path, a timeseries
+/// recorder is installed for the process lifetime — every run arms
+/// its sim-time sampling grid (PEERSCOPE_BENCH_SERIES_SECONDS
+/// intervals, default 10) — and the PSTS sidecar is written there at
+/// scope exit; read it with `peerscope timeline`. When unset this is
+/// inert and the bench output is byte-identical to an uninstrumented
+/// build.
+class SeriesSession {
+ public:
+  SeriesSession() {
+    if (const char* path = std::getenv("PEERSCOPE_BENCH_SERIES")) {
+      path_ = path;
+      std::int64_t interval_s = 10;
+      if (const char* s = std::getenv("PEERSCOPE_BENCH_SERIES_SECONDS")) {
+        interval_s = static_cast<std::int64_t>(detail::env_u64_or_die(
+            "PEERSCOPE_BENCH_SERIES_SECONDS", s, 31'536'000ULL));
+      }
+      recorder_ = std::make_unique<obs::TimeseriesRecorder>(
+          util::SimTime::seconds(interval_s));
+      obs::install_series(recorder_.get());
+    }
+  }
+  ~SeriesSession() {
+    if (!recorder_) return;
+    obs::install_series(nullptr);
+    try {
+      obs::write_series(path_, recorder_->snapshot());
+      std::cerr << "series: wrote " << path_.string() << '\n';
+    } catch (const std::exception& error) {
+      std::cerr << "series: " << error.what() << '\n';
+    }
+  }
+
+  SeriesSession(const SeriesSession&) = delete;
+  SeriesSession& operator=(const SeriesSession&) = delete;
+
+ private:
+  std::filesystem::path path_;
+  std::unique_ptr<obs::TimeseriesRecorder> recorder_;
 };
 
 /// PEERSCOPE_BENCH_JSON hook: machine-readable performance summary for

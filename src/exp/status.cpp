@@ -1,0 +1,289 @@
+#include "exp/status.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+#include <utility>
+
+#include "exp/supervisor.hpp"
+#include "util/atomic_file.hpp"
+
+namespace peerscope::exp {
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string fixed3(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", value);
+  return buf;
+}
+
+const char* state_label(int state) {
+  switch (state) {
+    case LiveRun::kPending:
+      return "pending";
+    case LiveRun::kRunning:
+      return "running";
+    default:
+      return to_string(static_cast<RunState>(state));
+  }
+}
+
+// Own-dialect readers (the same shape journal.cpp uses): extract one
+// scalar field from a document StatusReporter itself wrote.
+
+std::optional<std::string> string_field(std::string_view doc,
+                                        const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto start = doc.find(needle);
+  if (start == std::string_view::npos) return std::nullopt;
+  std::string out;
+  for (std::size_t i = start + needle.size(); i < doc.size(); ++i) {
+    const char c = doc[i];
+    if (c == '"') return out;
+    if (c == '\\') {
+      if (i + 1 >= doc.size()) return std::nullopt;
+      const char esc = doc[++i];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'u': {
+          if (i + 4 >= doc.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = doc[++i];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else {
+              return std::nullopt;
+            }
+          }
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    } else {
+      out += c;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> number_field(std::string_view doc,
+                                   const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto start = doc.find(needle);
+  if (start == std::string_view::npos) return std::nullopt;
+  const std::size_t i = start + needle.size();
+  if (i >= doc.size()) return std::nullopt;
+  const std::string number{doc.substr(i, 32)};
+  char* end = nullptr;
+  const double value = std::strtod(number.c_str(), &end);
+  if (end == number.c_str()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+StatusReporter::StatusReporter(std::filesystem::path path,
+                               std::chrono::milliseconds poll)
+    : path_(std::move(path)), poll_(poll) {
+  if (poll_.count() < 1) poll_ = std::chrono::milliseconds{1};
+}
+
+StatusReporter::~StatusReporter() { stop(); }
+
+LiveRun& StatusReporter::add_run(std::string spec_id,
+                                 double run_duration_s) {
+  if (started_) {
+    throw std::logic_error("StatusReporter: add_run after start");
+  }
+  return runs_.emplace_back(std::move(spec_id), run_duration_s);
+}
+
+void StatusReporter::start() {
+  if (started_) return;
+  started_ = true;
+  baselines_.assign(runs_.size(), Baseline{});
+  try {
+    util::write_file_atomic(path_, render("running"), /*durable=*/false);
+  } catch (const std::exception& error) {
+    // Status is advisory: a broken status path must not kill the batch.
+    std::cerr << "status: cannot write " << path_.string() << ": "
+              << error.what() << '\n';
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void StatusReporter::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+  try {
+    util::write_file_atomic(path_, render("done"), /*durable=*/false);
+  } catch (const std::exception& error) {
+    std::cerr << "status: cannot write " << path_.string() << ": "
+              << error.what() << '\n';
+  }
+}
+
+void StatusReporter::run() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(poll_);
+    if (stop_.load(std::memory_order_relaxed)) break;
+    try {
+      util::write_file_atomic(path_, render("running"), /*durable=*/false);
+    } catch (const std::exception&) {
+      // Transient (io_faults, full disk): the next tick retries.
+    }
+  }
+}
+
+std::string StatusReporter::render(std::string_view phase) {
+  const auto now = std::chrono::steady_clock::now();
+  std::string out = "{\"schema\":";
+  append_json_string(out, kStatusSchema);
+  out += ",\"phase\":";
+  append_json_string(out, phase);
+  out += ",\"runs\":[";
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    LiveRun& live = runs_[i];
+    Baseline& base = baselines_[i];
+    const int state = live.state.load(std::memory_order_acquire);
+    const std::uint64_t events =
+        live.progress.events.load(std::memory_order_relaxed);
+    const std::int64_t sim_ns =
+        live.progress.sim_time_ns.load(std::memory_order_relaxed);
+    // Rates come from deltas between renders; an attempt restart
+    // (progress reset) shows up as a backwards step and re-primes.
+    if (base.primed && events >= base.events && sim_ns >= base.sim_ns) {
+      const double dt = std::chrono::duration<double>(now - base.at).count();
+      if (dt > 0) {
+        base.events_per_s =
+            static_cast<double>(events - base.events) / dt;
+        base.sim_rate =
+            static_cast<double>(sim_ns - base.sim_ns) / 1e9 / dt;
+      }
+    } else {
+      base.events_per_s = 0;
+      base.sim_rate = 0;
+    }
+    base.events = events;
+    base.sim_ns = sim_ns;
+    base.at = now;
+    base.primed = true;
+
+    double eta_s = -1;
+    if (state == LiveRun::kRunning && base.sim_rate > 0 &&
+        live.duration_s > 0) {
+      const double remaining =
+          live.duration_s - static_cast<double>(sim_ns) / 1e9;
+      eta_s = remaining > 0 ? remaining / base.sim_rate : 0;
+    }
+
+    if (i > 0) out += ',';
+    out += "{\"spec\":";
+    append_json_string(out, live.spec);
+    out += ",\"state\":";
+    append_json_string(out, state_label(state));
+    out += ",\"attempts\":" +
+           std::to_string(live.attempts.load(std::memory_order_relaxed));
+    out += ",\"events\":" + std::to_string(events);
+    out += ",\"sim_time_s\":" + fixed3(static_cast<double>(sim_ns) / 1e9);
+    out += ",\"events_per_s\":" + fixed3(base.events_per_s);
+    out += ",\"eta_s\":" + fixed3(eta_s);
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::optional<StatusView> parse_status(std::string_view json) {
+  if (string_field(json, "schema") != std::string{kStatusSchema}) {
+    return std::nullopt;
+  }
+  StatusView view;
+  const auto phase = string_field(json, "phase");
+  if (!phase) return std::nullopt;
+  view.phase = *phase;
+  const auto runs_at = json.find("\"runs\":[");
+  if (runs_at == std::string_view::npos) return std::nullopt;
+  std::string_view rest = json.substr(runs_at + 8);
+  // Run entries are flat objects (no nesting in our dialect): each one
+  // spans exactly one {...}.
+  while (true) {
+    const auto open = rest.find('{');
+    const auto close = rest.find('}');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open) {
+      break;
+    }
+    const std::string_view entry = rest.substr(open, close - open + 1);
+    StatusRunView run;
+    const auto spec = string_field(entry, "spec");
+    const auto state = string_field(entry, "state");
+    const auto attempts = number_field(entry, "attempts");
+    const auto events = number_field(entry, "events");
+    const auto sim_time_s = number_field(entry, "sim_time_s");
+    const auto events_per_s = number_field(entry, "events_per_s");
+    const auto eta_s = number_field(entry, "eta_s");
+    if (!spec || !state || !attempts || !events || !sim_time_s ||
+        !events_per_s || !eta_s) {
+      return std::nullopt;
+    }
+    run.spec = *spec;
+    run.state = *state;
+    run.attempts = static_cast<int>(*attempts);
+    run.events = static_cast<std::uint64_t>(*events);
+    run.sim_time_s = *sim_time_s;
+    run.events_per_s = *events_per_s;
+    run.eta_s = *eta_s;
+    view.runs.push_back(std::move(run));
+    rest = rest.substr(close + 1);
+  }
+  return view;
+}
+
+}  // namespace peerscope::exp

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "exp/runner.hpp"
+#include "exp/status.hpp"
 #include "util/thread_pool.hpp"
 
 namespace peerscope::exp {
@@ -83,6 +84,17 @@ struct SupervisorConfig {
   /// a post-mortem timeline for exactly the runs that need one.
   /// 0 disables the dump.
   std::size_t flight_recorder_events = 512;
+  /// Declarative SLOs (obs/watchdog.hpp): when any objective is set, a
+  /// watchdog per attempt polls the run's live progress and cancels it
+  /// on sustained violation; the run lands as kFailed with an "slo
+  /// violation: ..." error the CLI maps to exit 10, plus the flight-
+  /// recorder dump above. Default (all-zero) runs no watchdog thread.
+  obs::SloSpec slo;
+  /// Live status.json path (exp/status.hpp): non-empty starts a
+  /// StatusReporter that atomically rewrites per-run phase / events/s
+  /// / ETA for `peerscope watch`. Empty (the default) publishes
+  /// nothing.
+  std::filesystem::path status_path;
 };
 
 struct BatchOutcome {

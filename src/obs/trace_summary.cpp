@@ -223,6 +223,60 @@ std::string render_trace_summary(const std::vector<SpanAttribution>& rows,
   return table.render();
 }
 
+std::vector<CounterAttribution> attribute_counters(
+    const std::vector<TraceEvent>& events) {
+  struct Agg {
+    std::uint64_t samples = 0;
+    std::int64_t last = 0;
+    std::int64_t last_ts = 0;
+    std::int64_t peak = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const TraceEvent& event : events) {
+    if (event.type != TraceEventType::kCounter) continue;
+    Agg& agg = by_name[event.name];
+    ++agg.samples;
+    // >= : equal timestamps resolve to the later file line, the
+    // writer's emission order.
+    if (agg.samples == 1 || event.ts_ns >= agg.last_ts) {
+      agg.last = event.value;
+      agg.last_ts = event.ts_ns;
+    }
+    agg.peak = std::max(agg.peak, event.value);
+  }
+  std::vector<CounterAttribution> rows;
+  rows.reserve(by_name.size());
+  for (const auto& [name, agg] : by_name) {
+    rows.push_back(CounterAttribution{name, agg.samples, agg.last, agg.peak});
+  }
+  return rows;
+}
+
+std::string render_counter_summary(const std::vector<CounterAttribution>& rows,
+                                   std::size_t top_n) {
+  if (rows.empty()) return {};
+  std::vector<const CounterAttribution*> sorted;
+  sorted.reserve(rows.size());
+  for (const CounterAttribution& row : rows) sorted.push_back(&row);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CounterAttribution* a, const CounterAttribution* b) {
+              if (a->samples != b->samples) return a->samples > b->samples;
+              return a->name < b->name;
+            });
+  if (sorted.size() > top_n) sorted.resize(top_n);
+  util::TextTable table{{"counter", "samples", "last", "peak"}};
+  for (const CounterAttribution* row : sorted) {
+    table.add_row({row->name, util::TextTable::count(row->samples),
+                   util::TextTable::count(
+                       static_cast<std::uint64_t>(std::max<std::int64_t>(
+                           0, row->last))),
+                   util::TextTable::count(
+                       static_cast<std::uint64_t>(std::max<std::int64_t>(
+                           0, row->peak)))});
+  }
+  return table.render();
+}
+
 std::string deterministic_rendering(const TraceFile& file) {
   TraceSnapshot snapshot;
   snapshot.events = file.events;

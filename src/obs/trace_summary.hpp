@@ -60,6 +60,31 @@ struct SpanAttribution {
 [[nodiscard]] std::string render_trace_summary(
     const std::vector<SpanAttribution>& rows, std::size_t top_n);
 
+/// Attribution of one counter series ("C" events): sample count, the
+/// chronologically last published value, and the peak. Spans answer
+/// "where did the time go"; these answer "what did the run tally" —
+/// before this table, counter events rode along in trace.json but
+/// never surfaced in the summary.
+struct CounterAttribution {
+  std::string name;
+  std::uint64_t samples = 0;
+  std::int64_t last = 0;
+  std::int64_t peak = 0;
+};
+
+/// Aggregates every kCounter event by name. `last` follows timestamp
+/// order with file order as the tie-break, matching the writer's
+/// emission order.
+[[nodiscard]] std::vector<CounterAttribution> attribute_counters(
+    const std::vector<TraceEvent>& events);
+
+/// The top-`top_n` counter rows by sample count (ties by name), as
+/// the second table `peerscope trace-summary` prints. Empty string
+/// when there are no counter events — older traces print exactly what
+/// they always did.
+[[nodiscard]] std::string render_counter_summary(
+    const std::vector<CounterAttribution>& rows, std::size_t top_n);
+
 /// deterministic_trace() of the file's events — byte-identical to the
 /// rendering of the in-memory snapshot the file was written from, so
 /// CI can diff two runs through their trace.json artifacts.

@@ -1,0 +1,304 @@
+#include "util/framing.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+
+#include "util/crc32c.hpp"
+
+namespace peerscope::util::framing {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 24;
+constexpr std::size_t kSyncMarkerSize = 16;
+constexpr std::size_t kFrameOverhead = 8;  // payload_len + payload_crc
+
+template <typename T>
+void put(std::string& buf, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  buf.append(bytes, sizeof(T));  // host is little-endian (x86/ARM64)
+}
+
+template <typename T>
+T get(const char*& ptr) {
+  T value;
+  std::memcpy(&value, ptr, sizeof(T));
+  ptr += sizeof(T);
+  return value;
+}
+
+struct Header {
+  std::uint64_t count = 0;
+  std::uint32_t sync_interval = 0;
+};
+
+/// Parses and CRC-verifies the 24-byte header against `format`.
+/// Returns the failure reason, or empty on success.
+[[nodiscard]] std::string parse_header(const FrameFormat& format,
+                                       std::string_view buf, Header& out) {
+  if (buf.size() < kHeaderSize) {
+    return "truncated header";
+  }
+  const char* ptr = buf.data();
+  if (get<std::uint32_t>(ptr) != format.magic) {
+    return "bad magic";
+  }
+  if (const auto version = get<std::uint16_t>(ptr);
+      version != format.version) {
+    return "unsupported version " + std::to_string(version);
+  }
+  (void)get<std::uint16_t>(ptr);  // reserved
+  out.count = get<std::uint64_t>(ptr);
+  out.sync_interval = get<std::uint32_t>(ptr);
+  const auto stored = get<std::uint32_t>(ptr);
+  if (stored != crc32c(buf.substr(0, kHeaderSize - 4))) {
+    return "header checksum mismatch";
+  }
+  return {};
+}
+
+/// True when the 16 bytes at `p` are a CRC-valid sync marker.
+[[nodiscard]] bool valid_sync_marker(std::string_view buf, std::size_t p,
+                                     std::uint64_t& index_out) {
+  if (buf.size() - p < kSyncMarkerSize) {
+    return false;
+  }
+  const char* ptr = buf.data() + p;
+  if (get<std::uint32_t>(ptr) != kSyncMagic) {
+    return false;
+  }
+  const std::uint64_t index = get<std::uint64_t>(ptr);
+  if (get<std::uint32_t>(ptr) != crc32c(buf.substr(p, 12))) {
+    return false;
+  }
+  index_out = index;
+  return true;
+}
+
+}  // namespace
+
+std::string encode_frames(const FrameFormat& format,
+                          const std::vector<std::string>& payloads,
+                          std::uint32_t sync_interval) {
+  std::string buf;
+  std::size_t total = kHeaderSize;
+  for (const std::string& payload : payloads) {
+    total += kFrameOverhead + payload.size();
+  }
+  buf.reserve(total);
+  put<std::uint32_t>(buf, format.magic);
+  put<std::uint16_t>(buf, format.version);
+  put<std::uint16_t>(buf, 0);  // reserved
+  put<std::uint64_t>(buf, payloads.size());
+  put<std::uint32_t>(buf, sync_interval);
+  put<std::uint32_t>(buf, crc32c(buf));
+
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    const std::string& payload = payloads[i];
+    if (payload.size() > format.max_record_len) {
+      throw std::length_error(
+          "encode_frames: payload " + std::to_string(i) + " is " +
+          std::to_string(payload.size()) + " bytes, limit " +
+          std::to_string(format.max_record_len));
+    }
+    if (sync_interval > 0 && i > 0 && i % sync_interval == 0) {
+      const std::size_t marker_start = buf.size();
+      put<std::uint32_t>(buf, kSyncMagic);
+      put<std::uint64_t>(buf, static_cast<std::uint64_t>(i));
+      put<std::uint32_t>(
+          buf, crc32c(std::string_view(buf).substr(marker_start, 12)));
+    }
+    put<std::uint32_t>(buf, static_cast<std::uint32_t>(payload.size()));
+    put<std::uint32_t>(buf, crc32c(payload));
+    buf.append(payload);
+  }
+  return buf;
+}
+
+std::vector<std::string> decode_frames(const FrameFormat& format,
+                                       std::string_view buf,
+                                       const std::string& origin) {
+  Header header;
+  if (const std::string err = parse_header(format, buf, header);
+      !err.empty()) {
+    throw std::runtime_error("decode_frames: " + err + " in " + origin);
+  }
+  std::vector<std::string> payloads;
+  payloads.reserve(static_cast<std::size_t>(header.count));
+  std::size_t pos = kHeaderSize;
+  for (std::uint64_t i = 0; i < header.count; ++i) {
+    if (header.sync_interval > 0 && i > 0 &&
+        i % header.sync_interval == 0) {
+      std::uint64_t index = 0;
+      if (!valid_sync_marker(buf, pos, index) || index != i) {
+        throw std::runtime_error(
+            "decode_frames: bad sync marker before record " +
+            std::to_string(i) + " in " + origin);
+      }
+      pos += kSyncMarkerSize;
+    }
+    if (buf.size() - pos < kFrameOverhead) {
+      throw std::runtime_error("decode_frames: truncated at record " +
+                               std::to_string(i) + " in " + origin);
+    }
+    const char* ptr = buf.data() + pos;
+    const auto len = get<std::uint32_t>(ptr);
+    const auto crc = get<std::uint32_t>(ptr);
+    if (len > format.max_record_len ||
+        buf.size() - pos - kFrameOverhead < len) {
+      throw std::runtime_error("decode_frames: corrupt frame at record " +
+                               std::to_string(i) + " in " + origin);
+    }
+    const std::string_view payload = buf.substr(pos + kFrameOverhead, len);
+    if (crc != crc32c(payload)) {
+      throw std::runtime_error(
+          "decode_frames: checksum mismatch at record " + std::to_string(i) +
+          " in " + origin);
+    }
+    payloads.emplace_back(payload);
+    pos += kFrameOverhead + len;
+  }
+  if (pos != buf.size()) {
+    throw std::runtime_error(
+        "decode_frames: trailing garbage after declared records in " +
+        origin);
+  }
+  return payloads;
+}
+
+std::vector<std::string> decode_frames_salvage(const FrameFormat& format,
+                                               std::string_view buf,
+                                               FrameSalvageReport* report) {
+  FrameSalvageReport local;
+  FrameSalvageReport& rep = report ? *report : local;
+  rep = FrameSalvageReport{};
+
+  std::vector<std::string> payloads;
+  Header header;
+  if (const std::string err = parse_header(format, buf, header);
+      !err.empty()) {
+    rep.bytes_discarded = buf.size();
+    rep.note = err;
+    return payloads;
+  }
+  rep.header_valid = true;
+  payloads.reserve(static_cast<std::size_t>(header.count));
+
+  // `seen` counts stream positions consumed (recovered or dropped);
+  // the invariant recovered + dropped == declared holds on exit.
+  // `marker_due` is the index of the next sync marker the writer will
+  // have emitted — tracked explicitly so that resyncing *to* a marker
+  // does not leave the loop expecting that same marker again.
+  std::uint64_t seen = 0;
+  std::uint64_t marker_due =
+      header.sync_interval > 0 ? header.sync_interval : 0;
+  std::size_t pos = kHeaderSize;
+  bool damaged = false;  // in a poisoned region, looking for a marker
+
+  while (seen < header.count) {
+    if (damaged) {
+      // Resync: scan byte-by-byte for a CRC-valid marker whose index
+      // both advances the stream and lands on the writer's cadence.
+      const std::size_t scan_start = pos;
+      std::size_t found = std::string_view::npos;
+      std::uint64_t found_index = 0;
+      for (std::size_t p = pos; p + kSyncMarkerSize <= buf.size(); ++p) {
+        std::uint64_t index = 0;
+        if (valid_sync_marker(buf, p, index) && index > seen &&
+            index <= header.count && header.sync_interval > 0 &&
+            index % header.sync_interval == 0) {
+          found = p;
+          found_index = index;
+          break;
+        }
+      }
+      if (found == std::string_view::npos) {
+        rep.bytes_discarded += buf.size() - scan_start;
+        rep.records_dropped += header.count - seen;
+        rep.truncated = true;
+        if (rep.note.empty()) {
+          rep.note = "no sync marker after corrupt frame";
+        }
+        seen = header.count;
+        break;
+      }
+      rep.bytes_discarded += found - scan_start;
+      rep.records_dropped += found_index - seen;
+      seen = found_index;
+      marker_due = found_index + header.sync_interval;
+      pos = found + kSyncMarkerSize;
+      damaged = false;
+      continue;
+    }
+
+    if (header.sync_interval > 0 && seen > 0 && seen == marker_due) {
+      std::uint64_t index = 0;
+      if (!valid_sync_marker(buf, pos, index) || index != seen) {
+        if (rep.note.empty()) {
+          rep.note = "bad sync marker before record " + std::to_string(seen);
+        }
+        damaged = true;
+        continue;
+      }
+      marker_due += header.sync_interval;
+      pos += kSyncMarkerSize;
+    }
+
+    if (buf.size() - pos < kFrameOverhead) {
+      rep.bytes_discarded += buf.size() - pos;
+      rep.records_dropped += header.count - seen;
+      rep.truncated = true;
+      if (rep.note.empty()) {
+        rep.note = "file ends " + std::to_string(header.count - seen) +
+                   " records short of the declared count";
+      }
+      seen = header.count;
+      break;
+    }
+    const char* ptr = buf.data() + pos;
+    const auto len = get<std::uint32_t>(ptr);
+    const auto crc = get<std::uint32_t>(ptr);
+    if (len > format.max_record_len) {
+      if (rep.note.empty()) {
+        rep.note = "corrupt frame length at record " + std::to_string(seen);
+      }
+      damaged = true;
+      continue;
+    }
+    if (buf.size() - pos - kFrameOverhead < len) {
+      rep.bytes_discarded += buf.size() - pos;
+      rep.records_dropped += header.count - seen;
+      rep.truncated = true;
+      if (rep.note.empty()) {
+        rep.note = "file ends mid-record at index " + std::to_string(seen);
+      }
+      seen = header.count;
+      break;
+    }
+    const std::string_view payload = buf.substr(pos + kFrameOverhead, len);
+    if (crc != crc32c(payload)) {
+      if (rep.note.empty()) {
+        rep.note = "checksum mismatch at record " + std::to_string(seen);
+      }
+      damaged = true;
+      continue;
+    }
+    payloads.emplace_back(payload);
+    ++seen;
+    pos += kFrameOverhead + len;
+  }
+
+  if (!rep.truncated && pos < buf.size()) {
+    rep.bytes_discarded += buf.size() - pos;
+    if (rep.note.empty()) {
+      rep.note = "trailing garbage after declared records";
+    }
+  }
+  rep.records_recovered = payloads.size();
+  return payloads;
+}
+
+}  // namespace peerscope::util::framing

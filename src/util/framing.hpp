@@ -1,0 +1,93 @@
+// Generic CRC-32C record framing with sync-marker resynchronisation.
+//
+// The PSBT binary trace format (trace/binary_format.hpp) proved the
+// layout: every record carries its own checksum, periodic sync markers
+// let a salvage reader step past damaged regions, and recovered +
+// dropped always reconciles against the header's declared count. This
+// header factors the *container* out of that format so other sidecars
+// — first the PSTS time-series file (obs/timeseries.hpp) — get the
+// same self-validating properties without re-deriving the resync
+// machinery. PSBT itself keeps its bespoke encoder (its header carries
+// a probe address this generic one does not).
+//
+// Layout (little-endian throughout):
+//
+//   header (24 bytes):
+//     u32 magic          caller-chosen container magic
+//     u16 version        caller-chosen format version
+//     u16 reserved       0
+//     u64 record_count
+//     u32 sync_interval  records between sync markers (0 = none)
+//     u32 header_crc     CRC-32C over the preceding 20 bytes
+//
+//   stream: records, with a sync marker before record i whenever
+//   i % sync_interval == 0 (i > 0):
+//     record frame:  u32 payload_len · u32 payload_crc · payload
+//     sync marker:   u32 0x53594e43 "SYNC" · u64 record_index ·
+//                    u32 marker_crc (CRC-32C over the preceding 12)
+//
+// Salvage semantics match PSBT: a frame whose length is implausible or
+// whose CRC fails poisons the stream until the next verifiable sync
+// marker, and the marker's record_index accounts exactly how many
+// records the damaged region swallowed. These functions are
+// buffer-level only — callers persist through util::write_file_atomic
+// and read back through util::io::read_file so the io_faults shim
+// covers every byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace peerscope::util::framing {
+
+inline constexpr std::uint32_t kSyncMagic = 0x53594e43;  // "SYNC"
+inline constexpr std::uint32_t kDefaultSyncInterval = 256;
+
+/// Container identity + limits, fixed per format by the caller.
+struct FrameFormat {
+  std::uint32_t magic = 0;
+  std::uint16_t version = 1;
+  /// Frames longer than this are treated as corruption, not data — it
+  /// keeps a flipped length bit from sending the reader gigabytes
+  /// ahead.
+  std::uint32_t max_record_len = 4096;
+};
+
+/// Salvage accounting: recovered + dropped reconciles against the
+/// header's declared count whenever the header itself was intact.
+struct FrameSalvageReport {
+  bool header_valid = false;
+  std::uint64_t records_recovered = 0;
+  std::uint64_t records_dropped = 0;
+  std::uint64_t bytes_discarded = 0;
+  /// The stream ended before the declared record count was reached.
+  bool truncated = false;
+  /// First anomaly seen, for diagnostics; empty on a clean file.
+  std::string note;
+};
+
+/// Serializes header + framed payloads. Throws std::length_error when
+/// a payload exceeds format.max_record_len. `sync_interval` of 0
+/// disables sync markers — legal, but a corrupt record then costs the
+/// rest of the file in salvage.
+[[nodiscard]] std::string encode_frames(
+    const FrameFormat& format, const std::vector<std::string>& payloads,
+    std::uint32_t sync_interval = kDefaultSyncInterval);
+
+/// Strict decoder: throws std::runtime_error naming `origin` on any
+/// malformation — bad magic/version/CRC, frame damage, truncation,
+/// count mismatch, trailing garbage.
+[[nodiscard]] std::vector<std::string> decode_frames(
+    const FrameFormat& format, std::string_view buf,
+    const std::string& origin);
+
+/// Salvage decoder: recovers every payload outside damaged regions,
+/// resynchronising at sync markers, and accounts each drop in
+/// `report`. Never throws.
+[[nodiscard]] std::vector<std::string> decode_frames_salvage(
+    const FrameFormat& format, std::string_view buf,
+    FrameSalvageReport* report = nullptr);
+
+}  // namespace peerscope::util::framing

@@ -1,0 +1,157 @@
+#include "obs/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "util/cancel.hpp"
+
+namespace peerscope::obs {
+namespace {
+
+using std::chrono::milliseconds;
+
+SloSpec fast_spec() {
+  SloSpec slo;
+  slo.poll = milliseconds{5};
+  slo.sustain = 2;
+  return slo;
+}
+
+/// Waits up to `deadline` for the watchdog to trip; returns whether
+/// it did. Polling keeps the tests fast on loaded machines without
+/// hard-coding sleeps sized to the worst case.
+bool wait_for_trip(const Watchdog& dog,
+                   milliseconds deadline = milliseconds{2'000}) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (dog.tripped()) return true;
+    std::this_thread::sleep_for(milliseconds{2});
+  }
+  return dog.tripped();
+}
+
+TEST(SloSpec, EnabledOnlyWhenAnObjectiveIsSet) {
+  SloSpec slo;
+  EXPECT_FALSE(slo.enabled());
+  slo.events_per_s_floor = 1.0;
+  EXPECT_TRUE(slo.enabled());
+  slo = SloSpec{};
+  slo.stall_window_s = 1.0;
+  EXPECT_TRUE(slo.enabled());
+  slo = SloSpec{};
+  slo.rejoin_p99_ceiling_ns = 1;
+  EXPECT_TRUE(slo.enabled());
+}
+
+TEST(Watchdog, NeverTripsWhileProgressIsInactive) {
+  SloSpec slo = fast_spec();
+  slo.events_per_s_floor = 1e12;  // would trip instantly if judged
+  RunProgress progress;           // active stays false
+  util::CancelToken token;
+  Watchdog dog{slo, &progress, &token};
+  std::this_thread::sleep_for(milliseconds{60});
+  dog.stop();
+  EXPECT_FALSE(dog.tripped());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(Watchdog, TripsOnSustainedEventRateFloorViolation) {
+  SloSpec slo = fast_spec();
+  slo.events_per_s_floor = 1e12;
+  RunProgress progress;
+  progress.active.store(true);
+  util::CancelToken token;
+  Watchdog dog{slo, &progress, &token};
+  // Events advance, but far below the absurd floor.
+  for (int i = 0; i < 200 && !dog.tripped(); ++i) {
+    progress.events.fetch_add(10);
+    progress.sim_time_ns.fetch_add(1'000'000);
+    std::this_thread::sleep_for(milliseconds{2});
+  }
+  ASSERT_TRUE(wait_for_trip(dog));
+  dog.stop();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_NE(dog.reason().find("below floor"), std::string::npos)
+      << dog.reason();
+}
+
+TEST(Watchdog, TripsWhenSimTimeStalls) {
+  SloSpec slo;
+  slo.poll = milliseconds{5};
+  slo.stall_window_s = 0.03;
+  RunProgress progress;
+  progress.active.store(true);
+  progress.sim_time_ns.store(42);  // frozen forever
+  util::CancelToken token;
+  Watchdog dog{slo, &progress, &token};
+  ASSERT_TRUE(wait_for_trip(dog));
+  dog.stop();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_NE(dog.reason().find("stalled"), std::string::npos) << dog.reason();
+}
+
+TEST(Watchdog, AdvancingSimTimeDefeatsTheStallObjective) {
+  SloSpec slo;
+  slo.poll = milliseconds{5};
+  // Window far past the test's lifetime: even a scheduler hiccup
+  // between the fetch_adds below cannot reach it, so a false trip
+  // here is a real bug, not test flake.
+  slo.stall_window_s = 30.0;
+  RunProgress progress;
+  progress.active.store(true);
+  util::CancelToken token;
+  Watchdog dog{slo, &progress, &token};
+  for (int i = 0; i < 40; ++i) {
+    progress.sim_time_ns.fetch_add(1'000);
+    std::this_thread::sleep_for(milliseconds{2});
+  }
+  dog.stop();
+  EXPECT_FALSE(dog.tripped());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(Watchdog, TripsOnRejoinLatencyCeiling) {
+  SloSpec slo = fast_spec();
+  slo.rejoin_p99_ceiling_ns = 1'000'000;  // 1 ms
+  RunProgress progress;
+  progress.active.store(true);
+  progress.rejoin_p99_ns.store(50'000'000);  // 50 ms observed
+  util::CancelToken token;
+  Watchdog dog{slo, &progress, &token};
+  ASSERT_TRUE(wait_for_trip(dog));
+  dog.stop();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_NE(dog.reason().find("rejoin"), std::string::npos) << dog.reason();
+}
+
+TEST(Watchdog, UnknownRejoinP99StaysInnocent) {
+  // -1 means "no rejoin completed yet": not a violation.
+  SloSpec slo = fast_spec();
+  slo.rejoin_p99_ceiling_ns = 1;
+  RunProgress progress;
+  progress.active.store(true);  // rejoin_p99_ns stays -1
+  util::CancelToken token;
+  Watchdog dog{slo, &progress, &token};
+  std::this_thread::sleep_for(milliseconds{60});
+  dog.stop();
+  EXPECT_FALSE(dog.tripped());
+}
+
+TEST(RunProgress, ResetClearsEverything) {
+  RunProgress progress;
+  progress.events.store(9);
+  progress.sim_time_ns.store(9);
+  progress.rejoin_p99_ns.store(9);
+  progress.active.store(true);
+  progress.reset();
+  EXPECT_EQ(progress.events.load(), 0u);
+  EXPECT_EQ(progress.sim_time_ns.load(), 0);
+  EXPECT_EQ(progress.rejoin_p99_ns.load(), -1);
+  EXPECT_FALSE(progress.active.load());
+}
+
+}  // namespace
+}  // namespace peerscope::obs

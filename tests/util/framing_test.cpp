@@ -1,0 +1,142 @@
+#include "util/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace peerscope::util::framing {
+namespace {
+
+constexpr FrameFormat kFmt{0x54534554 /* "TEST" */, 3, 4096};
+
+std::vector<std::string> numbered_payloads(std::size_t n) {
+  std::vector<std::string> payloads;
+  payloads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    payloads.push_back("record-" + std::to_string(i));
+  }
+  return payloads;
+}
+
+TEST(Framing, RoundTripsEmptyAndMany) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                              std::size_t{3}, std::size_t{1000}}) {
+    const auto payloads = numbered_payloads(n);
+    const std::string buf = encode_frames(kFmt, payloads);
+    EXPECT_EQ(decode_frames(kFmt, buf, "test"), payloads) << n;
+  }
+}
+
+TEST(Framing, RoundTripsBinaryPayloadsWithEmbeddedNulAndSyncMagic) {
+  std::vector<std::string> payloads;
+  payloads.push_back(std::string("\0\x01\x02", 3));
+  payloads.push_back("SYNC");  // payload bytes must not fool the resync scan
+  payloads.push_back({});      // zero-length record is legal
+  const std::string buf = encode_frames(kFmt, payloads, 2);
+  EXPECT_EQ(decode_frames(kFmt, buf, "test"), payloads);
+}
+
+TEST(Framing, EncodeRejectsOversizedPayload) {
+  FrameFormat tight = kFmt;
+  tight.max_record_len = 8;
+  EXPECT_THROW((void)encode_frames(tight, {std::string(9, 'x')}),
+               std::length_error);
+}
+
+TEST(Framing, StrictDecodeRejectsForeignMagicAndVersion) {
+  const std::string buf = encode_frames(kFmt, numbered_payloads(2));
+  FrameFormat wrong_magic = kFmt;
+  wrong_magic.magic = 0x12345678;
+  EXPECT_THROW((void)decode_frames(wrong_magic, buf, "test"),
+               std::runtime_error);
+  FrameFormat wrong_version = kFmt;
+  wrong_version.version = 4;
+  EXPECT_THROW((void)decode_frames(wrong_version, buf, "test"),
+               std::runtime_error);
+}
+
+TEST(Framing, StrictDecodeRejectsFlippedPayloadByte) {
+  std::string buf = encode_frames(kFmt, numbered_payloads(4));
+  buf[buf.size() - 1] ^= 0x01;
+  EXPECT_THROW((void)decode_frames(kFmt, buf, "test"), std::runtime_error);
+}
+
+TEST(Framing, StrictDecodeRejectsTruncationAndTrailingGarbage) {
+  const std::string buf = encode_frames(kFmt, numbered_payloads(4));
+  EXPECT_THROW(
+      (void)decode_frames(kFmt, std::string_view{buf}.substr(0, 30), "test"),
+      std::runtime_error);
+  EXPECT_THROW((void)decode_frames(kFmt, buf + "tail", "test"),
+               std::runtime_error);
+}
+
+TEST(Framing, SalvageRecoversCleanFileExactly) {
+  const auto payloads = numbered_payloads(100);
+  const std::string buf = encode_frames(kFmt, payloads, 16);
+  FrameSalvageReport report;
+  EXPECT_EQ(decode_frames_salvage(kFmt, buf, &report), payloads);
+  EXPECT_TRUE(report.header_valid);
+  EXPECT_EQ(report.records_recovered, 100u);
+  EXPECT_EQ(report.records_dropped, 0u);
+  EXPECT_EQ(report.bytes_discarded, 0u);
+  EXPECT_FALSE(report.truncated);
+  EXPECT_TRUE(report.note.empty());
+}
+
+TEST(Framing, SalvageResyncsAtMarkerAndAccountsEveryRecord) {
+  const auto payloads = numbered_payloads(100);
+  std::string buf = encode_frames(kFmt, payloads, 16);
+  // Flip one byte inside the payload region after the header: the
+  // damaged record poisons its 16-record group up to the next marker.
+  buf[40] ^= 0xff;
+  FrameSalvageReport report;
+  const auto recovered = decode_frames_salvage(kFmt, buf, &report);
+  EXPECT_TRUE(report.header_valid);
+  EXPECT_GT(report.records_dropped, 0u);
+  EXPECT_LE(report.records_dropped, 16u);
+  EXPECT_EQ(report.records_recovered + report.records_dropped, 100u);
+  EXPECT_GT(report.bytes_discarded, 0u);
+  EXPECT_FALSE(report.note.empty());
+  // Everything after the first resync marker survives verbatim.
+  EXPECT_EQ(recovered.back(), payloads.back());
+  for (const std::string& payload : recovered) {
+    EXPECT_NE(std::find(payloads.begin(), payloads.end(), payload),
+              payloads.end());
+  }
+}
+
+TEST(Framing, SalvageWithoutMarkersDropsTheRestOfTheStream) {
+  const auto payloads = numbered_payloads(10);
+  std::string buf = encode_frames(kFmt, payloads, /*sync_interval=*/0);
+  buf[30] ^= 0xff;  // inside an early record
+  FrameSalvageReport report;
+  const auto recovered = decode_frames_salvage(kFmt, buf, &report);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_EQ(report.records_recovered + report.records_dropped, 10u);
+  EXPECT_EQ(recovered.size(), report.records_recovered);
+}
+
+TEST(Framing, SalvageTruncatedTailReconcilesAgainstDeclaredCount) {
+  const std::string buf = encode_frames(kFmt, numbered_payloads(50), 16);
+  FrameSalvageReport report;
+  const auto recovered = decode_frames_salvage(
+      kFmt, std::string_view{buf}.substr(0, buf.size() - 5), &report);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_EQ(recovered.size() + report.records_dropped, 50u);
+}
+
+TEST(Framing, SalvageBadHeaderRecoversNothing) {
+  std::string buf = encode_frames(kFmt, numbered_payloads(5));
+  buf[0] ^= 0xff;  // magic
+  FrameSalvageReport report;
+  EXPECT_TRUE(decode_frames_salvage(kFmt, buf, &report).empty());
+  EXPECT_FALSE(report.header_valid);
+  EXPECT_EQ(report.bytes_discarded, buf.size());
+  EXPECT_FALSE(report.note.empty());
+}
+
+}  // namespace
+}  // namespace peerscope::util::framing

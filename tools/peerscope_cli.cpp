@@ -99,9 +99,31 @@
 //
 // trace-summary: `peerscope trace-summary PATH [--top N]
 // [--deterministic]` profiles a trace.json — per-span-path self/total
-// wall time, sorted by self time ("--top N" rows, default 20);
+// wall time, sorted by self time ("--top N" rows, default 20), plus a
+// counter-event section (totals and last values per counter name);
 // --deterministic prints the canonical reproducible rendering
 // instead (what CI diffs across fixed-seed runs).
+//
+// watch: `peerscope watch STATUS.json [--once] [--interval-ms N]`
+// tails the atomically-rewritten status file a supervised run
+// publishes via --watch-status: per-run supervisor state, attempts,
+// events/s, sim time, and ETA. Re-renders until the batch phase turns
+// "done" (--once prints a single snapshot). Reads are torn-free
+// because every status rewrite is an atomic rename.
+//
+// timeline: `peerscope timeline SERIES.psts [--csv] [--deterministic]
+// [--salvage]` renders a PSTS time-series sidecar (written via the
+// global --series flag) as markdown (default), long-form CSV, or the
+// canonical deterministic rendering CI diffs across pool sizes.
+// --salvage recovers every interval outside damaged regions instead
+// of aborting on a corrupt file (exit 7).
+//
+// Supervised runs accept declarative SLOs (DESIGN.md §17): an
+// events/s floor (--slo-events-floor), a sim-time stall window
+// (--slo-stall), and a discovery rejoin-latency p99 ceiling
+// (--slo-rejoin-p99-ms). A watchdog thread polls live progress and a
+// sustained violation cancels the run, dumps the flight recorder
+// (journaled runs), and exits 10.
 //
 // bench-diff: `peerscope bench-diff COMMITTED FRESH [--budget-pct P]`
 // diffs a fresh PEERSCOPE_BENCH_JSON document against the committed
@@ -125,6 +147,7 @@
 //             9 bench regression (bench-diff: past --budget-pct).
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -132,6 +155,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "aware/observation.hpp"
@@ -143,10 +167,14 @@
 #include "exp/supervisor.hpp"
 #include "exp/testbed.hpp"
 #include "net/topology.hpp"
+#include "exp/journal.hpp"
+#include "exp/status.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_summary.hpp"
+#include "obs/watchdog.hpp"
 #include "p2p/swarm.hpp"
 #include "tools/reproduce.hpp"
 #include "trace/binary_format.hpp"
@@ -178,6 +206,11 @@ constexpr int kExitDegraded = 8;
 // deliberate-regression dry run) can assert "the gate fired" rather
 // than "something crashed".
 constexpr int kExitBenchRegression = 9;
+// The SLO watchdog cancelled a run after a sustained violation of a
+// declared objective (events/s floor, sim-time stall, rejoin p99
+// ceiling): distinct from 1 and from 8 so the CI watch smoke can
+// assert "the watchdog fired" rather than "something crashed".
+constexpr int kExitSloViolation = 10;
 
 int usage(int code = kExitUsage) {
   std::cerr <<
@@ -188,10 +221,15 @@ int usage(int code = kExitUsage) {
   peerscope report --app <name> [--seed N] [--duration S] [supervision] [fault flags]
   peerscope reproduce [--out FILE] [--seed N] [--duration S] [supervision]
   peerscope trace-summary PATH [--top N] [--deterministic]
+  peerscope watch STATUS.json [--once] [--interval-ms N]
+  peerscope timeline SERIES.psts [--csv] [--deterministic] [--salvage]
   peerscope bench-diff COMMITTED FRESH [--budget-pct P]
   peerscope bench-trajectory PATH...
 
 supervision: --retries N  --deadline S  --resume
+             --watch-status PATH  (publish live status.json for `watch`)
+             --slo-events-floor X  --slo-stall S  --slo-rejoin-p99-ms M
+             (declarative SLOs; sustained violation cancels -> exit 10)
 fault flags: --loss P  --loss-burst N  --reorder P  --dup P
              --outage R  --outage-ms MS  --churn S  --bg-churn S  --nat-fail P
 discovery:   --discovery <tracker|dht|gossip>  --fallback <tracker|dht|gossip>
@@ -200,13 +238,18 @@ discovery:   --discovery <tracker|dht|gossip>  --fallback <tracker|dht|gossip>
              --flash-crowd-at S  --zap-reuse P  --session-tail A
 global flags: --metrics PATH   (write metrics.json sidecar at exit)
               --trace PATH     (write trace.json event timeline at exit)
+              --series PATH    (write the PSTS time-series sidecar at
+                                exit; read it with `peerscope timeline`)
+              --series-interval S  (sampling grid in sim seconds,
+                                default 10; requires --series)
               --io-faults SPEC [--io-faults-seed N]
                                (inject storage faults, DESIGN.md §15)
 
 exit codes: 0 ok, 1 runtime error, 2 usage, 3 unknown app, 4 bad value,
             5 partial success, 6 bad capture directory, 7 bad trace file,
             8 degraded (discovery re-join missed --rejoin-deadline),
-            9 bench regression (bench-diff past --budget-pct)
+            9 bench regression (bench-diff past --budget-pct),
+            10 SLO violation (watchdog cancelled a supervised run)
 
 apps: pplive | sopcast | tvants | pplive-popular | napawine-proto
 )";
@@ -235,6 +278,9 @@ struct RunArgs {
   int retries = 0;
   double deadline_s = 0.0;
   bool resume = false;
+  // Declarative SLOs + live status publishing (DESIGN.md §17).
+  obs::SloSpec slo;
+  std::filesystem::path status_path;
   sim::ImpairmentSpec impairment;
   p2p::ChurnSpec churn;
   p2p::DiscoverySpec discovery;
@@ -368,6 +414,25 @@ std::optional<RunArgs> parse_run_args(int argc, char** argv, int first,
       args.deadline_s = s;
     } else if (flag == "--resume") {
       args.resume = true;
+    } else if (flag == "--watch-status") {
+      const char* v = value();
+      if (!v) {
+        std::cerr << "--watch-status needs a value\n";
+        return std::nullopt;
+      }
+      args.status_path = v;
+    } else if (flag == "--slo-events-floor") {
+      if (!numeric(0.0, 1e18, args.slo.events_per_s_floor)) {
+        return std::nullopt;
+      }
+    } else if (flag == "--slo-stall") {
+      if (!numeric(0.0, 86'400.0, args.slo.stall_window_s)) {
+        return std::nullopt;
+      }
+    } else if (flag == "--slo-rejoin-p99-ms") {
+      double ms = 0;
+      if (!numeric(0.0, 1e9, ms)) return std::nullopt;
+      args.slo.rejoin_p99_ceiling_ns = static_cast<std::int64_t>(ms * 1e6);
     } else if (flag == "--loss") {
       if (!numeric(0.0, 0.95, args.impairment.loss_rate)) return std::nullopt;
     } else if (flag == "--loss-burst") {
@@ -544,10 +609,13 @@ void print_discovery_counters(const p2p::DiscoveryCounters& d) {
   }
 }
 
-/// Maps a supervised failure to the CLI exit code: a run that finished
-/// but missed its re-join SLO (exp::DiscoveryDegraded's message
-/// prefix) is "degraded" (8), anything else is a runtime error (1).
+/// Maps a supervised failure to the CLI exit code: a run the SLO
+/// watchdog cancelled (the supervisor's "slo violation: ..." prefix)
+/// is 10, a run that finished but missed its re-join SLO
+/// (exp::DiscoveryDegraded's message prefix) is "degraded" (8),
+/// anything else is a runtime error (1).
 int failure_exit_code(const std::string& error) {
+  if (error.rfind("slo violation", 0) == 0) return kExitSloViolation;
   return error.rfind("discovery degraded", 0) == 0 ? kExitDegraded : 1;
 }
 
@@ -575,6 +643,8 @@ int cmd_run(const RunArgs& args) {
   supervision.deadline_s = args.deadline_s;
   supervision.resume = args.resume;
   supervision.journal = args.out / "experiment.journal";
+  supervision.slo = args.slo;
+  supervision.status_path = args.status_path;
   // Capture-producing run body: each attempt simulates, exports every
   // trace atomically, then writes the metadata sidecar last — so a
   // directory containing experiment.meta is always analyzable. The
@@ -591,6 +661,25 @@ int cmd_run(const RunArgs& args) {
     config.churn = s.churn;
     config.discovery = s.discovery;
     config.cancel = s.cancel;
+    // Mirror run_experiment: series rows key on the stable journal
+    // identity, and the progress sink is live only while the swarm
+    // may still advance it (the watchdog must not judge a dead
+    // attempt's frozen counters).
+    config.series_key = exp::spec_id(s);
+    config.progress = s.progress;
+    struct ProgressGuard {
+      obs::RunProgress* progress;
+      explicit ProgressGuard(obs::RunProgress* p) : progress(p) {
+        if (progress != nullptr) {
+          progress->active.store(true, std::memory_order_release);
+        }
+      }
+      ~ProgressGuard() {
+        if (progress != nullptr) {
+          progress->active.store(false, std::memory_order_release);
+        }
+      }
+    } progress_guard{s.progress};
 
     p2p::Swarm swarm{t, testbed.probes(), config};
     swarm.run();
@@ -708,10 +797,12 @@ int cmd_report(const RunArgs& args) {
             << ", " << args.duration_s << " s)...\n";
 
   // Supervised but unjournaled: report stores nothing, so there is
-  // nothing to resume — but --retries/--deadline still apply.
+  // nothing to resume — but --retries/--deadline/SLOs still apply.
   exp::SupervisorConfig supervision;
   supervision.retries = args.retries;
   supervision.deadline_s = args.deadline_s;
+  supervision.slo = args.slo;
+  supervision.status_path = args.status_path;
   util::ThreadPool pool{1};
   const auto outcome = exp::supervise_runs(
       topo, std::span<const exp::RunSpec>{&spec, 1}, pool, supervision);
@@ -758,9 +849,99 @@ int cmd_trace_summary(const std::filesystem::path& path, std::size_t top_n,
     return 0;
   }
   const auto rows = obs::attribute_spans(file.events);
+  const auto counters = obs::attribute_counters(file.events);
   std::cout << "trace: " << file.events.size() << " events, " << rows.size()
-            << " span paths, dropped " << file.dropped << "\n\n";
+            << " span paths, " << counters.size()
+            << " counters, dropped " << file.dropped << "\n\n";
   std::cout << obs::render_trace_summary(rows, top_n);
+  if (!counters.empty()) {
+    std::cout << "\ncounters:\n"
+              << obs::render_counter_summary(counters, top_n);
+  }
+  return 0;
+}
+
+/// One rendered snapshot of a status.json document: the per-run table
+/// `peerscope watch` repaints.
+std::string render_status(const exp::StatusView& view) {
+  util::TextTable table{
+      {"run", "state", "att", "events", "sim s", "events/s", "eta s"}};
+  for (const auto& run : view.runs) {
+    table.add_row({run.spec, run.state, std::to_string(run.attempts),
+                   util::TextTable::count(run.events),
+                   util::TextTable::num(run.sim_time_s, 1),
+                   util::TextTable::num(run.events_per_s, 0),
+                   run.eta_s >= 0 ? util::TextTable::num(run.eta_s, 0)
+                                  : std::string{"-"}});
+  }
+  return "phase: " + view.phase + '\n' + table.render();
+}
+
+// Tails the atomically-rewritten status.json a supervised run
+// publishes via --watch-status. Every rewrite is a rename, so a read
+// never observes a torn document; a transiently missing file (watch
+// started before the run) is retried, not fatal. Exits when the batch
+// phase turns "done", or immediately with --once.
+int cmd_watch(const std::filesystem::path& path, bool once,
+              std::chrono::milliseconds interval) {
+  bool seen = false;
+  for (;;) {
+    const auto text = util::io::read_file(path);
+    std::optional<exp::StatusView> view;
+    if (text.has_value()) view = exp::parse_status(*text);
+    if (view.has_value()) {
+      seen = true;
+      std::cout << render_status(*view) << std::flush;
+      if (view->phase == "done") return 0;
+    } else if (once || seen) {
+      // Gone or unparseable after we saw it once: the writer is not
+      // coming back (or the file was never a status document).
+      std::cerr << "watch: cannot read status from " << path.string()
+                << '\n';
+      return 1;
+    }
+    if (once) return 0;
+    std::this_thread::sleep_for(interval);
+  }
+}
+
+// Renders a PSTS time-series sidecar (--series). Default markdown;
+// --csv for the long form, --deterministic for the canonical
+// rendering CI diffs across pool sizes. Strict by default — a corrupt
+// file is kExitBadTrace, mirroring trace-summary — while --salvage
+// recovers every interval outside damaged regions with drop
+// accounting on stderr.
+int cmd_timeline(const std::filesystem::path& path, bool csv,
+                 bool deterministic, bool salvage) {
+  obs::SeriesSnapshot snapshot;
+  try {
+    if (salvage) {
+      obs::SeriesSalvageReport report;
+      snapshot = obs::read_series_salvage(path, &report);
+      if (report.framing.records_dropped > 0 ||
+          report.payloads_skipped > 0) {
+        std::cerr << "timeline: salvage: dropped "
+                  << report.framing.records_dropped << " damaged record(s), "
+                  << report.payloads_skipped << " unparseable payload(s)\n";
+      }
+    } else {
+      snapshot = obs::read_series(path);
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "timeline: " << error.what() << '\n';
+    return kExitBadTrace;
+  }
+  if (snapshot.runs.empty()) {
+    std::cerr << "timeline: no intervals in " << path.string() << '\n';
+    return kExitBadTrace;
+  }
+  if (deterministic) {
+    std::cout << obs::deterministic_series(snapshot);
+  } else if (csv) {
+    std::cout << obs::render_series_csv(snapshot);
+  } else {
+    std::cout << obs::render_series_markdown(snapshot);
+  }
   return 0;
 }
 
@@ -930,6 +1111,63 @@ int dispatch(int argc, char** argv) {
       }
       return cmd_trace_summary(path, top_n, deterministic);
     }
+    if (command == "watch") {
+      std::filesystem::path path;
+      bool once = false;
+      auto interval = std::chrono::milliseconds{500};
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (arg == "--once") {
+          once = true;
+        } else if (arg == "--interval-ms" && value) {
+          const auto parsed = parse_double(value, 10, 60'000);
+          if (!parsed) {
+            std::cerr << "invalid value for --interval-ms: " << value
+                      << '\n';
+            return usage(kExitBadValue);
+          }
+          interval = std::chrono::milliseconds{static_cast<int>(*parsed)};
+          ++i;
+        } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
+          path = arg;
+        } else {
+          std::cerr << "unknown flag: " << arg << '\n';
+          return usage(kExitUsage);
+        }
+      }
+      if (path.empty()) {
+        std::cerr << "watch needs a status.json path\n";
+        return usage(kExitUsage);
+      }
+      return cmd_watch(path, once, interval);
+    }
+    if (command == "timeline") {
+      std::filesystem::path path;
+      bool csv = false;
+      bool deterministic = false;
+      bool salvage = false;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--csv") {
+          csv = true;
+        } else if (arg == "--deterministic") {
+          deterministic = true;
+        } else if (arg == "--salvage") {
+          salvage = true;
+        } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
+          path = arg;
+        } else {
+          std::cerr << "unknown flag: " << arg << '\n';
+          return usage(kExitUsage);
+        }
+      }
+      if (path.empty()) {
+        std::cerr << "timeline needs a series sidecar path\n";
+        return usage(kExitUsage);
+      }
+      return cmd_timeline(path, csv, deterministic, salvage);
+    }
     if (command == "bench-diff") {
       std::vector<std::filesystem::path> paths;
       double budget_pct = 15.0;
@@ -991,6 +1229,8 @@ int main(int argc, char** argv) {
   // runtime error, so a failing run still leaves its partial counters.
   std::filesystem::path metrics_path;
   std::filesystem::path trace_path;
+  std::filesystem::path series_path;
+  double series_interval_s = 10.0;
   // Storage fault injection: flag wins over env so a chaos sweep can
   // set a baseline schedule and individual cells can override it.
   const char* faults_env = std::getenv("PEERSCOPE_IO_FAULTS");
@@ -1012,6 +1252,24 @@ int main(int argc, char** argv) {
         return usage(kExitUsage);
       }
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--series") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--series needs a value\n";
+        return usage(kExitUsage);
+      }
+      series_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--series-interval") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--series-interval needs a value\n";
+        return usage(kExitUsage);
+      }
+      const auto parsed = parse_double(argv[++i], 0.001, 1e6);
+      if (!parsed) {
+        std::cerr << "invalid value for --series-interval: " << argv[i]
+                  << '\n';
+        return kExitBadValue;
+      }
+      series_interval_s = *parsed;
     } else if (std::strcmp(argv[i], "--io-faults") == 0) {
       if (i + 1 >= argc) {
         std::cerr << "--io-faults needs a value\n";
@@ -1054,7 +1312,21 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty()) obs::install(&registry);
   obs::TraceRecorder recorder;
   if (!trace_path.empty()) obs::install_tracer(&recorder);
+  obs::TimeseriesRecorder series{seconds_to_simtime(series_interval_s)};
+  if (!series_path.empty()) obs::install_series(&series);
   int code = dispatch(static_cast<int>(filtered.size()), filtered.data());
+  if (!series_path.empty()) {
+    // Like the other sidecars: written even after a runtime error —
+    // the intervals up to the failure are the post-mortem timeline.
+    obs::install_series(nullptr);
+    try {
+      obs::write_series(series_path, series.snapshot());
+      std::cerr << "series: wrote " << series_path.string() << '\n';
+    } catch (const std::exception& error) {
+      std::cerr << "series: " << error.what() << '\n';
+      if (code == 0) code = 1;
+    }
+  }
   if (!trace_path.empty()) {
     // Like the metrics sidecar: written even after a runtime error —
     // the failed invocation is exactly the one worth profiling.
